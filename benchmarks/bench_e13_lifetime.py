@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""E13 — Network lifetime under finite batteries.
+
+Section III-A's sharpest argument against central collection: the nodes
+around the server burn their batteries relaying everything and die
+first, disconnecting the server.  With finite per-node batteries we
+stream a continuous join workload and record (a) when the first node
+dies and (b) how many workload events were processed by then.
+
+Expected shape: PA (balanced load) survives several times more events
+before the first death than the centroid/centralized schemes, whose
+first casualties are the server's neighbors.
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro.core.parser import parse_program
+from repro.dist.gpa import GPAEngine
+from harness import print_table
+
+PROGRAM = "j(K, A, B) :- r(K, A), s(K, B)."
+M = 10
+CAPACITY = 15_000.0  # microjoules
+
+
+def run_strategy(strategy: str, m=M, capacity=CAPACITY, max_events=600, seed=21):
+    net = repro.GridNetwork(m, seed=seed, battery_capacity=capacity)
+    engine = GPAEngine(parse_program(PROGRAM), net, strategy=strategy).install()
+    rng = random.Random(seed)
+    events = 0
+    for i in range(max_events):
+        net.run_until(net.now + 0.5)
+        pred = "r" if i % 2 == 0 else "s"
+        engine.publish(rng.randrange(m * m), pred, (i % 4, f"v{i}"))
+        events += 1
+        if net.radio.first_death_time is not None:
+            break
+    net.run_all()
+    deaths = len(net.radio.death_time)
+    return events, net.radio.first_death_time, deaths
+
+
+def run(strategies=("pa", "centroid", "centralized")):
+    rows = []
+    results = {}
+    for strategy in strategies:
+        events, death_time, deaths = run_strategy(strategy)
+        rows.append([
+            strategy, events,
+            "-" if death_time is None else f"{death_time:.1f}",
+            deaths,
+        ])
+        results[strategy] = events
+    print_table(
+        f"E13: events until first node death ({M}x{M} grid, "
+        f"{CAPACITY/1000:.0f} mJ batteries)",
+        ["strategy", "events before first death", "death time (s)", "dead nodes"],
+        rows,
+    )
+    return results
+
+
+def test_e13_pa_lives_longer(benchmark):
+    results = benchmark.pedantic(
+        run, args=(("pa", "centroid"),), rounds=1, iterations=1
+    )
+    assert results["pa"] > results["centroid"]
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""E15 — Result latency (freshness) vs. network size.
+
+Theorem 3 buys correctness with delays: a join phase starts only
+tau_s + tau_c after the storage phase, and the phases themselves take
+hops.  We measure the end-to-end latency from an update's timestamp to
+its first derived result at the hash node, across grid sizes and
+strategies.
+
+Expected shape: latency grows linearly in the grid side m for every
+scheme (phases traverse O(m) hops); PA pays roughly the storage-bound
+delay plus one column traversal, the centralized scheme one trip to the
+server — comparable magnitudes, with PA's extra delay the price of its
+load balance (E3) and robustness (E7).
+"""
+
+import pytest
+
+from harness import print_table, run_join_workload
+
+SIZES = [6, 8, 10, 12]
+
+
+def run(sizes=SIZES, tuples=10):
+    rows = []
+    results = {}
+    for m in sizes:
+        for strategy in ("pa", "centralized"):
+            engine, net, expected = run_join_workload(
+                m, strategy, tuples_per_stream=tuples, key_domain=3, seed=m
+            )
+            assert engine.rows("j") == expected
+            report = engine.latency_report("j")
+            rows.append([
+                f"{m}x{m}", strategy, report["count"],
+                report["mean"], report["max"],
+            ])
+            results[(m, strategy)] = report["mean"]
+    print_table(
+        "E15: update-to-result latency (seconds of simulated time)",
+        ["grid", "strategy", "results", "mean latency", "max latency"],
+        rows,
+    )
+    return results
+
+
+def test_e15_latency_scales_with_m(benchmark):
+    results = benchmark.pedantic(run, args=([6, 12], 8), rounds=1, iterations=1)
+    # Linear-ish growth with the grid side for PA.
+    assert results[(12, "pa")] > results[(6, "pa")]
+    assert results[(12, "pa")] < 6 * results[(6, "pa")]
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""E16 — Channel contention vs. event rate.
+
+TOSSIM models CSMA; at high event rates concurrent transmissions
+collide at shared receivers.  With the first-order collision model on,
+we drive the join workload at increasing rates and measure collisions
+and result completeness for PA vs. the centroid scheme (whose funnel
+toward one node makes it collision-prone).
+
+Expected shape: collisions (and completeness loss) grow with the rate
+for both; the centroid's receiver funnel loses more results at the same
+offered load.
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro.core.eval import Database, evaluate
+from repro.core.parser import parse_program
+from repro.dist.gpa import GPAEngine
+from harness import print_table
+
+PROGRAM = "j(K, A, B) :- r(K, A), s(K, B)."
+M = 8
+EVENTS = 30
+
+
+def run_rate(strategy: str, interval: float, seed=19, m=M, events=EVENTS):
+    net = repro.GridNetwork(m, seed=seed, collisions=True)
+    engine = GPAEngine(parse_program(PROGRAM), net, strategy=strategy).install()
+    rng = random.Random(seed)
+    facts = []
+    for i in range(events):
+        net.run_until(net.now + interval)
+        pred = "r" if i % 2 == 0 else "s"
+        args = (i % 3, f"v{i}")
+        engine.publish(rng.randrange(m * m), pred, args)
+        facts.append((pred, args))
+    net.run_all()
+    db = Database()
+    for pred, args in facts:
+        db.assert_fact(pred, args)
+    evaluate(parse_program(PROGRAM), db)
+    expected = db.rows("j")
+    got = engine.rows("j") & expected
+    completeness = len(got) / len(expected) if expected else 1.0
+    return completeness, net.radio.collision_count
+
+
+def run(intervals=(0.5, 0.05, 0.005)):
+    rows = []
+    results = {}
+    for interval in intervals:
+        for strategy in ("pa", "centroid"):
+            completeness, collisions = run_rate(strategy, interval)
+            rows.append([
+                f"{1/interval:.0f}/s", strategy, collisions, completeness,
+            ])
+            results[(interval, strategy)] = (completeness, collisions)
+    print_table(
+        f"E16: contention on a {M}x{M} grid ({EVENTS} events)",
+        ["offered rate", "strategy", "collisions", "completeness"],
+        rows,
+    )
+    return results
+
+
+def test_e16_contention_grows_with_rate(benchmark):
+    results = benchmark.pedantic(
+        run, args=((0.5, 0.005),), rounds=1, iterations=1
+    )
+    for strategy in ("pa", "centroid"):
+        slow_c, slow_n = results[(0.5, strategy)]
+        fast_c, fast_n = results[(0.005, strategy)]
+        assert fast_n >= slow_n          # more collisions at higher rate
+        assert fast_c <= slow_c + 1e-9   # completeness can only suffer
+
+
+if __name__ == "__main__":
+    run()

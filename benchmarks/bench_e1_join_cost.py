@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""E1 — Join communication cost vs. network size, per strategy.
+
+Reconstructs the paper's headline comparison (Section III-A / VI): the
+Perpendicular Approach against Naive Broadcast, Local Storage, a corner
+server (Centralized), and the Centroid Approach, on a two-stream join
+with uniform tuple generation.
+
+Expected shape: the degenerate GPA baselines (broadcast, local-storage)
+scale with N = m^2 per tuple and dominate everything; PA scales with m
+and stays far below them; the centroid/centralized schemes have
+comparable or lower *totals* at small scale but concentrate load on the
+server (see E3 for the hotspot story).
+"""
+
+import pytest
+
+from harness import print_table, run_join_workload
+
+STRATEGIES = ["pa", "centroid", "centralized", "broadcast", "local-storage"]
+SIZES = [6, 8, 10, 12]
+TUPLES = 12
+
+
+def run(sizes=SIZES, tuples=TUPLES):
+    rows = []
+    results = {}
+    for m in sizes:
+        for strategy in STRATEGIES:
+            engine, net, expected = run_join_workload(
+                m, strategy, tuples_per_stream=tuples, seed=m
+            )
+            correct = engine.rows("j") == expected
+            rows.append([
+                f"{m}x{m}", strategy, net.metrics.total_messages,
+                net.metrics.total_bytes, net.metrics.max_node_load,
+                "yes" if correct else "NO",
+            ])
+            results[(m, strategy)] = net.metrics.total_messages
+    print_table(
+        "E1: two-stream join cost by strategy and grid size "
+        f"({tuples} tuples/stream)",
+        ["grid", "strategy", "messages", "bytes", "max-load", "correct"],
+        rows,
+    )
+    return results
+
+
+def test_e1_shape(benchmark):
+    results = benchmark.pedantic(run, args=([6, 8], 8), rounds=1, iterations=1)
+    # PA beats both degenerate GPA baselines at every size.
+    for m in (6, 8):
+        assert results[(m, "pa")] < results[(m, "broadcast")]
+        assert results[(m, "pa")] < results[(m, "local-storage")]
+    # The degenerate baselines blow up faster with network size.
+    assert (
+        results[(8, "broadcast")] / results[(6, "broadcast")]
+        > results[(8, "pa")] / results[(6, "pa")]
+    )
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""E2 — PA's near-optimality on square grids.
+
+Section III-A: on an m x m grid with uniform generation rates, PA's
+communication cost is within a constant factor (eight) of optimal.  Any
+scheme must bring each pair of joining tuples together: a tuple
+generated uniformly at random is expected Manhattan distance ~2m/3 from
+its partner, and at least half that distance must be covered by one of
+them — so ~m/3 hops per tuple is a lower bound.  We measure PA's hops
+per update and report the ratio.
+
+Expected shape: the ratio is roughly flat in m and stays below 8.
+"""
+
+import pytest
+
+from harness import print_table, run_join_workload
+
+SIZES = [6, 8, 10, 12, 14]
+TUPLES = 12
+
+
+def run(sizes=SIZES, tuples=TUPLES):
+    rows = []
+    ratios = {}
+    for m in sizes:
+        engine, net, expected = run_join_workload(
+            m, "pa", tuples_per_stream=tuples, key_domain=10_000, seed=m
+        )
+        # key_domain huge => join output ~empty: measures pure
+        # storage + join-phase transport, the quantity the bound covers.
+        updates = 2 * tuples
+        per_update = net.metrics.total_messages / updates
+        lower_bound = m / 3
+        ratio = per_update / lower_bound
+        ratios[m] = ratio
+        rows.append([f"{m}x{m}", updates, net.metrics.total_messages,
+                     per_update, lower_bound, ratio])
+    print_table(
+        "E2: PA cost per update vs. the meeting lower bound (~m/3)",
+        ["grid", "updates", "messages", "msgs/update", "bound", "ratio"],
+        rows,
+    )
+    return ratios
+
+
+def test_e2_bounded_ratio(benchmark):
+    ratios = benchmark.pedantic(run, args=([6, 10], 8), rounds=1, iterations=1)
+    assert all(r <= 8.0 for r in ratios.values()), ratios
+    # Flat in m: the largest ratio is within 2x of the smallest.
+    values = list(ratios.values())
+    assert max(values) <= 2 * min(values)
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""E3 — Load balance: PA vs. server-based schemes.
+
+Section III-A: shipping everything to a server "may result in quick
+failure of the nodes close to the server".  We measure the busiest
+node's transmission count and the load-imbalance factor (max/mean) as
+the event rate grows.
+
+Expected shape: PA's max load grows slowly and its imbalance stays
+small; the centralized/centroid hotspot grows linearly with the event
+count and the imbalance factor keeps climbing with network size.
+"""
+
+import pytest
+
+from harness import print_table, run_join_workload
+
+STRATEGIES = ["pa", "centroid", "centralized"]
+RATES = [8, 16, 24]
+M = 10
+
+
+def run(m=M, rates=RATES):
+    rows = []
+    results = {}
+    for tuples in rates:
+        for strategy in STRATEGIES:
+            engine, net, expected = run_join_workload(
+                m, strategy, tuples_per_stream=tuples, seed=17
+            )
+            metrics = net.metrics
+            rows.append([
+                2 * tuples, strategy, metrics.total_messages,
+                metrics.max_node_load, metrics.load_imbalance(),
+            ])
+            results[(tuples, strategy)] = (
+                metrics.max_node_load, metrics.load_imbalance()
+            )
+    print_table(
+        f"E3: per-node load on a {m}x{m} grid vs. event count",
+        ["events", "strategy", "messages", "max-node-load", "imbalance"],
+        rows,
+    )
+    return results
+
+
+def test_e3_pa_balances_load(benchmark):
+    results = benchmark.pedantic(run, args=(8, [8, 16]), rounds=1, iterations=1)
+    for tuples in (8, 16):
+        pa_load, pa_imb = results[(tuples, "pa")]
+        c_load, c_imb = results[(tuples, "centroid")]
+        assert pa_imb < c_imb  # PA spreads work; the centroid is a hotspot
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""E4 — Multi-stream joins: cost of the one-pass scheme for n streams.
+
+Section III-A generalizes PA to n-way joins: one storage phase per
+tuple plus a single traversal of the join region carrying partial
+results of every length (Fig. 1).  We measure total cost and the join
+token bytes (which carry the partial results) for n = 2, 3, 4 streams,
+at two join selectivities.
+
+Expected shape: storage cost grows linearly with the number of tuples;
+join-phase bytes grow with n and with selectivity (more/larger partial
+results), but a single pass still suffices — messages stay O(m) per
+update.
+"""
+
+import pytest
+
+from harness import print_table, run_join_workload
+
+M = 8
+TUPLES = 8
+
+
+def run(m=M, tuples=TUPLES):
+    rows = []
+    results = {}
+    for n in (2, 3, 4):
+        streams = ["r", "s", "t", "u"][:n]
+        for domain, label in ((2, "high"), (6, "low")):
+            engine, net, expected = run_join_workload(
+                m, "pa", tuples_per_stream=tuples,
+                streams=streams, key_domain=domain, seed=n * 10 + domain,
+            )
+            correct = engine.rows("j") == expected
+            join_bytes = net.metrics.category_bytes.get("join", 0)
+            rows.append([
+                n, label, len(expected), net.metrics.total_messages,
+                join_bytes, "yes" if correct else "NO",
+            ])
+            results[(n, label)] = (net.metrics.total_messages, join_bytes, correct)
+    print_table(
+        f"E4: n-way one-pass join on a {m}x{m} grid ({tuples} tuples/stream)",
+        ["streams", "selectivity", "results", "messages", "join-bytes", "correct"],
+        rows,
+    )
+    return results
+
+
+def test_e4_shape(benchmark):
+    results = benchmark.pedantic(run, args=(6, 6), rounds=1, iterations=1)
+    for key, (msgs, join_bytes, correct) in results.items():
+        assert correct, key
+    # Higher selectivity (smaller domain) => more partial-result bytes.
+    assert results[(3, "high")][1] > results[(3, "low")][1]
+
+
+if __name__ == "__main__":
+    run()

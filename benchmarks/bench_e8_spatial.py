@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""E8 — The spatial-constraint optimization.
+
+Sensor-network joins frequently constrain matches to nearby tuples
+(Section III-A); PA then stores each tuple over only part of its
+horizontal line and traverses only part of the vertical line.  We run a
+proximity join (tuples match only within Euclidean distance R) with and
+without region clipping.
+
+Expected shape: clipped PA's cost drops sharply as the constraint
+radius shrinks, while unclipped PA pays the full row/column regardless;
+results stay identical.
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro.core.eval import Database, evaluate
+from repro.core.parser import parse_program
+from repro.dist.gpa import GPAEngine
+from repro.dist.regions import PerpendicularRegions, SpatialClip
+from harness import print_table
+
+M = 10
+TUPLES = 10
+
+
+def proximity_program(radius: float) -> str:
+    return f"near(L1, L2) :- a(L1), b(L2), dist(L1, L2) <= {radius}."
+
+
+def run_one(m: int, tuples: int, radius: float, clip: bool, seed: int = 5):
+    net = repro.GridNetwork(m, seed=seed)
+    strategy = PerpendicularRegions(net)
+    if clip:
+        # The clip radius must cover the join constraint: tuples within
+        # `radius` of each other meet within `radius` of either origin.
+        strategy = SpatialClip(strategy, radius=radius)
+    program = parse_program(proximity_program(radius))
+    engine = GPAEngine(program, net, strategy=strategy).install()
+    rng = random.Random(seed + 1)
+    facts = []
+    for i in range(tuples):
+        for pred in ("a", "b"):
+            node = rng.randrange(m * m)
+            loc = net.topology.position(node)
+            engine.publish(node, pred, (loc,))
+            facts.append((pred, ((loc),)))
+    net.run_all()
+    db = Database()
+    for pred, args in facts:
+        db.assert_fact(pred, args)
+    evaluate(program, db)
+    expected = db.rows("near")
+    return engine.rows("near") == expected, net.metrics.total_messages
+
+
+def run(m=M, tuples=TUPLES, radii=(1.5, 2.5, 4.0)):
+    rows = []
+    results = {}
+    for radius in radii:
+        ok_plain, msgs_plain = run_one(m, tuples, radius, clip=False)
+        ok_clip, msgs_clip = run_one(m, tuples, radius, clip=True)
+        saving = 1 - msgs_clip / msgs_plain
+        rows.append([
+            radius, msgs_plain, msgs_clip, f"{saving:.0%}",
+            "yes" if (ok_plain and ok_clip) else "NO",
+        ])
+        results[radius] = (msgs_plain, msgs_clip, ok_plain and ok_clip)
+    print_table(
+        f"E8: proximity join on a {m}x{m} grid, with/without region clipping",
+        ["constraint radius", "PA msgs", "clipped msgs", "saving", "correct"],
+        rows,
+    )
+    return results
+
+
+def test_e8_clipping_saves(benchmark):
+    results = benchmark.pedantic(
+        run, args=(8, 8, (1.5, 3.0)), rounds=1, iterations=1
+    )
+    for radius, (plain, clipped, correct) in results.items():
+        assert correct
+        assert clipped < plain
+    # Tighter constraint => bigger saving.
+    assert results[1.5][1] < results[3.0][1]
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,94 @@
+"""Shared benchmark harness.
+
+Each ``bench_eN_*.py`` regenerates one table/figure of the evaluation:
+run standalone (``python benchmarks/bench_e1_join_cost.py``) for the
+full table, or under ``pytest benchmarks/ --benchmark-only`` for a
+timed smoke-scale run plus shape assertions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import repro
+from repro.core.eval import Database, evaluate
+from repro.core.parser import parse_program
+from repro.dist.gpa import GPAEngine
+from repro.net.network import GridNetwork
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Render an aligned ASCII table (the bench output format)."""
+    rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n== {title} ==")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def record_results(name: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Persist a bench table as JSON under ``benchmarks/results/`` so
+    EXPERIMENTS.md numbers are reproducible artifacts.  Returns the
+    written path."""
+    out_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{name}.json")
+    payload = {
+        "experiment": name,
+        "headers": list(headers),
+        "rows": [list(r) for r in rows],
+    }
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2)
+    return path
+
+
+def run_join_workload(
+    m: int,
+    strategy: str,
+    tuples_per_stream: int = 12,
+    streams: Sequence[str] = ("r", "s"),
+    key_domain: int = 4,
+    program: Optional[str] = None,
+    seed: int = 0,
+    loss_rate: float = 0.0,
+    window: float = 1e9,
+):
+    """Run a uniform multi-stream join on an m x m grid; returns
+    (engine, network, expected_rows)."""
+    if program is None:
+        head_vars = ", ".join(f"V{i}" for i in range(len(streams)))
+        body = ", ".join(f"{s}(K, V{i})" for i, s in enumerate(streams))
+        program = f"j(K, {head_vars}) :- {body}."
+    net = GridNetwork(m, seed=seed, loss_rate=loss_rate)
+    engine = GPAEngine(
+        parse_program(program), net, strategy=strategy, window=window
+    ).install()
+    rng = random.Random(seed + 1)
+    facts = []
+    for i in range(tuples_per_stream):
+        for stream in streams:
+            node = rng.randrange(m * m)
+            args = (rng.randrange(key_domain), f"{stream}{i}")
+            engine.publish(node, stream, args)
+            facts.append((stream, args))
+    net.run_all()
+    db = Database()
+    for pred, args in facts:
+        db.assert_fact(pred, args)
+    evaluate(parse_program(program), db)
+    return engine, net, db.rows("j")

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Periodic monitoring: the TinyDB workload on the deductive engine.
+
+    SELECT avg(temp) FROM sensors WHERE temp > 70 SAMPLE PERIOD 5s
+
+The deductive framework subsumes the periodic-gathering engines it
+extends (Section II-A): a one-rule program does the WHERE in-network,
+and a TAG epoch per period does the aggregate.
+
+Run:  python examples/periodic_monitoring.py
+"""
+
+import math
+import random
+
+import repro
+from repro.dist.periodic import ContinuousQuery
+
+PROGRAM = "hot(N, V, E) :- reading(N, V, E), V > 70."
+
+
+def main() -> None:
+    net = repro.GridNetwork(8, seed=23)
+    engine = repro.DeductiveEngine(PROGRAM, net, strategy="pa").install()
+    rng = random.Random(23)
+
+    def thermometer(node_id: int, epoch: int) -> float:
+        # A heat wave passing through the field.
+        x, y = net.topology.position(node_id)
+        wave = 30.0 * math.exp(-((x - 2.0 * epoch) ** 2 + (y - 3.5) ** 2) / 8.0)
+        return round(55.0 + wave + rng.uniform(-1, 1), 1)
+
+    query = ContinuousQuery(
+        engine, sampler=thermometer, period=5.0,
+        program_pred="hot", value_position=1,
+        aggregate="count", sink=0, epoch_position=2,
+    )
+
+    print("epoch  readings  sensors>70  (the heat wave passes through)")
+    for result in query.run_epochs(5):
+        bar = "#" * int(result.aggregate or 0)
+        print(f"{result.epoch:>5}  {result.readings:>8}  "
+              f"{int(result.aggregate or 0):>10}  {bar}")
+
+    counts = [int(a or 0) for _e, a in query.series()]
+    assert any(c > 0 for c in counts), "the wave should trip the threshold"
+    print("\ncommunication:", net.metrics.summary())
+
+
+if __name__ == "__main__":
+    main()

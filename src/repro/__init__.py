@@ -1,0 +1,77 @@
+"""repro — Deductive framework for programming sensor networks.
+
+Reproduction of Gupta, Zhu & Xu, *Deductive Framework for Programming
+Sensor Networks* (ICDE 2009): a declarative, Turing-complete deductive
+language compiled to efficient distributed code running on simulated
+sensor nodes, with in-network join via the (Generalized) Perpendicular
+Approach, sliding windows, negation with deletions, and XY-stratified
+recursion.
+
+Quickstart::
+
+    import repro
+
+    program = repro.parse_program('''
+        cov(L1, T)  :- veh("enemy", L1, T), veh("friendly", L2, T),
+                       dist(L1, L2) <= 50.
+        uncov(L, T) :- veh("enemy", L, T), not cov(L, T).
+    ''')
+    db = repro.Database()
+    db.assert_fact("veh", ("enemy", (10, 10), 3))
+    repro.evaluate(program, db)
+    print(db.rows("uncov"))
+"""
+
+from .core import *  # noqa: F401,F403
+from .core import __all__ as _core_all
+from .core.annotated import (
+    AnnotatedDatabase,
+    AnnotatedEvaluator,
+    annotated_evaluate,
+)
+from .core.incremental import (
+    CountingEvaluator,
+    DRedEvaluator,
+    IncrementalEvaluator,
+    MaintenanceStats,
+)
+from .core.magic import MagicTransform, magic_evaluate, magic_transform
+from .dist import (
+    DistributedPlan,
+    GPAEngine,
+    LocalizedEngine,
+    Placement,
+    ProceduralBFS,
+    SpatialClip,
+    build_sptree,
+    make_strategy,
+    visible_rows,
+)
+from .net import (
+    GridNetwork,
+    GridTopology,
+    RandomGeometricTopology,
+    RandomNetwork,
+    SensorNetwork,
+    Simulator,
+    TagAggregator,
+    Topology,
+)
+from .streams import SlidingWindow, StreamTuple, TupleID, WindowParams
+
+#: The distributed deductive engine under its headline name.
+DeductiveEngine = GPAEngine
+
+__version__ = "1.0.0"
+
+__all__ = list(_core_all) + [
+    "AnnotatedDatabase", "AnnotatedEvaluator", "annotated_evaluate",
+    "CountingEvaluator", "DRedEvaluator", "IncrementalEvaluator",
+    "MaintenanceStats", "MagicTransform", "magic_evaluate",
+    "magic_transform", "DistributedPlan", "GPAEngine", "LocalizedEngine",
+    "Placement", "ProceduralBFS", "SpatialClip", "build_sptree",
+    "make_strategy", "visible_rows", "GridNetwork", "GridTopology",
+    "RandomGeometricTopology", "RandomNetwork", "SensorNetwork",
+    "Simulator", "TagAggregator", "Topology", "SlidingWindow",
+    "StreamTuple", "TupleID", "WindowParams", "DeductiveEngine",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro`` — the interactive deductive shell."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

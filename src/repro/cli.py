@@ -1,0 +1,213 @@
+"""Interactive shell and command-line front end.
+
+``python -m repro`` opens a small deductive-database shell::
+
+    repro> par(a, b).
+    repro> anc(X, Y) :- par(X, Y).
+    repro> anc(X, Z) :- par(X, Y), anc(Y, Z).
+    repro> ?- anc(a, Z).
+    anc(a, b)
+
+    repro> :classify
+    nonrecursive ... etc
+
+Non-interactive usage evaluates a program file and prints query answers::
+
+    python -m repro program.dl --query "anc(a, Z)"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.ast import Program
+from .core.builtins import BuiltinRegistry, DEFAULT_REGISTRY
+from .core.errors import ReproError
+from .core.eval import Database, evaluate
+from .core.parser import Parser, parse_atom, parse_program
+from .core.stratify import classify
+from .core.topdown import TopDownEvaluator
+
+HELP = """\
+Enter rules/facts ending with '.', queries as '?- goal.', or commands:
+  :rules            list the current program
+  :facts PRED       list stored facts for PRED
+  :eval             bottom-up evaluate the whole program
+  :classify         show the program's recursion/negation class
+  :explain          show the evaluation plan (safety, strata, join order)
+  :load FILE        load rules from a file
+  :reset            drop program and facts
+  :help             this text
+  :quit             leave the shell"""
+
+
+class Shell:
+    """The REPL engine, decoupled from the terminal for testability:
+    feed lines to :meth:`handle` and collect the returned output."""
+
+    def __init__(self, registry: Optional[BuiltinRegistry] = None):
+        self.registry = registry or DEFAULT_REGISTRY
+        self.program = Program()
+        self.db = Database(self.registry)
+        self._evaluated = False
+
+    # -- public -----------------------------------------------------------
+
+    def handle(self, line: str) -> str:
+        """Process one input line; returns the printable response."""
+        line = line.strip()
+        if not line or line.startswith("%") or line.startswith("#"):
+            return ""
+        try:
+            if line.startswith(":"):
+                return self._command(line)
+            if line.startswith("?-"):
+                return self._query(line[2:].strip().rstrip("."))
+            return self._statement(line)
+        except ReproError as exc:
+            return f"error: {exc}"
+
+    # -- internals ------------------------------------------------------------
+
+    def _command(self, line: str) -> str:
+        parts = line.split(None, 1)
+        cmd, arg = parts[0], (parts[1] if len(parts) > 1 else "")
+        if cmd in (":quit", ":q", ":exit"):
+            raise EOFError
+        if cmd == ":help":
+            return HELP
+        if cmd == ":rules":
+            return repr(self.program) or "(empty program)"
+        if cmd == ":facts":
+            pred = arg.strip()
+            if not pred:
+                return "usage: :facts PRED"
+            rows = sorted(map(str, self.db.rows(pred)))
+            return "\n".join(rows) if rows else f"(no {pred} facts)"
+        if cmd == ":eval":
+            self._ensure_evaluated(force=True)
+            idb = sorted(self.program.idb_predicates())
+            counts = ", ".join(f"{p}: {self.db.count(p)}" for p in idb)
+            return f"evaluated. {counts}" if idb else "evaluated."
+        if cmd == ":classify":
+            return classify(self.program).program_class.value
+        if cmd == ":explain":
+            from .core.explain import explain
+
+            return explain(self.program)
+        if cmd == ":load":
+            with open(arg.strip()) as f:
+                text = f.read()
+            loaded = parse_program(text, self.registry)
+            for rule in loaded.rules:
+                self.program.add_rule(rule)
+            for fact in loaded.facts:
+                self.db.assert_atom(fact)
+            self._evaluated = False
+            return f"loaded {len(loaded.rules)} rules, {len(loaded.facts)} facts"
+        if cmd == ":reset":
+            self.program = Program()
+            self.db = Database(self.registry)
+            self._evaluated = False
+            return "reset."
+        return f"unknown command {cmd!r} (try :help)"
+
+    def _statement(self, line: str) -> str:
+        if not line.endswith("."):
+            return "error: statements end with '.'"
+        parser = Parser(line, self.registry)
+        rule = parser.parse_rule()
+        if rule.is_fact:
+            self.db.assert_atom(rule.head)
+            self._evaluated = False
+            return ""
+        self.program.add_rule(rule)
+        self._evaluated = False
+        return ""
+
+    def _query(self, goal_text: str) -> str:
+        goal = parse_atom(goal_text)
+        if goal.predicate in self.program.idb_predicates():
+            try:
+                answers = TopDownEvaluator(
+                    self.program, self.db.copy(), self.registry
+                ).query(goal)
+            except ReproError:
+                # Fall back to bottom-up (e.g. XY-stratified programs).
+                self._ensure_evaluated()
+                answers = self._filter_rows(goal)
+        else:
+            answers = self._filter_rows(goal)
+        if not answers:
+            return "no"
+        lines = sorted(
+            f"{goal.predicate}({', '.join(repr(a) for a in row)})"
+            for row in answers
+        )
+        return "\n".join(lines)
+
+    def _filter_rows(self, goal):
+        from .core.terms import Substitution
+        from .core.unify import match_sequences
+
+        rel = self.db.relation(goal.predicate)
+        return {
+            row for row in rel
+            if match_sequences(goal.args, row, Substitution()) is not None
+        }
+
+    def _ensure_evaluated(self, force: bool = False) -> None:
+        if self._evaluated and not force:
+            return
+        evaluate(self.program, self.db, self.registry)
+        self._evaluated = True
+
+
+def run_file(path: str, queries: List[str]) -> List[str]:
+    """Evaluate a program file and answer the given queries."""
+    shell = Shell()
+    out = [shell.handle(f":load {path}")]
+    for query in queries:
+        out.append(shell.handle(f"?- {query}"))
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Deductive sensor-network framework shell"
+    )
+    parser.add_argument("file", nargs="?", help="program file to load")
+    parser.add_argument(
+        "--query", "-q", action="append", default=[],
+        help="query to answer (repeatable); implies non-interactive mode",
+    )
+    args = parser.parse_args(argv)
+
+    if args.file and args.query:
+        for block in run_file(args.file, args.query):
+            if block:
+                print(block)
+        return 0
+
+    shell = Shell()
+    if args.file:
+        print(shell.handle(f":load {args.file}"))
+    print("repro deductive shell — :help for commands")
+    while True:
+        try:
+            line = input("repro> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        try:
+            output = shell.handle(line)
+        except EOFError:
+            return 0
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,230 @@
+"""Annotated (probabilistic) deduction over uncertain facts.
+
+Section II-B's *Extensions* paragraph singles out Probabilistic LP [35]
+and Annotated Predicate Logic [29] as specialized logics "useful in the
+context of sensor networks ... for reasoning with uncertain
+information".  This module provides that extension: every fact carries a
+confidence annotation in (0, 1]; a rule derivation's confidence combines
+its body confidences with a T-norm, and alternative derivations of the
+same fact combine with a T-conorm:
+
+* conjunction (within a derivation): ``product`` (independent evidence)
+  or ``min`` (fuzzy/possibilistic);
+* disjunction (across derivations): ``max`` (best evidence) or
+  ``noisy-or`` (independent corroboration).
+
+Evaluation is a monotone fixpoint on the confidence lattice; recursive
+programs converge because confidences are bounded by 1 and updates are
+ignored below ``tolerance``.  Negated subgoals use certainty semantics:
+``not p(...)`` holds (with factor 1) when no ``p`` fact at or above
+``negation_threshold`` matches — stratification is still required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .ast import Program, RelLiteral
+from .builtins import BuiltinRegistry, DEFAULT_REGISTRY, eval_builtin, normalize_partial
+from .errors import EvaluationError, ProgramError
+from .eval import ArgsTuple, Database, ground_head, order_body
+from .safety import check_program_safety
+from .stratify import classify
+from .terms import Substitution, to_term
+from .unify import match_sequences
+
+FactConf = Dict[Tuple[str, ArgsTuple], float]
+
+
+def _conj_product(values: Iterable[float]) -> float:
+    out = 1.0
+    for v in values:
+        out *= v
+    return out
+
+
+def _conj_min(values: Iterable[float]) -> float:
+    return min(values, default=1.0)
+
+
+def _disj_max(old: float, new: float) -> float:
+    return max(old, new)
+
+
+def _disj_noisy_or(old: float, new: float) -> float:
+    return 1.0 - (1.0 - old) * (1.0 - new)
+
+
+_CONJ = {"product": _conj_product, "min": _conj_min}
+_DISJ = {"max": _disj_max, "noisy-or": _disj_noisy_or}
+
+
+class AnnotatedDatabase:
+    """Facts with confidence annotations."""
+
+    def __init__(self):
+        self._conf: FactConf = {}
+        self._by_pred: Dict[str, List[ArgsTuple]] = {}
+
+    def assert_fact(self, predicate: str, args: Iterable, confidence: float = 1.0) -> None:
+        if not 0.0 < confidence <= 1.0:
+            raise EvaluationError(f"confidence {confidence} outside (0, 1]")
+        key = (predicate, tuple(to_term(a) for a in args))
+        previous = self._conf.get(key)
+        if previous is None:
+            self._by_pred.setdefault(predicate, []).append(key[1])
+            self._conf[key] = confidence
+        else:
+            self._conf[key] = max(previous, confidence)
+
+    def confidence(self, predicate: str, args: Iterable) -> float:
+        key = (predicate, tuple(to_term(a) for a in args))
+        return self._conf.get(key, 0.0)
+
+    def rows(self, predicate: str) -> Dict[tuple, float]:
+        """Value tuples with their confidence."""
+        from .builtins import eval_term
+        from .eval import _freeze_value
+
+        out = {}
+        for args in self._by_pred.get(predicate, ()):
+            out[tuple(_freeze_value(eval_term(a)) for a in args)] = self._conf[
+                (predicate, args)
+            ]
+        return out
+
+    def facts(self, predicate: str) -> List[Tuple[ArgsTuple, float]]:
+        return [
+            (args, self._conf[(predicate, args)])
+            for args in self._by_pred.get(predicate, ())
+        ]
+
+    def _set(self, predicate: str, args: ArgsTuple, confidence: float) -> None:
+        key = (predicate, args)
+        if key not in self._conf:
+            self._by_pred.setdefault(predicate, []).append(args)
+        self._conf[key] = confidence
+
+
+class AnnotatedEvaluator:
+    """Bottom-up fixpoint evaluation with confidence annotations."""
+
+    def __init__(
+        self,
+        program: Program,
+        registry: Optional[BuiltinRegistry] = None,
+        conjunction: str = "product",
+        disjunction: str = "max",
+        negation_threshold: float = 0.0,
+        tolerance: float = 1e-6,
+        max_rounds: int = 10_000,
+    ):
+        check_program_safety(program)
+        for rule in program.rules:
+            if rule.has_aggregates:
+                raise ProgramError("annotated evaluation does not support aggregates")
+        if conjunction not in _CONJ:
+            raise ProgramError(f"unknown conjunction {conjunction!r}")
+        if disjunction not in _DISJ:
+            raise ProgramError(f"unknown disjunction {disjunction!r}")
+        analysis = classify(program)
+        if analysis.strata is None:
+            raise ProgramError(
+                "annotated evaluation requires a stratified program"
+            )
+        self.program = program
+        self.registry = registry or DEFAULT_REGISTRY
+        self.conj = _CONJ[conjunction]
+        self.disj = _DISJ[disjunction]
+        self.negation_threshold = negation_threshold
+        self.tolerance = tolerance
+        self.max_rounds = max_rounds
+        self.strata = analysis.strata
+
+    def evaluate(self, db: AnnotatedDatabase) -> AnnotatedDatabase:
+        for fact in self.program.facts:
+            db.assert_fact(fact.predicate, fact.args, 1.0)
+        # Externally asserted confidences: the base every round folds onto
+        # (derivations are recombined from scratch each round so that
+        # non-idempotent disjunctions like noisy-or count each distinct
+        # derivation exactly once).
+        base: FactConf = dict(db._conf)
+        for stratum in self.strata:
+            rules = [r for r in self.program.rules if r.head.predicate in stratum]
+            for _round in range(self.max_rounds):
+                contributions: Dict[Tuple[str, ArgsTuple], Dict[tuple, float]] = {}
+                for rule in rules:
+                    for head_args, conf, deriv_key in self._fire(rule, db):
+                        key = (rule.head.predicate, head_args)
+                        contributions.setdefault(key, {})[deriv_key] = conf
+                changed = False
+                for key, derivs in contributions.items():
+                    value = base.get(key, 0.0)
+                    for conf in derivs.values():
+                        value = self.disj(value, conf)
+                    old = db._conf.get(key, 0.0)
+                    if abs(value - old) > self.tolerance and value > 0.0:
+                        db._set(key[0], key[1], value)
+                        changed = True
+                if not changed:
+                    break
+            else:
+                raise EvaluationError(
+                    f"annotated fixpoint did not converge in {self.max_rounds} rounds"
+                )
+        return db
+
+    def _fire(
+        self, rule, db: AnnotatedDatabase
+    ) -> Iterator[Tuple[ArgsTuple, float, tuple]]:
+        ordered = order_body(rule)
+
+        def recurse(idx: int, subst: Substitution, confs: List[float], used: List):
+            if idx == len(ordered):
+                yield subst, list(confs), tuple(used)
+                return
+            lit = ordered[idx]
+            if isinstance(lit, RelLiteral):
+                pattern = tuple(
+                    normalize_partial(a.substitute(subst), self.registry)
+                    for a in lit.atom.args
+                )
+                if lit.negated:
+                    blocked = any(
+                        conf > self.negation_threshold
+                        and match_sequences(pattern, args, Substitution()) is not None
+                        for args, conf in db.facts(lit.predicate)
+                    )
+                    if not blocked:
+                        yield from recurse(idx + 1, subst, confs, used)
+                    return
+                for args, conf in list(db.facts(lit.predicate)):
+                    bindings = match_sequences(pattern, args, Substitution())
+                    if bindings is None:
+                        continue
+                    s2 = Substitution(subst)
+                    s2.update(bindings)
+                    confs.append(conf)
+                    used.append((lit.predicate, args))
+                    yield from recurse(idx + 1, s2, confs, used)
+                    confs.pop()
+                    used.pop()
+            else:
+                for s2 in eval_builtin(lit, subst, self.registry):
+                    yield from recurse(idx + 1, s2, confs, used)
+
+        rule_id = rule.rule_id if rule.rule_id is not None else -1
+        for subst, confs, used in recurse(0, Substitution(), [], []):
+            head_args = ground_head(rule, subst, self.registry)
+            yield head_args, self.conj(confs), (rule_id, used)
+
+
+def annotated_evaluate(
+    program: Program,
+    db: Optional[AnnotatedDatabase] = None,
+    **kwargs,
+) -> AnnotatedDatabase:
+    """Convenience wrapper: evaluate ``program`` over annotated facts."""
+    if db is None:
+        db = AnnotatedDatabase()
+    return AnnotatedEvaluator(program, **kwargs).evaluate(db)

@@ -1,0 +1,222 @@
+"""Derivation bookkeeping — the *set-of-derivations* approach.
+
+A **derivation** of a derived tuple records the rule used and the list
+of tuples (one per non-negated relational subgoal) that joined to yield
+it (Definition 2).  Keeping the full set of derivations with each
+derived tuple lets deletions be processed by subtracting derivation
+sets — no counting (fragile under the non-deterministic duplication a
+fault-tolerant scheme produces) and no rederivation traffic.
+
+A derived tuple lives exactly as long as its derivation set is
+non-empty; correctness requires that every remaining derivation unfolds
+to a valid proof tree, which holds for non-recursive, XY-stratified and
+locally non-recursive programs (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .terms import Term
+
+#: A fact is identified by its predicate and ground argument tuple.
+FactKey = Tuple[str, Tuple[Term, ...]]
+
+
+class Derivation:
+    """One way a derived tuple was produced: rule id + supporting facts."""
+
+    __slots__ = ("rule_id", "body_facts")
+
+    def __init__(self, rule_id: int, body_facts: Iterable[FactKey]):
+        object.__setattr__(self, "rule_id", rule_id)
+        object.__setattr__(self, "body_facts", tuple(body_facts))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Derivation is immutable")
+
+    def uses(self, fact: FactKey) -> bool:
+        return fact in self.body_facts
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Derivation)
+            and self.rule_id == other.rule_id
+            and self.body_facts == other.body_facts
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.rule_id, self.body_facts))
+
+    def __repr__(self) -> str:
+        facts = ", ".join(f"{p}{tuple(map(repr, a))}" for p, a in self.body_facts)
+        return f"<rule {self.rule_id}: {facts}>"
+
+
+class DerivationStore:
+    """Maps each derived fact to its set of derivations, with a reverse
+    index from supporting facts to the facts they support (for efficient
+    deletion cascades)."""
+
+    def __init__(self):
+        self._derivations: Dict[FactKey, Set[Derivation]] = {}
+        self._supports: Dict[FactKey, Set[FactKey]] = {}
+
+    def add(self, fact: FactKey, derivation: Derivation) -> bool:
+        """Record a derivation; returns True if the fact is new."""
+        existing = self._derivations.get(fact)
+        if existing is None:
+            self._derivations[fact] = {derivation}
+            new = True
+        else:
+            if derivation in existing:
+                return False
+            existing.add(derivation)
+            new = False
+        for body_fact in derivation.body_facts:
+            self._supports.setdefault(body_fact, set()).add(fact)
+        return new
+
+    def remove_derivation(self, fact: FactKey, derivation: Derivation) -> bool:
+        """Subtract one derivation from ``fact``'s set (Section IV-B).
+
+        Returns True when the set became empty (the fact must be
+        deleted).  Subtracting an absent derivation is a no-op.
+        """
+        derivs = self._derivations.get(fact)
+        if derivs is None or derivation not in derivs:
+            return False
+        derivs.discard(derivation)
+        for body_fact in derivation.body_facts:
+            if not any(d.uses(body_fact) for d in derivs):
+                deps = self._supports.get(body_fact)
+                if deps is not None:
+                    deps.discard(fact)
+        if derivs:
+            return False
+        del self._derivations[fact]
+        return True
+
+    def remove_support(self, removed: FactKey) -> List[FactKey]:
+        """Delete every derivation that uses ``removed``; return the facts
+        whose derivation sets became empty (they must now be deleted)."""
+        emptied: List[FactKey] = []
+        for dependent in list(self._supports.get(removed, ())):
+            derivs = self._derivations.get(dependent)
+            if derivs is None:
+                continue
+            kept = {d for d in derivs if not d.uses(removed)}
+            if kept:
+                self._derivations[dependent] = kept
+            else:
+                del self._derivations[dependent]
+                emptied.append(dependent)
+        self._supports.pop(removed, None)
+        return emptied
+
+    def discard_fact(self, fact: FactKey) -> None:
+        """Forget a fact entirely (used when the fact is deleted)."""
+        derivs = self._derivations.pop(fact, None)
+        if derivs:
+            for d in derivs:
+                for body_fact in d.body_facts:
+                    deps = self._supports.get(body_fact)
+                    if deps is not None:
+                        deps.discard(fact)
+
+    def derivations_of(self, fact: FactKey) -> FrozenSet[Derivation]:
+        return frozenset(self._derivations.get(fact, ()))
+
+    def has_fact(self, fact: FactKey) -> bool:
+        return fact in self._derivations
+
+    def facts(self) -> Iterator[FactKey]:
+        return iter(self._derivations)
+
+    def __len__(self) -> int:
+        return len(self._derivations)
+
+
+class ProofNode:
+    """A node of a proof tree: a fact plus the sub-proofs of the body
+    facts of one of its derivations (base facts are leaves)."""
+
+    def __init__(self, fact: FactKey, rule_id: Optional[int], children: List["ProofNode"]):
+        self.fact = fact
+        self.rule_id = rule_id
+        self.children = children
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def facts(self) -> Iterator[FactKey]:
+        yield self.fact
+        for child in self.children:
+            yield from child.facts()
+
+    def __repr__(self) -> str:
+        pred, args = self.fact
+        head = f"{pred}{tuple(map(repr, args))}"
+        if self.is_leaf:
+            return head
+        return f"{head} <- [{', '.join(repr(c) for c in self.children)}]"
+
+
+def build_proof_tree(
+    store: DerivationStore, fact: FactKey, _path: Optional[Set[FactKey]] = None
+) -> Optional[ProofNode]:
+    """Unfold derivations into a proof tree with base facts at the leaves.
+
+    Returns ``None`` when no valid (acyclic) proof exists — the situation
+    Section IV-C warns about for general recursive programs, where a
+    non-empty derivation set does not imply a valid proof tree.
+    """
+    if _path is None:
+        _path = set()
+    if fact in _path:
+        return None  # directed cycle: not a valid proof
+    if not store.has_fact(fact):
+        return ProofNode(fact, None, [])  # base fact
+    _path = _path | {fact}
+    for derivation in store.derivations_of(fact):
+        children = []
+        for body_fact in derivation.body_facts:
+            child = build_proof_tree(store, body_fact, _path)
+            if child is None:
+                break
+            children.append(child)
+        else:
+            return ProofNode(fact, derivation.rule_id, children)
+    return None
+
+
+def is_locally_nonrecursive(store: DerivationStore) -> bool:
+    """Runtime check for local non-recursion: no directed cycles in the
+    tuple-level derivation graph (Section IV-C, [6])."""
+    graph: Dict[FactKey, Set[FactKey]] = {}
+    for fact in store.facts():
+        deps: Set[FactKey] = set()
+        for derivation in store.derivations_of(fact):
+            deps.update(derivation.body_facts)
+        graph[fact] = deps
+
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[FactKey, int] = {}
+
+    def visit(node: FactKey) -> bool:
+        color[node] = GRAY
+        for dep in graph.get(node, ()):
+            state = color.get(dep, WHITE)
+            if state == GRAY:
+                return False
+            if state == WHITE and not visit(dep):
+                return False
+        color[node] = BLACK
+        return True
+
+    return all(
+        visit(node)
+        for node in graph
+        if color.get(node, WHITE) == WHITE
+    )

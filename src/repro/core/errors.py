@@ -1,0 +1,56 @@
+"""Exception hierarchy for the deductive framework."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ParseError(ReproError):
+    """Raised on malformed program text.
+
+    Carries the line/column of the offending token when available.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+class ProgramError(ReproError):
+    """Raised on structurally invalid programs (bad arities, unknown
+    aggregates, non-ground facts, ...)."""
+
+
+class SafetyError(ProgramError):
+    """Raised when a rule violates the safety condition: every variable
+    must occur in a non-negated relational subgoal (Section IV-B)."""
+
+
+class StratificationError(ProgramError):
+    """Raised when a program mixes recursion and negation in a way none
+    of the supported evaluation classes (stratified, XY-stratified,
+    locally non-recursive) can handle."""
+
+
+class EvaluationError(ReproError):
+    """Raised when evaluation fails, e.g. a built-in receives unbound
+    arguments it cannot handle."""
+
+
+class BuiltinError(EvaluationError):
+    """Raised by built-in predicates/functions on bad arguments."""
+
+
+class NetworkError(ReproError):
+    """Raised by the sensor-network simulator on invalid operations
+    (sending to a non-neighbor, unknown node ids, ...)."""
+
+
+class PlanError(ReproError):
+    """Raised by the distributed compiler when a program cannot be
+    translated to an in-network plan."""

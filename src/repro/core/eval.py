@@ -1,0 +1,703 @@
+"""Centralized bottom-up evaluation.
+
+This module implements the reference semantics that the distributed
+engine must agree with: naive and semi-naive fixpoints, stratified
+negation, aggregates, and the stage-by-stage evaluation of
+XY-stratified programs (Section IV-C).  The bottom-up approach is used
+throughout because it is "amenable to incremental and asynchronous
+distributed evaluation" (Section III).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import networkx as nx
+
+from .ast import (
+    Atom,
+    BuiltinLiteral,
+    Literal,
+    Program,
+    RelLiteral,
+    Rule,
+)
+from .builtins import (
+    BuiltinRegistry,
+    DEFAULT_REGISTRY,
+    eval_builtin,
+    eval_term,
+    normalize_partial,
+    value_to_term,
+)
+from .derivations import Derivation, DerivationStore, FactKey
+from .errors import EvaluationError, ProgramError
+from .safety import check_program_safety
+from .stratify import (
+    Analysis,
+    ProgramClass,
+    classify,
+    dependency_graph,
+    recursive_components,
+)
+from .terms import Constant, Substitution, Term, Variable, to_term
+from .unify import match_sequences
+
+ArgsTuple = Tuple[Term, ...]
+
+
+class Relation:
+    """A set of ground argument tuples with lazy per-position hash
+    indexes (built the first time a position is probed with a bound
+    pattern argument)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._tuples: Set[ArgsTuple] = set()
+        self._indexes: Dict[int, Dict[Term, Set[ArgsTuple]]] = {}
+        #: Number of candidate-set probes — a cheap work metric for the
+        #: join-ordering experiments.
+        self.probes = 0
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[ArgsTuple]:
+        return iter(self._tuples)
+
+    def __contains__(self, args: ArgsTuple) -> bool:
+        return args in self._tuples
+
+    def add(self, args: ArgsTuple) -> bool:
+        """Insert; returns True when the tuple is new."""
+        if args in self._tuples:
+            return False
+        self._tuples.add(args)
+        for pos, index in self._indexes.items():
+            if pos < len(args):
+                index.setdefault(args[pos], set()).add(args)
+        return True
+
+    def discard(self, args: ArgsTuple) -> bool:
+        """Remove; returns True when the tuple was present."""
+        if args not in self._tuples:
+            return False
+        self._tuples.discard(args)
+        for pos, index in self._indexes.items():
+            if pos < len(args):
+                bucket = index.get(args[pos])
+                if bucket is not None:
+                    bucket.discard(args)
+                    if not bucket:
+                        del index[args[pos]]
+        return True
+
+    def _index_for(self, pos: int) -> Dict[Term, Set[ArgsTuple]]:
+        index = self._indexes.get(pos)
+        if index is None:
+            index = {}
+            for args in self._tuples:
+                if pos < len(args):
+                    index.setdefault(args[pos], set()).add(args)
+            self._indexes[pos] = index
+        return index
+
+    def candidates(self, pattern: Sequence[Term], subst: Substitution) -> Iterable[ArgsTuple]:
+        """Tuples that could match ``pattern`` under ``subst`` — probes an
+        index on the first position whose pattern argument is ground."""
+        self.probes += 1
+        for pos, arg in enumerate(pattern):
+            bound = arg.substitute(subst)
+            if bound.is_ground():
+                return self._index_for(pos).get(bound, ())
+        return self._tuples
+
+
+class Database:
+    """Predicate name → :class:`Relation`, plus a derivation store for
+    the tuples the evaluator derives."""
+
+    def __init__(self, registry: BuiltinRegistry = DEFAULT_REGISTRY):
+        self.registry = registry
+        self._relations: Dict[str, Relation] = {}
+        self.derivations = DerivationStore()
+
+    def relation(self, predicate: str) -> Relation:
+        rel = self._relations.get(predicate)
+        if rel is None:
+            rel = Relation(predicate)
+            self._relations[predicate] = rel
+        return rel
+
+    def assert_fact(self, predicate: str, args: Iterable) -> bool:
+        """Insert a base fact; Python values are coerced to terms."""
+        terms = tuple(to_term(a) for a in args)
+        for t in terms:
+            if not t.is_ground():
+                raise EvaluationError(f"fact argument {t!r} is not ground")
+        return self.relation(predicate).add(terms)
+
+    def assert_atom(self, atom: Atom) -> bool:
+        if not atom.is_ground():
+            raise EvaluationError(f"fact {atom!r} is not ground")
+        return self.relation(atom.predicate).add(atom.args)
+
+    def retract_fact(self, predicate: str, args: Iterable) -> bool:
+        terms = tuple(to_term(a) for a in args)
+        return self.relation(predicate).discard(terms)
+
+    def contains(self, predicate: str, args: Iterable) -> bool:
+        terms = tuple(to_term(a) for a in args)
+        return terms in self.relation(predicate)
+
+    def rows(self, predicate: str) -> Set[Tuple]:
+        """Relation contents as Python values (for assertions/reports).
+
+        Cons-lists come back as (hashable) tuples; uninterpreted terms
+        come back as Terms.
+        """
+        return {
+            tuple(_freeze_value(eval_term(t, self.registry)) for t in args)
+            for args in self.relation(predicate)
+        }
+
+    def predicates(self) -> List[str]:
+        return sorted(self._relations)
+
+    def count(self, predicate: str) -> int:
+        return len(self.relation(predicate))
+
+    def copy(self) -> "Database":
+        clone = Database(self.registry)
+        for name, rel in self._relations.items():
+            target = clone.relation(name)
+            for args in rel:
+                target.add(args)
+        return clone
+
+
+def _freeze_value(value):
+    """Recursively convert lists to tuples so row values are hashable."""
+    if isinstance(value, list):
+        return tuple(_freeze_value(v) for v in value)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Body planning and rule enumeration
+# ---------------------------------------------------------------------------
+
+
+def order_body(rule: Rule) -> List[Literal]:
+    """Order subgoals for left-to-right evaluation.
+
+    Greedy: at each step emit any built-in or negated subgoal whose
+    variables are already bound (built-ins as early as possible — they
+    are cheap local filters), otherwise the next positive relational
+    subgoal in textual order.
+    """
+    pending = list(rule.body)
+    ordered: List[Literal] = []
+    bound: Set[Variable] = set()
+
+    def ready(lit: Literal) -> bool:
+        if isinstance(lit, BuiltinLiteral):
+            if lit.name == "=" and not lit.negated and len(lit.args) == 2:
+                left, right = lit.args
+                left_vars = set(left.variables())
+                right_vars = set(right.variables())
+                if left_vars <= bound and right_vars <= bound:
+                    return True  # pure test
+                # Assignment: the unbound side must be a bare variable
+                # (arithmetic is not inverted — T1 = T + 1 cannot run
+                # until T is bound, even if T1 already is).
+                if isinstance(left, Variable) and right_vars <= bound:
+                    return True
+                if isinstance(right, Variable) and left_vars <= bound:
+                    return True
+                return False
+            return all(v in bound for v in lit.variables())
+        if isinstance(lit, RelLiteral) and lit.negated:
+            return all(v in bound or v.is_anonymous for v in lit.variables())
+        return False
+
+    while pending:
+        for lit in pending:
+            if ready(lit):
+                ordered.append(lit)
+                pending.remove(lit)
+                bound.update(v for v in lit.variables())
+                break
+        else:
+            for lit in pending:
+                if isinstance(lit, RelLiteral) and not lit.negated:
+                    ordered.append(lit)
+                    pending.remove(lit)
+                    bound.update(lit.variables())
+                    break
+            else:
+                raise ProgramError(
+                    f"cannot order body of rule {rule!r}: unbound built-in "
+                    "or negated subgoal (rule is unsafe?)"
+                )
+    return ordered
+
+
+def enumerate_rule(
+    rule: Rule,
+    db: Database,
+    registry: BuiltinRegistry,
+    delta_pred: Optional[str] = None,
+    delta_tuples: Optional[Set[ArgsTuple]] = None,
+    delta_occurrence: Optional[int] = None,
+    initial_subst: Optional[Substitution] = None,
+) -> Iterator[Tuple[Substitution, List[FactKey]]]:
+    """Enumerate satisfying substitutions of ``rule``'s body.
+
+    When ``delta_pred`` is given, the ``delta_occurrence``-th positive
+    occurrence of that predicate ranges over ``delta_tuples`` instead of
+    the stored relation (the semi-naive rewriting).  Yields the
+    substitution and the list of positive facts used (the derivation).
+    """
+    ordered = order_body(rule)
+    occurrence_counter = itertools.count()
+    occurrence_of: Dict[int, int] = {}
+    for i, lit in enumerate(ordered):
+        if isinstance(lit, RelLiteral) and not lit.negated and lit.predicate == delta_pred:
+            occurrence_of[i] = next(occurrence_counter)
+
+    def recurse(
+        idx: int, subst: Substitution, used: List[FactKey]
+    ) -> Iterator[Tuple[Substitution, List[FactKey]]]:
+        if idx == len(ordered):
+            yield subst, list(used)
+            return
+        lit = ordered[idx]
+        if isinstance(lit, BuiltinLiteral):
+            for s2 in eval_builtin(lit, subst, registry):
+                yield from recurse(idx + 1, s2, used)
+            return
+        assert isinstance(lit, RelLiteral)
+        rel = db.relation(lit.predicate)
+        pattern = tuple(
+            normalize_partial(arg.substitute(subst), registry)
+            for arg in lit.atom.args
+        )
+        empty = Substitution()
+        if lit.negated:
+            exists = any(
+                match_sequences(pattern, row, empty) is not None
+                for row in rel.candidates(pattern, empty)
+            )
+            if not exists:
+                yield from recurse(idx + 1, subst, used)
+            return
+        if (
+            delta_pred is not None
+            and lit.predicate == delta_pred
+            and occurrence_of.get(idx) == delta_occurrence
+        ):
+            rows: Iterable[ArgsTuple] = delta_tuples or ()
+        else:
+            rows = rel.candidates(pattern, empty)
+        for row in rows:
+            bindings = match_sequences(pattern, row, empty)
+            if bindings is None:
+                continue
+            s2 = Substitution(subst)
+            s2.update(bindings)
+            used.append((lit.predicate, row))
+            yield from recurse(idx + 1, s2, used)
+            used.pop()
+
+    yield from recurse(0, Substitution(initial_subst or {}), [])
+
+
+def ground_head(rule: Rule, subst: Substitution, registry: BuiltinRegistry) -> ArgsTuple:
+    """Instantiate and normalize the head arguments (evaluating any
+    arithmetic such as ``d + 1``)."""
+    out = []
+    for arg in rule.head.args:
+        bound = arg.substitute(subst)
+        if not bound.is_ground():
+            raise EvaluationError(
+                f"head of {rule!r} not ground under {dict(subst)!r}"
+            )
+        out.append(value_to_term(eval_term(bound, registry)))
+    return tuple(out)
+
+
+def fire_rule(
+    rule: Rule,
+    db: Database,
+    registry: BuiltinRegistry,
+    **delta_kwargs,
+) -> Iterator[Tuple[ArgsTuple, Derivation]]:
+    """Yield (head tuple, derivation) for every body match."""
+    for subst, used in enumerate_rule(rule, db, registry, **delta_kwargs):
+        head = ground_head(rule, subst, registry)
+        yield head, Derivation(rule.rule_id if rule.rule_id is not None else -1, used)
+
+
+# ---------------------------------------------------------------------------
+# Aggregates
+# ---------------------------------------------------------------------------
+
+
+def evaluate_aggregate_rule(
+    rule: Rule, db: Database, registry: BuiltinRegistry
+) -> Iterator[ArgsTuple]:
+    """Evaluate a rule with head aggregates over the (final) body
+    relations using all-solutions semantics: distinct variable
+    valuations of the body are the multiset being aggregated."""
+    agg_positions = {spec.position for spec in rule.aggregates}
+    groups: Dict[Tuple, Dict[int, List]] = {}
+    seen_valuations: Dict[Tuple, Set[Tuple]] = {}
+    body_vars = sorted(rule.variables(), key=lambda v: v.name)
+
+    for subst, _used in enumerate_rule(rule, db, registry):
+        key_parts = []
+        for i, arg in enumerate(rule.head.args):
+            if i in agg_positions:
+                continue
+            key_parts.append(value_to_term(eval_term(arg.substitute(subst), registry)))
+        key = tuple(key_parts)
+        valuation = tuple(
+            repr(subst.resolve(v)) for v in body_vars if not v.is_anonymous
+        )
+        bucket = seen_valuations.setdefault(key, set())
+        if valuation in bucket:
+            continue
+        bucket.add(valuation)
+        per_spec = groups.setdefault(key, {spec.position: [] for spec in rule.aggregates})
+        for spec in rule.aggregates:
+            if spec.var is None:
+                per_spec[spec.position].append(1)
+            else:
+                value = eval_term(spec.var.substitute(subst), registry)
+                per_spec[spec.position].append(value)
+
+    for key, per_spec in groups.items():
+        args: List[Term] = []
+        key_iter = iter(key)
+        for i in range(rule.head.arity):
+            if i in agg_positions:
+                spec = next(s for s in rule.aggregates if s.position == i)
+                args.append(value_to_term(_apply_aggregate(spec.function, per_spec[i])))
+            else:
+                args.append(next(key_iter))
+        yield tuple(args)
+
+
+def _apply_aggregate(function: str, values: List) -> object:
+    if not values:
+        raise EvaluationError("aggregate over empty group")
+    if function == "count":
+        return len(values)
+    if function == "sum":
+        return sum(values)
+    if function == "min":
+        return min(values)
+    if function == "max":
+        return max(values)
+    if function == "avg":
+        return sum(values) / len(values)
+    raise EvaluationError(f"unknown aggregate {function!r}")
+
+
+# ---------------------------------------------------------------------------
+# Evaluators
+# ---------------------------------------------------------------------------
+
+
+class SemiNaiveEvaluator:
+    """Stratified semi-naive bottom-up evaluation.
+
+    Handles non-recursive programs, positive recursion, stratified
+    negation and head aggregates.  Records derivations in
+    ``db.derivations`` so the incremental maintainer can run afterwards.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        registry: Optional[BuiltinRegistry] = None,
+        record_derivations: bool = True,
+        max_facts: Optional[int] = None,
+    ):
+        self.program = program
+        self.registry = registry or DEFAULT_REGISTRY
+        self.record_derivations = record_derivations
+        # Function symbols make recursion potentially non-terminating
+        # (Section IV-C warns about this); the guard turns an infinite
+        # fixpoint into a diagnosable error.
+        self.max_facts = max_facts
+        check_program_safety(program)
+        self.analysis = classify(program)
+        if self.analysis.strata is None:
+            raise ProgramError(
+                "SemiNaiveEvaluator requires a stratified program; "
+                f"got {self.analysis.program_class.value}"
+            )
+
+    def evaluate(self, db: Database) -> Database:
+        """Evaluate the program to fixpoint over ``db`` (mutated in place,
+        also returned for chaining)."""
+        for fact in self.program.facts:
+            db.assert_atom(fact)
+        for stratum in self.analysis.strata:
+            self._evaluate_stratum(db, stratum)
+        return db
+
+    def _evaluate_stratum(self, db: Database, stratum: Set[str]) -> None:
+        rules = [
+            r for r in self.program.rules
+            if r.head.predicate in stratum and not r.has_aggregates
+        ]
+        agg_rules = [
+            r for r in self.program.rules
+            if r.head.predicate in stratum and r.has_aggregates
+        ]
+        # Aggregate rules first: stratification guarantees their body
+        # predicates live in strictly lower strata, hence are final.
+        for rule in agg_rules:
+            rel = db.relation(rule.head.predicate)
+            for head in evaluate_aggregate_rule(rule, db, self.registry):
+                rel.add(head)
+
+        # Initial round: full naive evaluation of this stratum's rules.
+        deltas: Dict[str, Set[ArgsTuple]] = {}
+        for rule in rules:
+            rel = db.relation(rule.head.predicate)
+            for head, derivation in list(fire_rule(rule, db, self.registry)):
+                if self.record_derivations:
+                    db.derivations.add((rule.head.predicate, head), derivation)
+                if rel.add(head):
+                    deltas.setdefault(rule.head.predicate, set()).add(head)
+
+        # Semi-naive rounds: every occurrence of a predicate that grew in
+        # the previous round ranges over that growth (the delta).  This
+        # covers both recursion and same-stratum chains such as
+        # traj -> completetraj -> parallel.
+        while deltas:
+            if self.max_facts is not None:
+                total = sum(
+                    db.count(p) for p in self.program.idb_predicates()
+                )
+                if total > self.max_facts:
+                    raise EvaluationError(
+                        f"fixpoint exceeded max_facts={self.max_facts} "
+                        "(non-terminating recursion through function "
+                        "symbols?)"
+                    )
+            new_deltas: Dict[str, Set[ArgsTuple]] = {}
+            for rule in rules:
+                rel = db.relation(rule.head.predicate)
+                for pred, delta in deltas.items():
+                    n_occ = sum(
+                        1 for lit in rule.positive_literals() if lit.predicate == pred
+                    )
+                    for occ in range(n_occ):
+                        for head, derivation in list(fire_rule(
+                            rule,
+                            db,
+                            self.registry,
+                            delta_pred=pred,
+                            delta_tuples=delta,
+                            delta_occurrence=occ,
+                        )):
+                            if self.record_derivations:
+                                db.derivations.add(
+                                    (rule.head.predicate, head), derivation
+                                )
+                            if rel.add(head):
+                                new_deltas.setdefault(
+                                    rule.head.predicate, set()
+                                ).add(head)
+            deltas = new_deltas
+
+
+class XYEvaluator:
+    """Stage-by-stage evaluation of XY-stratified programs.
+
+    Recursive components that mix recursion and negation are evaluated
+    stage by stage in ascending stage order (the sub-table topological
+    order of Section IV-C); within a stage, predicates are saturated in
+    the per-stage priority order (e.g. ``H'`` before ``H``).  The rest
+    of the program is evaluated stratum-wise around the components.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        registry: Optional[BuiltinRegistry] = None,
+        max_stages: int = 100_000,
+    ):
+        self.program = program
+        self.registry = registry or DEFAULT_REGISTRY
+        self.max_stages = max_stages
+        check_program_safety(program)
+        self.analysis = classify(program)
+        if self.analysis.program_class == ProgramClass.XY_STRATIFIED:
+            self.xy = self.analysis.xy
+        elif self.analysis.strata is not None:
+            self.xy = None  # plain stratified program also accepted
+        else:
+            raise ProgramError("program is not XY-stratified")
+
+    def evaluate(self, db: Database) -> Database:
+        for fact in self.program.facts:
+            db.assert_atom(fact)
+        if self.xy is None:
+            return SemiNaiveEvaluator(self.program, self.registry).evaluate(db)
+
+        graph = dependency_graph(self.program)
+        components = [
+            comp for comp in recursive_components(self.program)
+            if any(
+                graph[u][v]["negative"]
+                for u in comp for v in comp if graph.has_edge(u, v)
+            )
+        ]
+        in_component: Dict[str, int] = {}
+        for i, comp in enumerate(components):
+            for pred in comp:
+                in_component[pred] = i
+
+        # Build a super-graph over {component nodes} ∪ {plain predicates}
+        # and evaluate in topological order.
+        super_graph = nx.DiGraph()
+        def node_of(pred: str):
+            return ("C", in_component[pred]) if pred in in_component else ("P", pred)
+
+        for pred in self.program.predicates():
+            super_graph.add_node(node_of(pred))
+        for u, v in graph.edges():
+            nu, nv = node_of(u), node_of(v)
+            if nu != nv:
+                super_graph.add_edge(nu, nv)
+        for node in nx.topological_sort(super_graph):
+            kind, payload = node
+            if kind == "C":
+                self._evaluate_component(db, components[payload])
+            else:
+                self._evaluate_plain(db, payload)
+        return db
+
+    def _evaluate_plain(self, db: Database, predicate: str) -> None:
+        rules = self.program.rules_for(predicate)
+        rel = db.relation(predicate)
+        for rule in rules:
+            if rule.has_aggregates:
+                for head in evaluate_aggregate_rule(rule, db, self.registry):
+                    rel.add(head)
+        changed = True
+        while changed:
+            changed = False
+            for rule in rules:
+                if rule.has_aggregates:
+                    continue
+                for head, derivation in list(fire_rule(rule, db, self.registry)):
+                    db.derivations.add((predicate, head), derivation)
+                    if rel.add(head):
+                        changed = True
+
+    def _stage_value(self, pred: str, args: ArgsTuple) -> object:
+        pos = self.xy.stage_position[pred]
+        return eval_term(args[pos], self.registry)
+
+    def _evaluate_component(self, db: Database, comp: Set[str]) -> None:
+        rules = [r for r in self.program.rules if r.head.predicate in comp]
+        priority = self.xy.priority
+        preds = sorted(comp, key=lambda p: priority.get(p, 0))
+
+        # Seed stages: run every rule unrestricted once; heads found at
+        # stage s become candidates (inserted only when stage s is
+        # processed, so negation sees complete lower stages).
+        pending_stages: Set[object] = set()
+        for rule in rules:
+            try:
+                for head, _d in list(fire_rule(rule, db, self.registry)):
+                    pending_stages.add(self._stage_value(rule.head.predicate, head))
+            except EvaluationError:
+                continue
+
+        processed: Set[object] = set()
+        stages_done = 0
+        while pending_stages:
+            stage = min(pending_stages)  # ascending stage order
+            pending_stages.discard(stage)
+            if stage in processed:
+                continue
+            processed.add(stage)
+            stages_done += 1
+            if stages_done > self.max_stages:
+                raise EvaluationError(
+                    f"XY evaluation exceeded {self.max_stages} stages "
+                    "(non-terminating program?)"
+                )
+            self._saturate_stage(db, comp, preds, rules, stage, pending_stages, processed)
+
+    def _saturate_stage(
+        self,
+        db: Database,
+        comp: Set[str],
+        preds: List[str],
+        rules: List[Rule],
+        stage: object,
+        pending_stages: Set[object],
+        processed: Set[object],
+    ) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for pred in preds:
+                rel = db.relation(pred)
+                for rule in rules:
+                    if rule.head.predicate != pred:
+                        continue
+                    for head, derivation in list(fire_rule(rule, db, self.registry)):
+                        head_stage = self._stage_value(pred, head)
+                        if head_stage == stage:
+                            db.derivations.add((pred, head), derivation)
+                            if rel.add(head):
+                                changed = True
+                        elif head_stage > stage and head_stage not in processed:
+                            pending_stages.add(head_stage)
+
+
+def evaluate(
+    program: Program,
+    db: Optional[Database] = None,
+    registry: Optional[BuiltinRegistry] = None,
+) -> Database:
+    """Evaluate ``program`` with the appropriate evaluator for its class.
+
+    Stratified programs use the semi-naive evaluator; XY-stratified
+    programs the stage evaluator.  Locally-non-recursive-only programs
+    are rejected here (use the incremental evaluator, which verifies
+    local non-recursion at runtime).
+    """
+    registry = registry or (db.registry if db is not None else DEFAULT_REGISTRY)
+    if db is None:
+        db = Database(registry)
+    analysis = classify(program)
+    if analysis.strata is not None:
+        return SemiNaiveEvaluator(program, registry).evaluate(db)
+    if analysis.program_class == ProgramClass.XY_STRATIFIED:
+        return XYEvaluator(program, registry).evaluate(db)
+    raise ProgramError(
+        "program mixes recursion and negation beyond XY-stratification; "
+        "only locally non-recursive execution may be possible "
+        f"(classification: {analysis.program_class.value})"
+    )

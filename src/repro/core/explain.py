@@ -1,0 +1,101 @@
+"""Plan explanation — a human-readable account of how a program will
+be evaluated.
+
+Surfaces what the analysis machinery decides silently: the safety
+verdict, the program class, strata or stage arguments, per-rule join
+order, and (optionally) the distributed phase parameters.  Used by the
+shell's ``:explain`` command and handy in tests and notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .ast import BuiltinLiteral, Program, RelLiteral
+from .errors import ProgramError, SafetyError
+from .eval import order_body
+from .safety import check_rule_safety
+from .stratify import ProgramClass, classify
+
+
+def explain(program: Program) -> str:
+    """Multi-line explanation of ``program``'s evaluation plan."""
+    lines: List[str] = []
+    lines.append(f"rules: {len(program.rules)}, facts: {len(program.facts)}")
+    idb, edb = sorted(program.idb_predicates()), sorted(program.edb_predicates())
+    lines.append(f"derived predicates (IDB): {', '.join(idb) or '(none)'}")
+    lines.append(f"base streams (EDB): {', '.join(edb) or '(none)'}")
+
+    unsafe = []
+    for rule in program.rules:
+        try:
+            check_rule_safety(rule)
+        except SafetyError as exc:
+            unsafe.append(str(exc))
+    if unsafe:
+        lines.append("UNSAFE:")
+        lines.extend(f"  {msg}" for msg in unsafe)
+        return "\n".join(lines)
+    lines.append("safety: ok")
+
+    analysis = classify(program)
+    lines.append(f"class: {analysis.program_class.value}")
+    if analysis.strata is not None:
+        for i, stratum in enumerate(analysis.strata):
+            lines.append(f"  stratum {i}: {', '.join(sorted(stratum))}")
+    if analysis.xy is not None:
+        stages = ", ".join(
+            f"{p}[arg {pos}]" for p, pos in sorted(analysis.xy.stage_position.items())
+        )
+        lines.append(f"  stage arguments: {stages}")
+        order = sorted(analysis.xy.priority, key=analysis.xy.priority.get)
+        lines.append(f"  per-stage order: {' < '.join(order)}")
+    if analysis.program_class is ProgramClass.LOCALLY_NONRECURSIVE_REQUIRED:
+        lines.append(
+            "  WARNING: only locally non-recursive executions are correct"
+        )
+        return "\n".join(lines)
+
+    lines.append("join order:")
+    for rule in program.rules:
+        parts = []
+        for lit in order_body(rule):
+            if isinstance(lit, RelLiteral):
+                parts.append(("not " if lit.negated else "") + lit.predicate)
+            else:
+                assert isinstance(lit, BuiltinLiteral)
+                parts.append(f"[{lit.name}]")
+        agg = " +agg" if rule.has_aggregates else ""
+        lines.append(
+            f"  r{rule.rule_id}: {rule.head.predicate} <- "
+            f"{' , '.join(parts) or '(facts)'}{agg}"
+        )
+    return "\n".join(lines)
+
+
+def explain_distributed(engine) -> str:
+    """Explanation of a GPAEngine's deployment: strategy, timing
+    constants and trigger table."""
+    plan = engine.plan
+    wp = engine.window_params
+    lines = [
+        f"strategy: {engine.strategy.name} (scheme: {engine.scheme})",
+        f"window: {wp.window}, tau_s: {wp.tau_s:.4f}, "
+        f"tau_c: {wp.tau_c:.4f}, tau_j: {wp.tau_j:.4f}",
+        f"join-phase delay: {wp.join_delay:.4f}, "
+        f"replica retention: {wp.storage_time:.4f}",
+        "triggers:",
+    ]
+    preds = sorted(
+        set(plan.positive_triggers) | set(plan.negative_triggers)
+    )
+    for pred in preds:
+        pos = [rp.rule_id for rp, _ in plan.positive_triggers.get(pred, ())]
+        neg = [rp.rule_id for rp, _ in plan.negative_triggers.get(pred, ())]
+        detail = []
+        if pos:
+            detail.append(f"joins rules {pos}")
+        if neg:
+            detail.append(f"anti-joins rules {neg}")
+        lines.append(f"  {pred}: {'; '.join(detail)}")
+    return "\n".join(lines)

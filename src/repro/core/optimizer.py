@@ -1,0 +1,128 @@
+"""Cost-based join ordering.
+
+Section II-B: "the optimization of deductive programs is largely
+embedded in the efficient data storage schemes, in-network
+implementation of the join, **join-ordering**, and other query
+optimization techniques."
+
+The classic greedy System-R-style heuristic over simple statistics:
+
+* each predicate has an estimated cardinality and per-position distinct
+  counts (collected from a sample :class:`Database` or supplied);
+* positive subgoals are ordered by smallest *estimated intermediate
+  result*: joining a literal whose bound positions (constants or
+  variables bound by earlier literals) are most selective first;
+* built-ins and negated literals are untouched — :func:`order_body`
+  already interleaves them as early as their variables allow.
+
+``optimize_program`` rewrites every rule; both the centralized
+evaluators and the distributed compiler consume the reordered rules
+transparently (they preserve textual order among positive literals).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .ast import Literal, Program, RelLiteral, Rule
+from .eval import Database
+from .terms import Variable
+
+
+class Statistics:
+    """Cardinality and distinct-value statistics per predicate."""
+
+    def __init__(self):
+        self.cardinality: Dict[str, int] = {}
+        self.distinct: Dict[Tuple[str, int], int] = {}
+
+    @classmethod
+    def from_database(cls, db: Database) -> "Statistics":
+        """Collect statistics from a (sample) database."""
+        stats = cls()
+        for pred in db.predicates():
+            rel = db.relation(pred)
+            stats.cardinality[pred] = len(rel)
+            arity = max((len(args) for args in rel), default=0)
+            for pos in range(arity):
+                values = {args[pos] for args in rel if pos < len(args)}
+                stats.distinct[(pred, pos)] = len(values)
+        return stats
+
+    def set_cardinality(self, pred: str, n: int, distinct: Optional[Dict[int, int]] = None) -> None:
+        self.cardinality[pred] = n
+        for pos, d in (distinct or {}).items():
+            self.distinct[(pred, pos)] = d
+
+    def card(self, pred: str) -> float:
+        return float(self.cardinality.get(pred, 1000))
+
+    def distinct_at(self, pred: str, pos: int) -> float:
+        d = self.distinct.get((pred, pos))
+        if d is None or d <= 0:
+            # Heuristic default: a tenth of the cardinality, at least 1.
+            return max(1.0, self.card(pred) / 10.0)
+        return float(d)
+
+
+def estimate_extension(
+    lit: RelLiteral, bound: Set[Variable], stats: Statistics
+) -> float:
+    """Estimated number of tuples this literal contributes per current
+    intermediate row: cardinality divided by the selectivity of every
+    bound position (constant or already-bound variable)."""
+    size = stats.card(lit.predicate)
+    for pos, arg in enumerate(lit.atom.args):
+        arg_vars = [v for v in arg.variables() if not v.is_anonymous]
+        is_bound = arg.is_ground() or (
+            arg_vars and all(v in bound for v in arg_vars)
+        )
+        if is_bound:
+            size /= stats.distinct_at(lit.predicate, pos)
+    return max(size, 0.001)
+
+
+def order_positive_literals(
+    rule: Rule, stats: Statistics
+) -> List[RelLiteral]:
+    """Greedy smallest-intermediate-first ordering of positive subgoals."""
+    remaining = [
+        lit for lit in rule.body
+        if isinstance(lit, RelLiteral) and not lit.negated
+    ]
+    ordered: List[RelLiteral] = []
+    bound: Set[Variable] = set()
+    while remaining:
+        best = min(
+            remaining,
+            key=lambda lit: (estimate_extension(lit, bound, stats),
+                             remaining.index(lit)),
+        )
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(v for v in best.variables() if not v.is_anonymous)
+    return ordered
+
+
+def optimize_rule(rule: Rule, stats: Statistics) -> Rule:
+    """Reorder the rule's positive subgoals; everything else keeps its
+    relative position (and is re-interleaved by ``order_body``)."""
+    if rule.has_aggregates or not rule.body:
+        return rule
+    positives = order_positive_literals(rule, stats)
+    it = iter(positives)
+    new_body: List[Literal] = []
+    for lit in rule.body:
+        if isinstance(lit, RelLiteral) and not lit.negated:
+            new_body.append(next(it))
+        else:
+            new_body.append(lit)
+    return Rule(rule.head, new_body, rule.aggregates, rule.rule_id)
+
+
+def optimize_program(program: Program, stats: Statistics) -> Program:
+    """Rewrite every rule of ``program`` with cost-based join ordering."""
+    out = Program(facts=program.facts)
+    for rule in program.rules:
+        out.add_rule(optimize_rule(rule, stats))
+    return out

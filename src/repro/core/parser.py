@@ -1,0 +1,417 @@
+"""Parser for the deductive rule language.
+
+Concrete syntax (close to the paper's notation)::
+
+    cov(L1, T)  :- veh("enemy", L1, T), veh("friendly", L2, T),
+                   dist(L1, L2) <= 50.
+    uncov(L, T) :- veh("enemy", L, T), not cov(L, T).
+
+    h(x, Y, D1) :- g(x, Y), h(_, x, D), D1 = D + 1, not hp(Y, D1).
+
+Conventions:
+
+* identifiers starting with an upper-case letter are **variables**;
+* ``_`` (alone or as a prefix) is an **anonymous variable** — each
+  occurrence is a fresh variable;
+* lower-case identifiers are **symbols** (constants) or, when followed
+  by ``(...)``, predicate/function applications;
+* double-quoted strings and numbers are constants;
+* ``[a, b, c]`` and ``[H | T]`` build cons-lists;
+* ``not`` (or ``NOT``) negates a subgoal;
+* infix comparisons ``= != < <= > >=`` and arithmetic ``+ - * / // mod``
+  are built-ins;
+* aggregates ``count/sum/min/max/avg`` may appear in rule heads, e.g.
+  ``shortest(Y, min(D)) :- path(Y, D).``;
+* ``%`` and ``#`` start comments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+from .ast import (
+    AGGREGATE_FUNCTORS,
+    AggregateSpec,
+    Atom,
+    BuiltinLiteral,
+    COMPARISON_OPS,
+    Literal,
+    Program,
+    RelLiteral,
+    Rule,
+)
+from .builtins import BuiltinRegistry, DEFAULT_REGISTRY
+from .errors import ParseError
+from .terms import Constant, FunctionTerm, NIL, Term, Variable, make_list
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+_PUNCT = {
+    ":-": "IMPLIES",
+    "<=": "OP",
+    ">=": "OP",
+    "!=": "OP",
+    "//": "OP",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "[": "LBRACKET",
+    "]": "RBRACKET",
+    ",": "COMMA",
+    ".": "DOT",
+    "|": "PIPE",
+    "=": "OP",
+    "<": "OP",
+    ">": "OP",
+    "+": "OP",
+    "-": "OP",
+    "*": "OP",
+    "/": "OP",
+}
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens; raises :class:`ParseError` on illegal characters."""
+    line, col = 1, 1
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch in "%#":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                if text[j] == "\n":
+                    raise ParseError("unterminated string", line, col)
+                j += 1
+            if j >= n:
+                raise ParseError("unterminated string", line, col)
+            yield Token("STRING", text[i + 1 : j], line, col)
+            col += j - i + 1
+            i = j + 1
+            continue
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot ends a number only if not followed by a digit
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            yield Token("NUMBER", text[i:j], line, col)
+            col += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word in ("not", "NOT"):
+                yield Token("NOT", word, line, col)
+            elif word == "mod":
+                yield Token("OP", "mod", line, col)
+            else:
+                yield Token("IDENT", word, line, col)
+            col += j - i
+            i = j
+            continue
+        two = text[i : i + 2]
+        if two in _PUNCT:
+            yield Token(_PUNCT[two], two, line, col)
+            i += 2
+            col += 2
+            continue
+        if ch in _PUNCT:
+            yield Token(_PUNCT[ch], ch, line, col)
+            i += 1
+            col += 1
+            continue
+        raise ParseError(f"illegal character {ch!r}", line, col)
+    yield Token("EOF", "", line, col)
+
+
+class Parser:
+    """Recursive-descent parser producing :class:`~repro.core.ast.Program`."""
+
+    def __init__(self, text: str, registry: BuiltinRegistry = DEFAULT_REGISTRY):
+        self.tokens: List[Token] = list(tokenize(text))
+        self.pos = 0
+        self.registry = registry
+
+    # -- token helpers ---------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.current
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r}, found {tok.text or tok.kind!r}",
+                tok.line,
+                tok.column,
+            )
+        return self._advance()
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        tok = self.current
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self._advance()
+        return None
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while self.current.kind != "EOF":
+            program.add_rule(self.parse_rule())
+        program.validate_arities()
+        return program
+
+    def parse_rule(self) -> Rule:
+        head_atom = self._parse_atom()
+        body: List[Literal] = []
+        if self._accept("IMPLIES"):
+            body.append(self._parse_literal())
+            while self._accept("COMMA"):
+                body.append(self._parse_literal())
+        self._expect("DOT")
+        head, aggregates = _extract_aggregates(head_atom)
+        return Rule(head, body, aggregates)
+
+    def _parse_literal(self) -> Literal:
+        negated = self._accept("NOT") is not None
+        # Lookahead: IDENT '(' could be an atom or a function term inside
+        # a comparison (e.g. dist(L1, L2) <= 50).  Parse a term first and
+        # decide based on what follows.
+        term = self._parse_term()
+        op_tok = self._accept("OP")
+        if op_tok is not None:
+            if op_tok.text not in COMPARISON_OPS:
+                raise ParseError(
+                    f"expected comparison operator, found {op_tok.text!r}",
+                    op_tok.line,
+                    op_tok.column,
+                )
+            right = self._parse_term()
+            return BuiltinLiteral(op_tok.text, (term, right), negated)
+        return self._term_to_literal(term, negated)
+
+    def _term_to_literal(self, term: Term, negated: bool) -> Literal:
+        if isinstance(term, FunctionTerm):
+            name, args = term.functor, term.args
+        elif isinstance(term, Constant) and isinstance(term.value, str):
+            name, args = term.value, ()
+        else:
+            raise ParseError(f"subgoal must be a predicate application, got {term!r}")
+        if self.registry.has_predicate(name):
+            return BuiltinLiteral(name, args, negated)
+        return RelLiteral(Atom(name, args), negated)
+
+    def _parse_atom(self) -> Atom:
+        tok = self._expect("IDENT")
+        if _is_variable_name(tok.text):
+            raise ParseError(
+                f"predicate name {tok.text!r} must be lower-case", tok.line, tok.column
+            )
+        args: List[Term] = []
+        if self._accept("LPAREN"):
+            if self.current.kind != "RPAREN":
+                args.append(self._parse_term())
+                while self._accept("COMMA"):
+                    args.append(self._parse_term())
+            self._expect("RPAREN")
+        return Atom(tok.text, args)
+
+    # Terms with arithmetic precedence: additive < multiplicative < primary.
+
+    def _parse_term(self) -> Term:
+        left = self._parse_mul()
+        while True:
+            tok = self.current
+            if tok.kind == "OP" and tok.text in ("+", "-"):
+                self._advance()
+                right = self._parse_mul()
+                left = FunctionTerm(tok.text, (left, right))
+            else:
+                return left
+
+    def _parse_mul(self) -> Term:
+        left = self._parse_primary()
+        while True:
+            tok = self.current
+            if tok.kind == "OP" and tok.text in ("*", "/", "//", "mod"):
+                self._advance()
+                right = self._parse_primary()
+                left = FunctionTerm(tok.text, (left, right))
+            else:
+                return left
+
+    def _parse_primary(self) -> Term:
+        tok = self.current
+        if tok.kind == "NUMBER":
+            self._advance()
+            value = float(tok.text) if "." in tok.text else int(tok.text)
+            return Constant(value)
+        if tok.kind == "STRING":
+            self._advance()
+            return Constant(tok.text)
+        if tok.kind == "OP" and tok.text == "-":
+            self._advance()
+            inner = self._parse_primary()
+            if isinstance(inner, Constant) and isinstance(inner.value, (int, float)):
+                return Constant(-inner.value)
+            return FunctionTerm("neg", (inner,))
+        if tok.kind == "LPAREN":
+            self._advance()
+            first = self._parse_term()
+            if self._accept("COMMA"):
+                # Coordinate/tuple literal: (10, 20) — must be ground constants.
+                items = [first, self._parse_term()]
+                while self._accept("COMMA"):
+                    items.append(self._parse_term())
+                self._expect("RPAREN")
+                return _tuple_constant(items, tok)
+            self._expect("RPAREN")
+            return first
+        if tok.kind == "LBRACKET":
+            return self._parse_list()
+        if tok.kind == "IDENT":
+            self._advance()
+            if _is_variable_name(tok.text):
+                if tok.text.startswith("_"):
+                    return Variable.fresh(tok.text.lstrip("_") or "anon")
+                return Variable(tok.text)
+            if self._accept("LPAREN"):
+                args: List[Term] = []
+                if self.current.kind != "RPAREN":
+                    args.append(self._parse_term())
+                    while self._accept("COMMA"):
+                        args.append(self._parse_term())
+                self._expect("RPAREN")
+                return FunctionTerm(tok.text, args)
+            return Constant(tok.text)
+        raise ParseError(
+            f"unexpected token {tok.text or tok.kind!r}", tok.line, tok.column
+        )
+
+    def _parse_list(self) -> Term:
+        self._expect("LBRACKET")
+        if self._accept("RBRACKET"):
+            return NIL
+        elements = [self._parse_term()]
+        while self._accept("COMMA"):
+            elements.append(self._parse_term())
+        tail: Term = NIL
+        if self._accept("PIPE"):
+            tail = self._parse_term()
+        self._expect("RBRACKET")
+        return make_list(elements, tail)
+
+
+def _is_variable_name(name: str) -> bool:
+    return name[0].isupper() or name[0] == "_"
+
+
+def _tuple_constant(items: Sequence[Term], tok: Token) -> Term:
+    values = []
+    for item in items:
+        if not isinstance(item, Constant):
+            raise ParseError(
+                "tuple literals must contain only constants", tok.line, tok.column
+            )
+        values.append(item.value)
+    return Constant(tuple(values))
+
+
+def _extract_aggregates(atom: Atom) -> Tuple[Atom, Tuple[AggregateSpec, ...]]:
+    """Split aggregate applications out of a head atom.
+
+    ``shortest(Y, min(D))`` becomes head ``shortest(Y, _AggV)`` plus
+    ``AggregateSpec(position=1, function='min', var=D)``.
+    """
+    new_args: List[Term] = []
+    specs: List[AggregateSpec] = []
+    for i, arg in enumerate(atom.args):
+        if (
+            isinstance(arg, FunctionTerm)
+            and arg.functor in AGGREGATE_FUNCTORS
+            and arg.arity == 1
+        ):
+            inner = arg.args[0]
+            var: Optional[Variable]
+            if isinstance(inner, Variable):
+                var = None if inner.is_anonymous else inner
+            else:
+                raise ParseError(
+                    f"aggregate argument must be a variable, got {inner!r}"
+                )
+            specs.append(AggregateSpec(i, arg.functor, var))
+            new_args.append(Variable.fresh("agg"))
+        else:
+            new_args.append(arg)
+    if not specs:
+        return atom, ()
+    return Atom(atom.predicate, new_args), tuple(specs)
+
+
+def parse_program(text: str, registry: BuiltinRegistry = DEFAULT_REGISTRY) -> Program:
+    """Parse program text into a :class:`Program`."""
+    return Parser(text, registry).parse_program()
+
+
+def parse_rule(text: str, registry: BuiltinRegistry = DEFAULT_REGISTRY) -> Rule:
+    """Parse a single rule (must end with ``.``)."""
+    parser = Parser(text, registry)
+    rule = parser.parse_rule()
+    if parser.current.kind != "EOF":
+        tok = parser.current
+        raise ParseError("trailing input after rule", tok.line, tok.column)
+    return rule
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term — handy in tests and the REPL examples."""
+    parser = Parser(text)
+    term = parser._parse_term()
+    if parser.current.kind != "EOF":
+        tok = parser.current
+        raise ParseError("trailing input after term", tok.line, tok.column)
+    return term
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom such as ``veh("enemy", (3, 4), 17)``."""
+    parser = Parser(text)
+    atom = parser._parse_atom()
+    if parser.current.kind != "EOF":
+        tok = parser.current
+        raise ParseError("trailing input after atom", tok.line, tok.column)
+    return atom

@@ -1,0 +1,63 @@
+"""Database persistence.
+
+Saves/loads fact databases as JSON (reusing the wire term encoding from
+:mod:`repro.dist.codegen`), so workloads, oracle snapshots and bench
+inputs are reproducible artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from .builtins import BuiltinRegistry
+from .errors import EvaluationError
+from .eval import Database
+
+FORMAT_VERSION = 1
+
+
+def database_to_json(db: Database) -> str:
+    """Serialize every relation of ``db`` (derivations are not saved —
+    re-evaluate after loading if they are needed)."""
+    from ..dist.codegen import term_to_json
+
+    payload = {
+        "version": FORMAT_VERSION,
+        "relations": {
+            pred: [
+                [term_to_json(t) for t in args]
+                for args in sorted(db.relation(pred), key=repr)
+            ]
+            for pred in db.predicates()
+        },
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def database_from_json(
+    text: str, registry: Optional[BuiltinRegistry] = None
+) -> Database:
+    from ..dist.codegen import term_from_json
+
+    data = json.loads(text)
+    if data.get("version") != FORMAT_VERSION:
+        raise EvaluationError(
+            f"unsupported database format version {data.get('version')!r}"
+        )
+    db = Database(registry) if registry is not None else Database()
+    for pred, rows in data["relations"].items():
+        rel = db.relation(pred)
+        for row in rows:
+            rel.add(tuple(term_from_json(t) for t in row))
+    return db
+
+
+def save_database(db: Database, path: str) -> None:
+    with open(path, "w") as f:
+        f.write(database_to_json(db))
+
+
+def load_database(path: str, registry: Optional[BuiltinRegistry] = None) -> Database:
+    with open(path) as f:
+        return database_from_json(f.read(), registry)

@@ -1,0 +1,92 @@
+"""Safety analysis for rules.
+
+A rule is *safe* when every variable appearing in it can be bound by the
+time it is needed: each (non-anonymous) variable must occur in a
+non-negated relational subgoal (Section IV-B, footnote 3), possibly via
+a chain of assignments ``V = expr`` whose right-hand sides are already
+safe (this is how ``D1 = D + 1`` binds the head stage variable in the
+shortest-path programs).
+
+Anonymous variables are permitted anywhere except the head: in a
+negated subgoal they act as existential wildcards, matching the paper's
+use of ``NOT H'(y, d+1)`` style subgoals with don't-care positions.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from .ast import BuiltinLiteral, Program, RelLiteral, Rule
+from .errors import SafetyError
+from .terms import Variable
+
+
+def safe_variables(rule: Rule) -> Set[Variable]:
+    """Compute the set of variables bound by positive subgoals and
+    assignment chains."""
+    safe: Set[Variable] = set()
+    for lit in rule.positive_literals():
+        safe.update(lit.variables())
+    # Assignments can extend the safe set; iterate to a fixpoint since
+    # chains like D1 = D + 1, D2 = D1 * 2 bind transitively.
+    changed = True
+    while changed:
+        changed = False
+        for lit in rule.builtin_literals():
+            if lit.name != "=" or lit.negated or len(lit.args) != 2:
+                continue
+            left, right = lit.args
+            for target, source in ((left, right), (right, left)):
+                if isinstance(target, Variable) and target not in safe:
+                    if all(v in safe for v in source.variables()):
+                        safe.add(target)
+                        changed = True
+    return safe
+
+
+def check_rule_safety(rule: Rule) -> None:
+    """Raise :class:`SafetyError` if ``rule`` is unsafe."""
+    safe = safe_variables(rule)
+
+    aggregate_positions = {spec.position for spec in rule.aggregates}
+    for pos, arg in enumerate(rule.head.args):
+        if pos in aggregate_positions:
+            continue  # placeholder variable filled in by the aggregate
+        for var in arg.variables():
+            if var.is_anonymous:
+                raise SafetyError(
+                    f"anonymous variable in head of rule {rule!r}"
+                )
+            if var not in safe:
+                raise SafetyError(
+                    f"head variable {var!r} not bound by a positive subgoal "
+                    f"in rule {rule!r}"
+                )
+    for spec in rule.aggregates:
+        if spec.var is not None and spec.var not in safe:
+            raise SafetyError(
+                f"aggregated variable {spec.var!r} not bound by a positive "
+                f"subgoal in rule {rule!r}"
+            )
+
+    for lit in rule.body:
+        if isinstance(lit, RelLiteral) and lit.negated:
+            for var in lit.variables():
+                if not var.is_anonymous and var not in safe:
+                    raise SafetyError(
+                        f"variable {var!r} of negated subgoal {lit!r} not "
+                        f"bound by a positive subgoal in rule {rule!r}"
+                    )
+        elif isinstance(lit, BuiltinLiteral):
+            for var in lit.variables():
+                if not var.is_anonymous and var not in safe:
+                    raise SafetyError(
+                        f"variable {var!r} of built-in {lit!r} never bound "
+                        f"in rule {rule!r}"
+                    )
+
+
+def check_program_safety(program: Program) -> None:
+    """Check every rule of ``program``; raises on the first unsafe rule."""
+    for rule in program.rules:
+        check_rule_safety(rule)

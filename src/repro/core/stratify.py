@@ -1,0 +1,358 @@
+"""Dependency analysis and stratification.
+
+Three evaluation classes, in increasing generality (Section IV-C):
+
+* **stratified** — no recursion through negation or aggregation; the
+  standard perfect-model semantics applies, and the program can be
+  evaluated stratum by stratum;
+* **XY-stratified** — derived tables can be partitioned into sub-tables
+  (by a *stage argument*) whose dependency graph is acyclic; the paper's
+  ``logicH`` shortest-path-tree program is the canonical example;
+* **locally non-recursive** — no cycles in the *tuple-level* derivation
+  graph; a runtime property that the set-of-derivations evaluator checks
+  while running.
+
+The classifier below is static: it returns ``STRATIFIED`` when possible,
+else attempts to find a stage-argument assignment proving
+``XY_STRATIFIED``, else reports ``LOCALLY_NONRECURSIVE_REQUIRED`` (the
+engine may still run such programs and verify local non-recursion at
+runtime).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from .ast import BuiltinLiteral, Program, RelLiteral, Rule
+from .errors import StratificationError
+from .terms import Constant, FunctionTerm, Term, Variable
+
+
+class ProgramClass(enum.Enum):
+    """Static classification of a program's recursion/negation structure."""
+
+    NONRECURSIVE = "nonrecursive"
+    POSITIVE_RECURSIVE = "positive-recursive"
+    STRATIFIED = "stratified"
+    XY_STRATIFIED = "xy-stratified"
+    LOCALLY_NONRECURSIVE_REQUIRED = "locally-nonrecursive-required"
+
+
+def dependency_graph(program: Program) -> "nx.DiGraph":
+    """Predicate dependency graph.
+
+    Edge ``Q -> P`` when a rule with head ``P`` uses ``Q`` in its body
+    (data flows from Q to P).  Edge attribute ``negative`` is True when
+    some such use is negated or the rule aggregates (aggregation needs
+    the full relation, like negation).
+    """
+    graph = nx.DiGraph()
+    for pred in program.predicates():
+        graph.add_node(pred)
+    for rule in program.rules:
+        head = rule.head.predicate
+        for lit in rule.body:
+            if not isinstance(lit, RelLiteral):
+                continue
+            negative = lit.negated or rule.has_aggregates
+            if graph.has_edge(lit.predicate, head):
+                graph[lit.predicate][head]["negative"] |= negative
+            else:
+                graph.add_edge(lit.predicate, head, negative=negative)
+    return graph
+
+
+def recursive_components(program: Program) -> List[Set[str]]:
+    """Strongly connected components with more than one predicate, or a
+    single predicate with a self-loop — the recursive cliques."""
+    graph = dependency_graph(program)
+    out = []
+    for comp in nx.strongly_connected_components(graph):
+        if len(comp) > 1:
+            out.append(set(comp))
+        else:
+            (pred,) = comp
+            if graph.has_edge(pred, pred):
+                out.append({pred})
+    return out
+
+
+def is_recursive(program: Program) -> bool:
+    return bool(recursive_components(program))
+
+
+def stratify(program: Program) -> List[Set[str]]:
+    """Return strata (lists of predicate sets, bottom-up) for a
+    stratified program; raise :class:`StratificationError` when a
+    negative edge lies inside a strongly connected component.
+    """
+    graph = dependency_graph(program)
+    comp_of: Dict[str, int] = {}
+    components = list(nx.strongly_connected_components(graph))
+    for i, comp in enumerate(components):
+        for pred in comp:
+            comp_of[pred] = i
+    for u, v, data in graph.edges(data=True):
+        if data["negative"] and comp_of[u] == comp_of[v]:
+            raise StratificationError(
+                f"negation through recursion between {u!r} and {v!r}: "
+                "program is not stratified"
+            )
+    condensation = nx.condensation(graph, components)
+    # Longest-path layering over the condensation gives minimal strata:
+    # a predicate's stratum exceeds that of any predicate it depends on
+    # negatively, and is at least that of positive dependencies.
+    order = list(nx.topological_sort(condensation))
+    level: Dict[int, int] = {c: 0 for c in order}
+    for c in order:
+        for succ in condensation.successors(c):
+            negative = any(
+                graph[u][v]["negative"]
+                for u in condensation.nodes[c]["members"]
+                for v in condensation.nodes[succ]["members"]
+                if graph.has_edge(u, v)
+            )
+            bump = 1 if negative else 0
+            level[succ] = max(level[succ], level[c] + bump)
+    strata: Dict[int, Set[str]] = {}
+    for c in order:
+        strata.setdefault(level[c], set()).update(condensation.nodes[c]["members"])
+    return [strata[i] for i in sorted(strata)]
+
+
+# ---------------------------------------------------------------------------
+# XY-stratification
+# ---------------------------------------------------------------------------
+
+
+class XYStratification:
+    """Witness that a program is XY-stratified.
+
+    ``stage_position`` maps each recursive predicate to the argument
+    position acting as its stage; ``priority`` orders predicates *within*
+    a stage (lower priority evaluates first), e.g. ``H'`` before ``H`` in
+    the paper's logicH program.
+    """
+
+    def __init__(self, stage_position: Dict[str, int], priority: Dict[str, int]):
+        self.stage_position = dict(stage_position)
+        self.priority = dict(priority)
+
+    def stage_term(self, rule_head_or_lit) -> Optional[Term]:
+        pred = rule_head_or_lit.predicate
+        pos = self.stage_position.get(pred)
+        if pos is None:
+            return None
+        atom = getattr(rule_head_or_lit, "atom", rule_head_or_lit)
+        return atom.args[pos]
+
+    def __repr__(self) -> str:
+        return (
+            f"XYStratification(stage={self.stage_position!r}, "
+            f"priority={self.priority!r})"
+        )
+
+
+def _stage_delta(head_term: Term, body_term: Term) -> Optional[str]:
+    """Relation of a body stage term to the head stage term.
+
+    Returns ``'same'`` when syntactically equal, ``'lower'`` when the
+    head term is ``V + c`` (c > 0) and the body term is ``V`` (or a
+    smaller increment of V), ``None`` when unprovable.
+    """
+    if body_term == head_term:
+        return "same"
+    base, inc = _split_increment(head_term)
+    bbase, binc = _split_increment(body_term)
+    if base is not None and base == bbase and binc is not None and inc is not None:
+        if binc < inc:
+            return "lower"
+        if binc == inc:
+            return "same"
+        return None
+    if isinstance(body_term, Constant) and isinstance(head_term, Constant):
+        if _is_number(body_term) and _is_number(head_term):
+            if body_term.value < head_term.value:
+                return "lower"
+    return None
+
+
+def _split_increment(term: Term) -> Tuple[Optional[Term], Optional[int]]:
+    """Decompose ``V + c`` / ``V`` into (V, c); (None, None) otherwise."""
+    if isinstance(term, Variable):
+        return term, 0
+    if (
+        isinstance(term, FunctionTerm)
+        and term.functor == "+"
+        and term.arity == 2
+        and isinstance(term.args[1], Constant)
+        and isinstance(term.args[1].value, int)
+    ):
+        return term.args[0], term.args[1].value
+    return None, None
+
+
+def _is_number(term: Term) -> bool:
+    return isinstance(term, Constant) and isinstance(term.value, (int, float))
+
+
+def _body_implies_lower(rule: Rule, head_stage: Term, body_stage: Term) -> bool:
+    """True when a comparison subgoal proves ``body_stage < head_stage``,
+    e.g. ``(d+1) > d'`` in the logicH program."""
+    for lit in rule.builtin_literals():
+        if lit.negated or len(lit.args) != 2:
+            continue
+        left, right = lit.args
+        if lit.name == ">" and left == head_stage and right == body_stage:
+            return True
+        if lit.name == "<" and left == body_stage and right == head_stage:
+            return True
+        if lit.name == ">=" and left == head_stage and right == body_stage:
+            return False  # >= is not strict
+    return False
+
+
+def find_xy_stratification(program: Program) -> Optional[XYStratification]:
+    """Search for a stage-argument assignment proving XY-stratification.
+
+    For each recursive component containing a negative edge, every
+    candidate combination of stage positions is checked (components and
+    arities are small in practice, so the product search is cheap).
+    """
+    graph = dependency_graph(program)
+    arities = {p: max(a) for p, a in program.arities().items()}
+    stage_position: Dict[str, int] = {}
+    priority: Dict[str, int] = {}
+
+    for comp in recursive_components(program):
+        has_negative = any(
+            graph[u][v]["negative"]
+            for u in comp
+            for v in comp
+            if graph.has_edge(u, v)
+        )
+        if not has_negative:
+            continue  # plain positive recursion needs no stage argument
+        assignment = _solve_component(program, comp, arities)
+        if assignment is None:
+            return None
+        positions, prio = assignment
+        stage_position.update(positions)
+        priority.update(prio)
+    return XYStratification(stage_position, priority)
+
+
+def _solve_component(
+    program: Program, comp: Set[str], arities: Dict[str, int]
+) -> Optional[Tuple[Dict[str, int], Dict[str, int]]]:
+    preds = sorted(comp)
+    rules = [r for r in program.rules if r.head.predicate in comp]
+    choices = [range(arities[p]) for p in preds]
+    for combo in itertools.product(*choices):
+        positions = dict(zip(preds, combo))
+        ok, same_stage_edges = _check_assignment(rules, comp, positions)
+        if not ok:
+            continue
+        prio = _order_same_stage(preds, same_stage_edges)
+        if prio is not None:
+            return positions, prio
+    return None
+
+
+def _check_assignment(
+    rules: Sequence[Rule],
+    comp: Set[str],
+    positions: Dict[str, int],
+) -> Tuple[bool, List[Tuple[str, str]]]:
+    """Check one stage-position assignment.
+
+    Returns (ok, same_stage_edges) where same_stage_edges records
+    body-pred -> head-pred dependencies at equal stage (these must form
+    an acyclic per-stage order).
+    """
+    same_edges: List[Tuple[str, str]] = []
+    for rule in rules:
+        head_pred = rule.head.predicate
+        head_pos = positions[head_pred]
+        if head_pos >= rule.head.arity:
+            return False, []
+        head_stage = rule.head.args[head_pos]
+        for lit in rule.body:
+            if not isinstance(lit, RelLiteral) or lit.predicate not in comp:
+                continue
+            body_pos = positions[lit.predicate]
+            if body_pos >= lit.atom.arity:
+                return False, []
+            body_stage = lit.atom.args[body_pos]
+            relation = _stage_delta(head_stage, body_stage)
+            if relation is None and _body_implies_lower(rule, head_stage, body_stage):
+                relation = "lower"
+            if relation is None:
+                return False, []
+            if relation == "same":
+                same_edges.append((lit.predicate, head_pred))
+    return True, same_edges
+
+
+def _order_same_stage(
+    preds: Sequence[str], edges: List[Tuple[str, str]]
+) -> Optional[Dict[str, int]]:
+    graph = nx.DiGraph()
+    graph.add_nodes_from(preds)
+    graph.add_edges_from(edges)
+    try:
+        order = list(nx.topological_sort(graph))
+    except nx.NetworkXUnfeasible:
+        return None
+    return {p: i for i, p in enumerate(order)}
+
+
+# ---------------------------------------------------------------------------
+# Classification
+# ---------------------------------------------------------------------------
+
+
+class Analysis:
+    """Full static analysis result for a program."""
+
+    def __init__(
+        self,
+        program_class: ProgramClass,
+        strata: Optional[List[Set[str]]],
+        xy: Optional[XYStratification],
+    ):
+        self.program_class = program_class
+        self.strata = strata
+        self.xy = xy
+
+    def __repr__(self) -> str:
+        return f"Analysis({self.program_class.value})"
+
+
+def classify(program: Program) -> Analysis:
+    """Classify ``program`` into one of :class:`ProgramClass`."""
+    components = recursive_components(program)
+    try:
+        strata = stratify(program)
+        if not components:
+            return Analysis(ProgramClass.NONRECURSIVE, strata, None)
+        has_negation = any(
+            lit.negated
+            for rule in program.rules
+            for lit in rule.body
+            if isinstance(lit, RelLiteral)
+        )
+        cls = (
+            ProgramClass.STRATIFIED if has_negation
+            else ProgramClass.POSITIVE_RECURSIVE
+        )
+        return Analysis(cls, strata, None)
+    except StratificationError:
+        xy = find_xy_stratification(program)
+        if xy is not None:
+            return Analysis(ProgramClass.XY_STRATIFIED, None, xy)
+        return Analysis(ProgramClass.LOCALLY_NONRECURSIVE_REQUIRED, None, None)

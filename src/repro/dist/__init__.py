@@ -1,0 +1,68 @@
+"""Distributed in-network evaluation.
+
+Two engines share the compiled plan layer:
+
+* :class:`GPAEngine` — stream joins via the (Generalized) Perpendicular
+  Approach with pluggable storage/join regions, sliding windows,
+  negation, and deletions (Sections III-IV);
+* :class:`LocalizedEngine` — attribute-placed programs whose joins are
+  local to a node and its neighbors (the shortest-path-tree programs of
+  Example 3 / Section VI).
+"""
+
+from .aggregates import DistributedAggregate, local_values
+from .baselines import ProceduralBFS
+from .codegen import Deployment, ProgramImage, image_for
+from .gpa import (
+    Candidate,
+    FactRef,
+    GPAEngine,
+    JoinToken,
+    NodeRuntime,
+    Partial,
+    ResultMsg,
+    StoreMsg,
+    WireDerivation,
+)
+from .localized import (
+    LocalResultMsg,
+    LocalizedEngine,
+    Placement,
+    ReplicaMsg,
+    build_sptree,
+    logich_placements,
+    logich_program,
+    logicj_placements,
+    logicj_program,
+    visible_rows,
+)
+from .periodic import ContinuousQuery, EpochResult
+from .plans import DistributedPlan, RulePlan
+from .routing_app import RoutingTable, build_routing, routing_program
+from .regions import (
+    BroadcastRegions,
+    CentralizedRegions,
+    CentroidRegions,
+    LocalStorageRegions,
+    PerpendicularRegions,
+    RegionStrategy,
+    STRATEGIES,
+    SpatialClip,
+    VirtualGridRegions,
+    make_strategy,
+)
+
+__all__ = [
+    "DistributedAggregate", "local_values", "Deployment", "ProgramImage",
+    "image_for", "ProceduralBFS", "Candidate", "FactRef", "GPAEngine", "JoinToken",
+    "NodeRuntime", "Partial", "ResultMsg", "StoreMsg", "WireDerivation",
+    "LocalResultMsg", "LocalizedEngine", "Placement", "ReplicaMsg",
+    "build_sptree", "logich_placements", "logich_program",
+    "logicj_placements", "logicj_program", "visible_rows",
+    "ContinuousQuery", "EpochResult",
+    "DistributedPlan", "RulePlan", "RoutingTable", "build_routing",
+    "routing_program", "BroadcastRegions", "CentralizedRegions",
+    "CentroidRegions", "LocalStorageRegions", "PerpendicularRegions",
+    "RegionStrategy", "STRATEGIES", "SpatialClip", "VirtualGridRegions",
+    "make_strategy",
+]

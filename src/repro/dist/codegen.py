@@ -1,0 +1,262 @@
+"""Program images and over-the-air deployment.
+
+Fig. 2: "The compiled code is downloaded into each sensor node", and
+Section V's memory analysis puts the user program — the generic join
+interface, the *list of join-conditions*, and the built-in code — in
+each node's program flash.
+
+This module produces that artifact: a compact, serializable **program
+image** (rules, join-condition lists, strategy name, window parameters)
+with a size estimate in bytes, plus an over-the-air deployment protocol
+that floods the image from a base station over a spanning tree — the
+"network reprogramming" step whose cost real deployments pay once per
+program change.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from ..core.ast import (
+    Atom,
+    BuiltinLiteral,
+    Program,
+    RelLiteral,
+    Rule,
+)
+from ..core.errors import PlanError
+from ..core.parser import parse_program
+from ..core.terms import Constant, FunctionTerm, Term, Variable
+from ..net.messages import Message
+from ..net.network import SensorNetwork
+
+IMAGE_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Term / rule serialization
+# ---------------------------------------------------------------------------
+
+
+def term_to_json(term: Term):
+    if isinstance(term, Constant):
+        value = term.value
+        if isinstance(value, tuple):
+            return {"k": "tup", "v": list(value)}
+        return {"k": "c", "v": value}
+    if isinstance(term, Variable):
+        return {"k": "v", "n": term.name}
+    assert isinstance(term, FunctionTerm)
+    return {"k": "f", "fn": term.functor, "a": [term_to_json(a) for a in term.args]}
+
+
+def term_from_json(data) -> Term:
+    kind = data["k"]
+    if kind == "c":
+        return Constant(data["v"])
+    if kind == "tup":
+        return Constant(tuple(data["v"]))
+    if kind == "v":
+        return Variable(data["n"])
+    return FunctionTerm(data["fn"], [term_from_json(a) for a in data["a"]])
+
+
+def literal_to_json(lit):
+    if isinstance(lit, RelLiteral):
+        return {
+            "t": "rel",
+            "p": lit.predicate,
+            "args": [term_to_json(a) for a in lit.atom.args],
+            "neg": lit.negated,
+        }
+    assert isinstance(lit, BuiltinLiteral)
+    return {
+        "t": "b",
+        "p": lit.name,
+        "args": [term_to_json(a) for a in lit.args],
+        "neg": lit.negated,
+    }
+
+
+def literal_from_json(data):
+    args = [term_from_json(a) for a in data["args"]]
+    if data["t"] == "rel":
+        return RelLiteral(Atom(data["p"], args), data["neg"])
+    return BuiltinLiteral(data["p"], args, data["neg"])
+
+
+def rule_to_json(rule: Rule):
+    if rule.has_aggregates:
+        raise PlanError("program images do not carry aggregate rules")
+    return {
+        "head": {"p": rule.head.predicate,
+                 "args": [term_to_json(a) for a in rule.head.args]},
+        "body": [literal_to_json(lit) for lit in rule.body],
+    }
+
+
+def rule_from_json(data) -> Rule:
+    head = Atom(data["head"]["p"], [term_from_json(a) for a in data["head"]["args"]])
+    return Rule(head, [literal_from_json(l) for l in data["body"]])
+
+
+# ---------------------------------------------------------------------------
+# Program images
+# ---------------------------------------------------------------------------
+
+
+class ProgramImage:
+    """The deployable artifact: program + engine configuration."""
+
+    def __init__(
+        self,
+        program: Program,
+        strategy: str = "pa",
+        window: float = 1e9,
+        builtins: Optional[List[str]] = None,
+    ):
+        self.program = program
+        self.strategy = strategy
+        self.window = window
+        #: Names of user built-ins the image depends on — their
+        #: procedural code ships separately (Section V puts it in
+        #: flash alongside the join-condition lists).
+        self.builtins = sorted(builtins or [])
+
+    def to_json(self) -> str:
+        payload = {
+            "version": IMAGE_FORMAT_VERSION,
+            "strategy": self.strategy,
+            "window": self.window,
+            "builtins": self.builtins,
+            "rules": [rule_to_json(r) for r in self.program.rules],
+            "facts": [
+                {"p": f.predicate, "args": [term_to_json(a) for a in f.args]}
+                for f in self.program.facts
+            ],
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProgramImage":
+        data = json.loads(text)
+        if data.get("version") != IMAGE_FORMAT_VERSION:
+            raise PlanError(
+                f"unsupported image version {data.get('version')!r}"
+            )
+        program = Program()
+        for rule_data in data["rules"]:
+            program.add_rule(rule_from_json(rule_data))
+        for fact_data in data["facts"]:
+            program.add_fact(
+                Atom(fact_data["p"], [term_from_json(a) for a in fact_data["args"]])
+            )
+        return cls(
+            program,
+            strategy=data["strategy"],
+            window=data["window"],
+            builtins=data["builtins"],
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.to_json().encode("utf-8"))
+
+    def __repr__(self) -> str:
+        return (
+            f"ProgramImage({len(self.program.rules)} rules, "
+            f"{self.size_bytes} bytes, strategy={self.strategy!r})"
+        )
+
+
+def image_for(program, strategy: str = "pa", window: float = 1e9,
+              builtins: Optional[List[str]] = None) -> ProgramImage:
+    """Build an image from program text or a Program."""
+    if isinstance(program, str):
+        program = parse_program(program)
+    return ProgramImage(program, strategy, window, builtins)
+
+
+# ---------------------------------------------------------------------------
+# Over-the-air deployment
+# ---------------------------------------------------------------------------
+
+
+class _ImageMsg(Message):
+    def __init__(self, payload: str):
+        # Charged at its real serialized size (in payload symbols of
+        # BYTES_PER_SYMBOL bytes each).
+        from ..net.messages import BYTES_PER_SYMBOL
+
+        symbols = max(1, len(payload.encode("utf-8")) // BYTES_PER_SYMBOL)
+        super().__init__("deploy_image", payload_symbols=symbols)
+        self.payload = payload
+
+
+class Deployment:
+    """Floods a program image from a base station over a BFS tree.
+
+    ::
+
+        deployment = Deployment(net, base_station=0)
+        deployment.push(image)
+        net.run_all()
+        assert deployment.complete
+        engine = deployment.build_engine()   # ready to install()
+    """
+
+    def __init__(self, network: SensorNetwork, base_station: int):
+        self.network = network
+        self.base_station = base_station
+        graph = network.topology.graph
+        self.children: Dict[int, List[int]] = {n: [] for n in graph.nodes}
+        for child, parent in nx.bfs_predecessors(graph, base_station):
+            self.children[parent].append(child)
+        self.received: Dict[int, str] = {}
+        for node in network.nodes.values():
+            node.register_handler("deploy_image", self._on_image, replace=True)
+
+    def push(self, image: ProgramImage) -> None:
+        """Start dissemination from the base station."""
+        self._image_text = image.to_json()
+        base = self.network.node(self.base_station)
+        base.local_deliver(_ImageMsg(self._image_text))
+
+    def _on_image(self, node, msg: _ImageMsg) -> None:
+        if node.id in self.received:
+            return  # already programmed
+        self.received[node.id] = msg.payload
+        for child in self.children[node.id]:
+            node.send(child, _ImageMsg(msg.payload), category="deploy")
+
+    @property
+    def complete(self) -> bool:
+        return len(self.received) == len(self.network)
+
+    @property
+    def coverage(self) -> float:
+        return len(self.received) / len(self.network)
+
+    def consistent(self) -> bool:
+        """Every programmed node holds the identical image."""
+        return len(set(self.received.values())) <= 1
+
+    def build_engine(self, registry=None, **kwargs):
+        """Instantiate a GPAEngine from the deployed image (as each
+        node's bootloader would)."""
+        from .gpa import GPAEngine
+
+        if not self.received:
+            raise PlanError("no image deployed")
+        image = ProgramImage.from_json(next(iter(self.received.values())))
+        return GPAEngine(
+            image.program,
+            self.network,
+            strategy=image.strategy,
+            window=image.window,
+            registry=registry,
+            **kwargs,
+        )

@@ -1,0 +1,849 @@
+"""In-network evaluation with the Generalized Perpendicular Approach.
+
+The complete Section III/IV machinery:
+
+* **storage phase** — a generated (or deleted) tuple is replicated (or
+  deletion-marked) along its storage region;
+* **join-computation phase** — after a delay of tau_s + tau_c, a join
+  token traverses the join region, accumulating *partial results* (Fig.
+  1) against the replicas stored at each node; complete results are
+  emitted immediately (one-pass) unless the rule has negated subgoals,
+  in which case candidates are carried to the end of the path and
+  struck out by any node holding a matching blocker;
+* **derived streams** — complete results are routed to their geographic
+  hash node, where the set of derivations is maintained; a tuple's
+  first derivation makes it a *generation* of the derived stream (it
+  then starts its own storage/join phases), and an emptied derivation
+  set makes it a deletion (Section IV-B);
+* **timestamp discipline** — an update with timestamp tau joins only
+  tuples generated in ``(tau - tau_w, tau]`` and not deleted before
+  ``tau`` (Theorem 3), which serializes simultaneous updates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.ast import RelLiteral
+from ..core.builtins import (
+    BuiltinRegistry,
+    eval_builtin,
+    eval_term,
+    normalize_partial,
+    value_to_term,
+)
+from ..core.errors import EvaluationError, NetworkError, PlanError
+from ..core.eval import _freeze_value, ground_head
+from ..core.parser import parse_program
+from ..core.terms import Substitution, Term, term_size, to_term
+from ..core.unify import match_sequences
+from ..net.messages import Message
+from ..net.network import SensorNetwork
+from ..net.node import Node
+from ..streams.tuples import ArgsTuple, StreamTuple, TupleID
+from ..streams.windows import SlidingWindow, WindowParams
+from .plans import DistributedPlan, RulePlan
+from .regions import RegionStrategy, make_strategy
+
+# ---------------------------------------------------------------------------
+# Wire structures
+# ---------------------------------------------------------------------------
+
+
+class FactRef:
+    """A reference to a joined fact: predicate, ground args, tuple id."""
+
+    __slots__ = ("pred", "args", "tuple_id")
+
+    def __init__(self, pred: str, args: ArgsTuple, tuple_id: TupleID):
+        self.pred = pred
+        self.args = args
+        self.tuple_id = tuple_id
+
+    def key(self):
+        return (self.pred, self.args)
+
+    def size(self) -> int:
+        return 2 + sum(term_size(a) for a in self.args)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, FactRef)
+            and (self.pred, self.args, self.tuple_id)
+            == (other.pred, other.args, other.tuple_id)
+        )
+
+    def __hash__(self):
+        return hash((self.pred, self.args, self.tuple_id))
+
+    def __repr__(self):
+        return f"{self.pred}{tuple(map(repr, self.args))}"
+
+
+class WireDerivation:
+    """A derivation as shipped in result messages: rule id + fact refs."""
+
+    __slots__ = ("rule_id", "facts")
+
+    def __init__(self, rule_id: int, facts: Tuple[FactRef, ...]):
+        self.rule_id = rule_id
+        self.facts = facts
+
+    def identity(self):
+        return (
+            self.rule_id,
+            tuple(sorted(
+                (f.pred, repr(f.args), repr(f.tuple_id)) for f in self.facts
+            )),
+        )
+
+    def size(self) -> int:
+        return 1 + 2 * len(self.facts)
+
+    def __repr__(self):
+        return f"<r{self.rule_id}: {list(self.facts)!r}>"
+
+
+class Partial:
+    """A partial result: bindings + facts used + covered subgoal indexes."""
+
+    __slots__ = ("subst", "used", "covered")
+
+    def __init__(self, subst: Substitution, used: Tuple[FactRef, ...], covered: frozenset):
+        self.subst = subst
+        self.used = used
+        self.covered = covered
+
+    def dedup_key(self):
+        return (self.covered, frozenset((f.pred, f.args, repr(f.tuple_id)) for f in self.used))
+
+    def size(self) -> int:
+        return sum(f.size() for f in self.used) or 1
+
+
+class Candidate:
+    """A complete positive join awaiting negation checks along the path."""
+
+    __slots__ = ("head_args", "derivation", "neg_patterns", "result_op")
+
+    def __init__(
+        self,
+        head_args: ArgsTuple,
+        derivation: WireDerivation,
+        neg_patterns: List[Tuple[str, Tuple[Term, ...]]],
+        result_op: str,
+    ):
+        self.head_args = head_args
+        self.derivation = derivation
+        self.neg_patterns = neg_patterns
+        self.result_op = result_op
+
+    def size(self) -> int:
+        return sum(term_size(a) for a in self.head_args) + self.derivation.size()
+
+
+class GatherMsg(Message):
+    """A derived fact being reported to a sink node."""
+
+    def __init__(self, pred: str, args: ArgsTuple, request_id: int):
+        super().__init__(
+            "gpa_gather",
+            payload_symbols=1 + sum(term_size(a) for a in args),
+        )
+        self.pred = pred
+        self.args = args
+        self.request_id = request_id
+
+
+class StoreMsg(Message):
+    """Storage-phase message: replicate (or deletion-mark) a tuple along
+    the remainder of ``path``."""
+
+    def __init__(self, op: str, tup: StreamTuple, path: List[int], del_ts: Optional[float]):
+        super().__init__("gpa_store", payload_symbols=tup.size())
+        self.op = op          # 'ins' | 'del'
+        self.tup = tup
+        self.path = path
+        self.del_ts = del_ts
+
+
+class JoinToken(Message):
+    """Join-phase message traversing a join region."""
+
+    def __init__(
+        self,
+        rule_id: int,
+        op: str,
+        update_ts: float,
+        trigger: FactRef,
+        trigger_negated: bool,
+        partials: List[Partial],
+        candidates: List[Candidate],
+        path: List[int],
+        exclude_id: Optional[TupleID],
+        first_pass_nodes: Optional[int] = None,
+        pass_indexes: Optional[List[int]] = None,
+        region: Optional[List[int]] = None,
+    ):
+        super().__init__("gpa_join", payload_symbols=1)
+        self.rule_id = rule_id
+        self.op = op                  # 'ins' | 'del' (the triggering update)
+        self.update_ts = update_ts
+        self.trigger = trigger
+        self.trigger_negated = trigger_negated
+        self.partials = partials
+        self.candidates = candidates
+        self.path = path
+        self.exclude_id = exclude_id
+        # For negation rules the region is traversed out and back; the
+        # forward pass computes joins, the return pass only strikes
+        # candidates, so partials are dropped at the turning point.
+        self.first_pass_nodes = first_pass_nodes
+        # Multiple-pass scheme (Section III-A): each iteration joins one
+        # data stream with the partial results of the previous pass.
+        self.pass_indexes = pass_indexes  # None => one-pass scheme
+        self.current_pass = 0
+        self.region = region or []
+        self.direction = 1
+
+    def refresh_size(self) -> None:
+        self.payload_symbols = (
+            1
+            + sum(p.size() for p in self.partials)
+            + sum(c.size() for c in self.candidates)
+        )
+
+
+class ResultMsg(Message):
+    """A complete result routed to its hash node."""
+
+    def __init__(self, pred: str, args: ArgsTuple, derivation: WireDerivation, op: str, ts: float):
+        size = 1 + sum(term_size(a) for a in args) + derivation.size()
+        super().__init__("gpa_result", payload_symbols=size)
+        self.pred = pred
+        self.args = args
+        self.derivation = derivation
+        self.op = op  # 'add' | 'sub'
+        self.ts = ts
+
+
+# ---------------------------------------------------------------------------
+# Per-node runtime state
+# ---------------------------------------------------------------------------
+
+
+class DerivedFact:
+    """State of one derived fact at its hash node."""
+
+    __slots__ = ("derivations", "tuple_id", "visible")
+
+    def __init__(self):
+        self.derivations: Dict[tuple, WireDerivation] = {}
+        self.tuple_id: Optional[TupleID] = None
+        self.visible = False
+
+
+class NodeRuntime:
+    """The generic join component + derived-table manager of one node
+    (Fig. 3)."""
+
+    def __init__(self, engine: "GPAEngine", node: Node):
+        self.engine = engine
+        self.node = node
+        self.windows: Dict[str, SlidingWindow] = {}
+        self.derived: Dict[Tuple[str, ArgsTuple], DerivedFact] = {}
+
+    def window(self, pred: str) -> SlidingWindow:
+        win = self.windows.get(pred)
+        if win is None:
+            win = SlidingWindow(pred, self.engine.window_params)
+            self.windows[pred] = win
+        return win
+
+    def memory_tuples(self) -> int:
+        return sum(w.memory_tuples() for w in self.windows.values()) + len(self.derived)
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class GPAEngine:
+    """Distributed deductive engine over GPA join strategies.
+
+    ::
+
+        net = GridNetwork(8)
+        engine = GPAEngine(parse_program(text), net, strategy="pa")
+        engine.install()
+        engine.publish(node_id, "veh", ("enemy", (3, 4), 17))
+        net.run_all()
+        engine.rows("uncov")
+    """
+
+    def __init__(
+        self,
+        program,
+        network: SensorNetwork,
+        strategy: str = "pa",
+        window: float = 1e9,
+        registry: Optional[BuiltinRegistry] = None,
+        allow_local_nonrecursive: bool = False,
+        scheme: str = "one-pass",
+        **strategy_kwargs,
+    ):
+        if scheme not in ("one-pass", "multi-pass"):
+            raise PlanError(f"unknown join scheme {scheme!r}")
+        self.scheme = scheme
+        if isinstance(program, str):
+            program = parse_program(program, registry) if registry else parse_program(program)
+        self.plan = DistributedPlan(program, registry, allow_local_nonrecursive)
+        self.registry = self.plan.registry
+        self.network = network
+        if isinstance(strategy, RegionStrategy):
+            self.strategy = strategy
+        else:
+            self.strategy = make_strategy(strategy, network, **strategy_kwargs)
+        hop = network.radio.max_hop_delay
+        tau_s = self.strategy.storage_hops_bound() * hop * 1.25 + hop
+        # Negation rules traverse the join region out and back (x2);
+        # the multiple-pass scheme traverses it once per joined stream.
+        passes = 2
+        if self.scheme == "multi-pass":
+            passes = max(
+                passes,
+                max((rp.n_positive for rp in self.plan.rule_plans), default=2),
+            )
+        tau_j = passes * self.strategy.join_hops_bound() * hop * 1.25 + hop
+        self.window_params = WindowParams(
+            window=window, tau_s=tau_s, tau_c=network.tau_c, tau_j=tau_j
+        )
+        self.runtimes: Dict[int, NodeRuntime] = {}
+        self._installed = False
+
+    # -- installation -----------------------------------------------------
+
+    def install(self) -> "GPAEngine":
+        """Register handlers on every node (the 'code download' step of
+        the system architecture, Fig. 2)."""
+        if self._installed:
+            return self
+        for node in self.network.nodes.values():
+            runtime = NodeRuntime(self, node)
+            self.runtimes[node.id] = runtime
+            node.register_handler("gpa_store", self._on_store)
+            node.register_handler("gpa_join", self._on_join)
+            node.register_handler("gpa_result", self._on_result)
+            node.register_handler("gpa_gather", self._on_gather)
+        self._gather_requests: Dict[int, Set[tuple]] = {}
+        self._gather_counter = itertools.count()
+        #: (predicate, latency) samples: local time at the hash node
+        #: minus the triggering update's timestamp, for every first
+        #: derivation — the result-freshness metric.
+        self.latency_samples: List[Tuple[str, float]] = []
+        self._installed = True
+        return self
+
+    def runtime(self, node_id: int) -> NodeRuntime:
+        return self.runtimes[node_id]
+
+    # -- publishing base facts ---------------------------------------------
+
+    def publish(self, node_id: int, pred: str, args: Iterable) -> TupleID:
+        """A base tuple is sensed/generated at ``node_id`` now."""
+        self._require_installed()
+        node = self.network.node(node_id)
+        tid = TupleID(node_id, node.clock.now(), node.next_seq())
+        tup = StreamTuple(pred, args, tid)
+        self._start_phases(node_id, tup, op="ins", del_ts=None)
+        return tid
+
+    def retract(self, node_id: int, pred: str, args: Iterable, tuple_id: TupleID) -> None:
+        """The source node deletes one of its tuples (Section IV-A:
+        deletion happens only at the source node)."""
+        self._require_installed()
+        if tuple_id.source != node_id:
+            raise NetworkError(
+                f"tuple {tuple_id!r} can only be deleted at its source node"
+            )
+        node = self.network.node(node_id)
+        del_ts = node.clock.now()
+        tup = StreamTuple(pred, args, tuple_id)
+        self._start_phases(node_id, tup, op="del", del_ts=del_ts)
+
+    def _require_installed(self) -> None:
+        if not self._installed:
+            raise NetworkError("engine.install() must be called first")
+
+    # -- phase orchestration -------------------------------------------------
+
+    def _start_phases(
+        self, node_id: int, tup: StreamTuple, op: str, del_ts: Optional[float]
+    ) -> None:
+        runtime = self.runtimes[node_id]
+        window = runtime.window(tup.predicate)
+        if op == "ins":
+            window.store(tup)
+        else:
+            window.mark_deleted(tup.tuple_id, del_ts)
+        window.expire(self.network.node(node_id).clock.now())
+
+        # Storage phase: replicate / deletion-mark along the region.
+        node = self.network.node(node_id)
+        for path in self.strategy.storage_paths(node_id):
+            msg = StoreMsg(op, tup, list(path[1:]), del_ts)
+            node.send_routed(path[0], msg, category="storage")
+
+        # Join phase: after tau_s + tau_c (Theorem 3's delay).
+        if not self.plan.consumed(tup.predicate):
+            return
+        delay = self.window_params.join_delay
+        update_ts = tup.generation_ts if op == "ins" else del_ts
+        self.network.sim.schedule(
+            delay, lambda: self._launch_join_phases(node_id, tup, op, update_ts)
+        )
+
+    def _launch_join_phases(
+        self, node_id: int, tup: StreamTuple, op: str, update_ts: float
+    ) -> None:
+        trigger = FactRef(tup.predicate, tup.args, tup.tuple_id)
+        for rp, occ in self.plan.positive_triggers.get(tup.predicate, ()):
+            self._launch_token(node_id, rp, occ, trigger, False, op, update_ts)
+        for rp, occ in self.plan.negative_triggers.get(tup.predicate, ()):
+            self._launch_token(node_id, rp, occ, trigger, True, op, update_ts)
+
+    def _launch_token(
+        self,
+        node_id: int,
+        rp: RulePlan,
+        occurrence: int,
+        trigger: FactRef,
+        negated: bool,
+        op: str,
+        update_ts: float,
+    ) -> None:
+        lit = rp.negative[occurrence] if negated else rp.positive[occurrence]
+        seed = match_sequences(
+            tuple(normalize_partial(a, self.registry) for a in lit.atom.args),
+            trigger.args,
+            Substitution(),
+        )
+        if seed is None:
+            return  # the update does not even match the subgoal pattern
+        if negated:
+            partial = Partial(seed, (), frozenset())
+        else:
+            partial = Partial(seed, (trigger,), frozenset([occurrence]))
+        exclude = trigger.tuple_id if (negated and op == "del") else None
+        region = list(self.strategy.join_path(node_id))
+        path = list(region)
+        first_pass = None
+        pass_indexes = None
+        needs_full_anti_join = rp.has_negation and (
+            (not negated and op == "ins") or (negated and op == "del")
+        )
+        if needs_full_anti_join and len(path) > 1:
+            # Out-and-back traversal: a candidate born anywhere on the
+            # forward pass is checked against every node of the region
+            # on the way back (blockers may be stored behind it).
+            first_pass = len(path)
+            path = path + list(reversed(path[:-1]))
+        elif (
+            self.scheme == "multi-pass"
+            and not negated
+            and not rp.has_negation
+            and rp.n_positive > 2
+        ):
+            # Multiple-pass scheme: one stream joined per traversal, in
+            # plan order (the trigger's occurrence is already covered).
+            pass_indexes = [
+                i for i in range(rp.n_positive) if i != occurrence
+            ]
+        token = JoinToken(
+            rule_id=rp.rule_id,
+            op=op,
+            update_ts=update_ts,
+            trigger=trigger,
+            trigger_negated=negated,
+            partials=[partial],
+            candidates=[],
+            path=path,
+            exclude_id=exclude,
+            first_pass_nodes=first_pass,
+            pass_indexes=pass_indexes,
+            region=region,
+        )
+        token.refresh_size()
+        node = self.network.node(node_id)
+        first = token.path.pop(0)
+        if first == node_id:
+            node.local_deliver(token)
+        else:
+            node.send_routed(first, token, category="join")
+
+    # -- handlers --------------------------------------------------------------
+
+    def _on_store(self, node: Node, msg: StoreMsg) -> None:
+        runtime = self.runtimes[node.id]
+        window = runtime.window(msg.tup.predicate)
+        if msg.op == "ins":
+            # Store an independent replica (avoid shared mutable state
+            # between nodes — a real network serializes anyway).
+            replica = StreamTuple(
+                msg.tup.predicate, msg.tup.args, msg.tup.tuple_id,
+                msg.tup.deletion_ts,
+            )
+            window.store(replica)
+        else:
+            window.mark_deleted(msg.tup.tuple_id, msg.del_ts)
+        window.expire(node.clock.now())
+        if msg.path:
+            nxt = msg.path.pop(0)
+            node.send_routed(nxt, msg, category="storage")
+
+    def _on_join(self, node: Node, token: JoinToken) -> None:
+        rp = self.plan.by_id[token.rule_id]
+        runtime = self.runtimes[node.id]
+        self._strike_candidates(runtime, rp, token)
+        allowed = None
+        if token.pass_indexes is not None:
+            allowed = {token.pass_indexes[token.current_pass]}
+        self._extend_partials(runtime, rp, token, node, allowed)
+        if token.first_pass_nodes is not None:
+            token.first_pass_nodes -= 1
+            if token.first_pass_nodes <= 0:
+                token.partials = []  # turning point: joins are done
+        # Multiple-pass scheme: when a traversal ends, start the next
+        # iteration walking the region back the other way.  The turning
+        # node itself participates in the new pass (it may hold the next
+        # stream's replicas), hence the re-extension here.
+        while (
+            token.pass_indexes is not None
+            and not token.path
+            and token.current_pass + 1 < len(token.pass_indexes)
+        ):
+            token.current_pass += 1
+            token.direction *= -1
+            seq = (
+                token.region if token.direction > 0
+                else list(reversed(token.region))
+            )
+            token.path = seq[1:]  # we are standing at seq[0]
+            self._extend_partials(
+                runtime, rp, token, node,
+                {token.pass_indexes[token.current_pass]},
+            )
+        if token.path:
+            token.refresh_size()
+            nxt = token.path.pop(0)
+            node.send_routed(nxt, token, category="join")
+        else:
+            # End of the join region: emit surviving candidates, discard
+            # the remaining partial results (Section III-A).
+            for cand in token.candidates:
+                self._emit_result(node, rp, cand, token.update_ts)
+            token.candidates = []
+            token.partials = []
+
+    def _visible(self, runtime: NodeRuntime, pred: str, token: JoinToken) -> List[StreamTuple]:
+        win = runtime.windows.get(pred)
+        if win is None:
+            return []
+        out = win.live_at(token.update_ts)
+        if token.exclude_id is not None and pred == token.trigger.pred:
+            out = [t for t in out if t.tuple_id != token.exclude_id]
+        return out
+
+    def _extend_partials(
+        self,
+        runtime: NodeRuntime,
+        rp: RulePlan,
+        token: JoinToken,
+        node: Node,
+        allowed: Optional[Set[int]] = None,
+    ) -> None:
+        seen: Set[tuple] = {p.dedup_key() for p in token.partials}
+        complete: List[Partial] = []
+        # A freshly launched token may carry an already-complete partial
+        # (single-subgoal rule): convert it here, once, and stop
+        # forwarding it.
+        still_partial = []
+        for p in token.partials:
+            if len(p.covered) == rp.n_positive:
+                complete.append(p)
+            else:
+                still_partial.append(p)
+        token.partials = still_partial
+        queue = list(token.partials)
+        while queue:
+            partial = queue.pop()
+            for idx, lit in enumerate(rp.positive):
+                if idx in partial.covered:
+                    continue
+                if allowed is not None and idx not in allowed:
+                    continue
+                pattern = tuple(
+                    normalize_partial(a.substitute(partial.subst), self.registry)
+                    for a in lit.atom.args
+                )
+                for tup in self._visible(runtime, lit.predicate, token):
+                    if (
+                        not token.trigger_negated
+                        and token.op == "del"
+                        and tup.tuple_id == token.trigger.tuple_id
+                    ):
+                        continue  # a deleted trigger joins only as the trigger
+                    bindings = match_sequences(pattern, tup.args, Substitution())
+                    if bindings is None:
+                        continue
+                    subst = Substitution(partial.subst)
+                    subst.update(bindings)
+                    new = Partial(
+                        subst,
+                        partial.used + (FactRef(lit.predicate, tup.args, tup.tuple_id),),
+                        partial.covered | {idx},
+                    )
+                    key = new.dedup_key()
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    if len(new.covered) == rp.n_positive:
+                        complete.append(new)
+                    else:
+                        queue.append(new)
+                        token.partials.append(new)
+        for partial in complete:
+            self._complete_partial(runtime, rp, token, partial, node)
+
+    def _complete_partial(
+        self,
+        runtime: NodeRuntime,
+        rp: RulePlan,
+        token: JoinToken,
+        partial: Partial,
+        node: Node,
+    ) -> None:
+        # Built-ins run locally once all positive subgoals are bound.
+        substs = [partial.subst]
+        for lit in rp.builtins:
+            next_substs = []
+            for s in substs:
+                try:
+                    next_substs.extend(eval_builtin(lit, s, self.registry))
+                except EvaluationError:
+                    continue
+            substs = next_substs
+            if not substs:
+                return
+        for subst in substs:
+            try:
+                head_args = ground_head(rp.rule, subst, self.registry)
+            except EvaluationError:
+                continue
+            derivation = WireDerivation(rp.rule_id, partial.used)
+            result_op = self._result_op(token)
+            neg_patterns = [
+                (
+                    lit.predicate,
+                    tuple(
+                        normalize_partial(a.substitute(subst), self.registry)
+                        for a in lit.atom.args
+                    ),
+                )
+                for lit in rp.negative
+            ]
+            if token.trigger_negated:
+                if token.op == "ins":
+                    # Subtract: a new blocker kills matching derivations;
+                    # no further negation checks needed (idempotent).
+                    self._emit(node, rp, head_args, derivation, "sub", token.update_ts)
+                    continue
+                # Deletion of a blocker: re-derivations must pass every
+                # negated subgoal (including the trigger's own stream,
+                # minus the deleted tuple, handled via exclude_id).
+                cand = Candidate(head_args, derivation, neg_patterns, "add")
+                if self._blocked_here(runtime, token, cand):
+                    continue
+                token.candidates.append(cand)
+            elif rp.has_negation:
+                cand = Candidate(head_args, derivation, neg_patterns, result_op)
+                if result_op == "sub":
+                    # Deleting a positive support: subtraction needs no
+                    # negation re-checks.
+                    self._emit(node, rp, head_args, derivation, "sub", token.update_ts)
+                    continue
+                if self._blocked_here(runtime, token, cand):
+                    continue
+                token.candidates.append(cand)
+            else:
+                self._emit(node, rp, head_args, derivation, result_op, token.update_ts)
+
+    def _result_op(self, token: JoinToken) -> str:
+        if token.trigger_negated:
+            return "sub" if token.op == "ins" else "add"
+        return "add" if token.op == "ins" else "sub"
+
+    def _strike_candidates(self, runtime: NodeRuntime, rp: RulePlan, token: JoinToken) -> None:
+        if not token.candidates:
+            return
+        token.candidates = [
+            c for c in token.candidates if not self._blocked_here(runtime, token, c)
+        ]
+
+    def _blocked_here(self, runtime: NodeRuntime, token: JoinToken, cand: Candidate) -> bool:
+        for pred, pattern in cand.neg_patterns:
+            for tup in self._visible(runtime, pred, token):
+                if match_sequences(pattern, tup.args, Substitution()) is not None:
+                    return True
+        return False
+
+    def _emit_result(self, node: Node, rp: RulePlan, cand: Candidate, ts: float) -> None:
+        self._emit(node, rp, cand.head_args, cand.derivation, cand.result_op, ts)
+
+    def _emit(
+        self,
+        node: Node,
+        rp: RulePlan,
+        head_args: ArgsTuple,
+        derivation: WireDerivation,
+        op: str,
+        ts: float,
+    ) -> None:
+        pred = rp.head.predicate
+        home = self.network.ght.node_for_fact(pred, head_args)
+        msg = ResultMsg(pred, head_args, derivation, op, ts)
+        if home == node.id:
+            node.local_deliver(msg)
+        else:
+            node.send_routed(home, msg, category="result")
+
+    # -- derived table management ------------------------------------------------
+
+    def _on_result(self, node: Node, msg: ResultMsg) -> None:
+        runtime = self.runtimes[node.id]
+        key = (msg.pred, msg.args)
+        fact = runtime.derived.get(key)
+        if fact is None:
+            fact = DerivedFact()
+            runtime.derived[key] = fact
+        ident = msg.derivation.identity()
+        if msg.op == "add":
+            if ident in fact.derivations:
+                return  # duplicate result (replication/multi-path): ignored
+            fact.derivations[ident] = msg.derivation
+            if not fact.visible:
+                fact.visible = True
+                fact.tuple_id = TupleID(node.id, node.clock.now(), node.next_seq())
+                self.latency_samples.append(
+                    (msg.pred, max(0.0, node.clock.now() - msg.ts))
+                )
+                self._publish_derived(node, msg.pred, msg.args, fact, op="ins")
+        else:
+            if ident not in fact.derivations:
+                return  # subtracting an absent derivation: no-op
+            del fact.derivations[ident]
+            if not fact.derivations and fact.visible:
+                fact.visible = False
+                self._publish_derived(node, msg.pred, msg.args, fact, op="del")
+
+    def _publish_derived(self, node: Node, pred: str, args: ArgsTuple, fact: DerivedFact, op: str) -> None:
+        """A derived tuple becomes a generation/deletion of the derived
+        stream at its hash node (Section III-B)."""
+        tup = StreamTuple(pred, args, fact.tuple_id)
+        if not self.plan.consumed(pred):
+            return  # a pure output predicate: no further phases needed
+        del_ts = node.clock.now() if op == "del" else None
+        self._start_phases(node.id, tup, op=op, del_ts=del_ts)
+
+    # -- result gathering (in-network, message-costed) ----------------------------
+
+    def gather(self, pred: str, sink: int) -> Set[tuple]:
+        """Ship every visible derived fact of ``pred`` to ``sink``.
+
+        This is how a base station actually consumes a query's result
+        table: the facts live at their hash nodes, and each home node
+        routes its facts to the sink (paying messages).  Returns the
+        rows received at the sink after the network drains.
+        """
+        self._require_installed()
+        request_id = next(self._gather_counter)
+        self._gather_requests[request_id] = set()
+        sink_node = self.network.node(sink)
+        for runtime in self.runtimes.values():
+            for (p, args), fact in runtime.derived.items():
+                if p != pred or not fact.visible:
+                    continue
+                msg = GatherMsg(p, args, request_id)
+                source = self.network.node(runtime.node.id)
+                if source.id == sink:
+                    source.local_deliver(msg)
+                else:
+                    source.send_routed(sink, msg, category="gather")
+        self.network.run_all()
+        return self._gather_requests.pop(request_id)
+
+    def _on_gather(self, node: Node, msg: GatherMsg) -> None:
+        rows = self._gather_requests.get(msg.request_id)
+        if rows is None:
+            return  # stale report from an earlier request
+        rows.add(tuple(
+            _freeze_value(eval_term(a, self.registry)) for a in msg.args
+        ))
+
+    # -- observer API (no message cost: test/bench instrumentation) ---------------
+
+    def rows(self, pred: str) -> Set[tuple]:
+        """All visible derived facts for ``pred`` as Python value tuples."""
+        out = set()
+        for runtime in self.runtimes.values():
+            for (p, args), fact in runtime.derived.items():
+                if p == pred and fact.visible:
+                    out.add(tuple(
+                        _freeze_value(eval_term(a, self.registry)) for a in args
+                    ))
+        return out
+
+    def derived_count(self, pred: str) -> int:
+        return len(self.rows(pred))
+
+    def latency_report(self, pred: Optional[str] = None) -> Dict[str, float]:
+        """Mean / max result latency (update timestamp → first
+        derivation at the hash node), optionally for one predicate."""
+        samples = [
+            lat for p, lat in self.latency_samples
+            if pred is None or p == pred
+        ]
+        if not samples:
+            return {"count": 0, "mean": 0.0, "max": 0.0}
+        return {
+            "count": len(samples),
+            "mean": sum(samples) / len(samples),
+            "max": max(samples),
+        }
+
+    def memory_report(self, include_derived: bool = True) -> Dict[int, int]:
+        """Per-node resident tuples (window replicas, plus the derived
+        result tables unless ``include_derived`` is False)."""
+        out = {}
+        for nid, rt in self.runtimes.items():
+            tuples = sum(w.memory_tuples() for w in rt.windows.values())
+            if include_derived:
+                tuples += len(rt.derived)
+            out[nid] = tuples
+        return out
+
+    def expire_all(self) -> int:
+        """Force an expiry sweep on every node's windows (normally
+        expiry is piggybacked on stores); returns tuples reclaimed."""
+        reclaimed = 0
+        for nid, rt in self.runtimes.items():
+            now = self.network.node(nid).clock.now()
+            for window in rt.windows.values():
+                reclaimed += len(window.expire(now))
+        return reclaimed
+
+    def settle(self, max_events: int = 10_000_000) -> None:
+        """Drain all pending phases."""
+        self.network.run_all(max_events)

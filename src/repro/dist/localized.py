@@ -1,0 +1,521 @@
+"""Localized in-network evaluation with attribute-based placement.
+
+The shortest-path-tree programs (Example 3 / Section VI) compile to
+*localized joins*: ``h(x, y, d)`` lives at node ``y``, ``hp(y, d)`` at
+node ``y``, edges ``g(x, y)`` are known at both endpoints — so every
+join touches only a node and its neighbors, and every derived tuple
+travels one hop to its placement node.  Section V's memory analysis
+("each node y stores only tuples of the form H(_, y, _) or H'(y, _)";
+2-3x its degree tuples total) describes exactly this scheme.
+
+Mechanics:
+
+* each predicate has a **placement**: the argument position(s) whose
+  value names the node(s) storing the fact (the first is the primary;
+  facts are also replicated to the primary's neighbors when
+  ``replicate_to_neighbors`` is set, so neighbors can join over them);
+* an insertion visible at a node delta-fires the rules there; complete
+  results are sent to their head's placement node carrying the
+  derivation and the instantiated negated subgoals to watch;
+* at the placement node a derivation is *valid* while none of its
+  watched negated atoms is visible; a fact is visible while it has a
+  valid derivation.  Late-arriving blockers retract optimistically
+  accepted facts (and the retraction cascades), implementing the
+  paper's "wait before finalizing a derived fact — it may be retracted
+  later" discipline for XY-stratified programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.ast import Program, RelLiteral, Rule
+from ..core.builtins import (
+    BuiltinRegistry,
+    eval_builtin,
+    eval_term,
+    normalize_partial,
+)
+from ..core.errors import EvaluationError, PlanError
+from ..core.eval import _freeze_value, ground_head, order_body
+from ..core.parser import parse_program
+from ..core.terms import Substitution, Term, term_size, to_term
+from ..core.unify import match_sequences
+from ..net.messages import Message
+from ..net.network import SensorNetwork
+from ..net.node import Node
+from ..streams.tuples import ArgsTuple
+from .gpa import WireDerivation, FactRef
+from .plans import DistributedPlan, RulePlan
+from ..streams.tuples import TupleID
+
+#: Fixed tuple id used for value-identified facts in localized mode.
+_VALUE_ID = TupleID(0, 0.0, 0)
+
+
+class Placement:
+    """Where a predicate's facts live."""
+
+    def __init__(self, attr: int, replicate_to_neighbors: bool = False,
+                 extra_attrs: Sequence[int] = ()):
+        self.attr = attr
+        self.replicate_to_neighbors = replicate_to_neighbors
+        self.extra_attrs = tuple(extra_attrs)
+
+    def primary_node(self, args: ArgsTuple, registry) -> int:
+        value = eval_term(args[self.attr], registry)
+        if not isinstance(value, int):
+            raise PlanError(
+                f"placement attribute value {value!r} is not a node id"
+            )
+        return value
+
+    def all_nodes(self, args: ArgsTuple, registry) -> List[int]:
+        out = [self.primary_node(args, registry)]
+        for attr in self.extra_attrs:
+            value = eval_term(args[attr], registry)
+            if isinstance(value, int) and value not in out:
+                out.append(value)
+        return out
+
+    def __repr__(self) -> str:
+        extra = f"+{list(self.extra_attrs)}" if self.extra_attrs else ""
+        nbr = "+nbrs" if self.replicate_to_neighbors else ""
+        return f"Placement(arg {self.attr}{extra}{nbr})"
+
+
+class LocalResultMsg(Message):
+    """A candidate derivation shipped to its fact's placement node."""
+
+    def __init__(
+        self,
+        pred: str,
+        args: ArgsTuple,
+        derivation: WireDerivation,
+        neg_atoms: Tuple[Tuple[str, ArgsTuple], ...],
+        op: str,
+    ):
+        size = (
+            1 + sum(term_size(a) for a in args) + derivation.size()
+            + 2 * len(neg_atoms)
+        )
+        super().__init__("loc_result", payload_symbols=size)
+        self.pred = pred
+        self.args = args
+        self.derivation = derivation
+        self.neg_atoms = neg_atoms
+        self.op = op  # 'add' | 'sub'
+
+
+class ReplicaMsg(Message):
+    """Replicates a visible fact to a neighbor / secondary placement."""
+
+    def __init__(self, pred: str, args: ArgsTuple, op: str):
+        super().__init__(
+            "loc_replica", payload_symbols=1 + sum(term_size(a) for a in args)
+        )
+        self.pred = pred
+        self.args = args
+        self.op = op  # 'ins' | 'del'
+
+
+class PlacedFact:
+    """Placement-node state of one fact."""
+
+    __slots__ = ("base", "derivations", "visible")
+
+    def __init__(self):
+        self.base = False  # seeded base fact (unconditionally derivable)
+        # identity -> (derivation, neg_atoms)
+        self.derivations: Dict[tuple, Tuple[WireDerivation, tuple]] = {}
+        self.visible = False
+
+
+class LocalRuntime:
+    """One node's tables and watch index."""
+
+    def __init__(self):
+        # pred -> set of visible args (primaries and replicas alike)
+        self.tables: Dict[str, Set[ArgsTuple]] = {}
+        # facts whose primary placement is this node
+        self.placed: Dict[Tuple[str, ArgsTuple], PlacedFact] = {}
+        # negated-atom key -> {(fact_key, derivation identity)}
+        self.watches: Dict[Tuple[str, ArgsTuple], Set[tuple]] = {}
+
+    def table(self, pred: str) -> Set[ArgsTuple]:
+        return self.tables.setdefault(pred, set())
+
+    def memory_tuples(self) -> int:
+        return sum(len(t) for t in self.tables.values())
+
+
+class LocalizedEngine:
+    """Distributed engine for programs with attribute placements.
+
+    ::
+
+        placements = {
+            "g":  Placement(1, extra_attrs=[0]),
+            "h":  Placement(1, replicate_to_neighbors=True),
+            "hp": Placement(0),
+        }
+        engine = LocalizedEngine(LOGICH, net, placements).install()
+        engine.seed_edges("g")
+        engine.insert(root, "h", (root, root, 0))
+        net.run_all()
+    """
+
+    def __init__(
+        self,
+        program,
+        network: SensorNetwork,
+        placements: Dict[str, Placement],
+        registry: Optional[BuiltinRegistry] = None,
+    ):
+        if isinstance(program, str):
+            program = parse_program(program, registry) if registry else parse_program(program)
+        self.plan = DistributedPlan(program, registry, allow_local_nonrecursive=True)
+        self.registry = self.plan.registry
+        self.network = network
+        self.placements = dict(placements)
+        for pred in self.plan.predicates():
+            if pred not in self.placements:
+                raise PlanError(f"no placement declared for predicate {pred!r}")
+        self.runtimes: Dict[int, LocalRuntime] = {}
+        self._installed = False
+
+    def install(self) -> "LocalizedEngine":
+        if self._installed:
+            return self
+        for node in self.network.nodes.values():
+            self.runtimes[node.id] = LocalRuntime()
+            node.register_handler("loc_result", self._on_result)
+            node.register_handler("loc_replica", self._on_replica)
+        self._installed = True
+        return self
+
+    # -- seeding / external inserts -------------------------------------------
+
+    def seed_edges(self, pred: str) -> None:
+        """Seed the topology as ``pred(x, y)`` facts at both endpoints —
+        nodes learn their neighbors from link beacons, which costs the
+        same for every compared scheme and is excluded from metrics."""
+        for a in self.network.topology.node_ids:
+            for b in self.network.topology.neighbors(a):
+                args = (to_term(a), to_term(b))
+                self.runtimes[a].table(pred).add(args)
+                self.runtimes[b].table(pred).add(args)
+
+    def seed(self, node_id: int, pred: str, args: Iterable) -> None:
+        """Install a base fact directly at a node (no radio cost)."""
+        args_t = tuple(to_term(a) for a in args)
+        runtime = self.runtimes[node_id]
+        fact = runtime.placed.setdefault((pred, args_t), PlacedFact())
+        fact.base = True
+        self._recompute_visibility(self.network.node(node_id), pred, args_t)
+
+    def insert(self, node_id: int, pred: str, args: Iterable) -> None:
+        """A base fact is generated at ``node_id``; if its placement is
+        elsewhere, it is routed there first (paying messages)."""
+        args_t = tuple(to_term(a) for a in args)
+        home = self.placements[pred].primary_node(args_t, self.registry)
+        derivation = WireDerivation(
+            -1, (FactRef(pred, args_t, _VALUE_ID),)
+        )
+        msg = LocalResultMsg(pred, args_t, derivation, (), "add")
+        node = self.network.node(node_id)
+        if home == node_id:
+            node.local_deliver(msg)
+        else:
+            node.send_routed(home, msg, category="result")
+
+    def memory_report(self) -> Dict[int, int]:
+        """Per-node resident tuples — Section V's claim is that the
+        shortest-path programs store O(degree) tuples per node."""
+        return {
+            node_id: runtime.memory_tuples()
+            for node_id, runtime in self.runtimes.items()
+        }
+
+    def retract(self, node_id: int, pred: str, args: Iterable) -> None:
+        """Withdraw a seeded/base fact."""
+        args_t = tuple(to_term(a) for a in args)
+        runtime = self.runtimes[node_id]
+        fact = runtime.placed.get((pred, args_t))
+        if fact is None or not fact.base:
+            return
+        fact.base = False
+        self._recompute_visibility(self.network.node(node_id), pred, args_t)
+
+    # -- result handling --------------------------------------------------------
+
+    def _on_result(self, node: Node, msg: LocalResultMsg) -> None:
+        runtime = self.runtimes[node.id]
+        key = (msg.pred, msg.args)
+        fact = runtime.placed.setdefault(key, PlacedFact())
+        ident = msg.derivation.identity()
+        if msg.op == "add":
+            if ident in fact.derivations:
+                return
+            fact.derivations[ident] = (msg.derivation, msg.neg_atoms)
+            for atom in msg.neg_atoms:
+                runtime.watches.setdefault(atom, set()).add((key, ident))
+        else:
+            entry = fact.derivations.pop(ident, None)
+            if entry is None:
+                return
+            for atom in entry[1]:
+                watchers = runtime.watches.get(atom)
+                if watchers is not None:
+                    watchers.discard((key, ident))
+        self._recompute_visibility(node, msg.pred, msg.args)
+
+    def _derivation_valid(self, runtime: LocalRuntime, neg_atoms) -> bool:
+        for pred, args in neg_atoms:
+            if args in runtime.tables.get(pred, ()):
+                return False
+        return True
+
+    def _recompute_visibility(self, node: Node, pred: str, args: ArgsTuple) -> None:
+        runtime = self.runtimes[node.id]
+        key = (pred, args)
+        fact = runtime.placed.get(key)
+        if fact is None:
+            return
+        now_visible = fact.base or any(
+            self._derivation_valid(runtime, neg_atoms)
+            for _d, neg_atoms in fact.derivations.values()
+        )
+        if now_visible == fact.visible:
+            return
+        fact.visible = now_visible
+        if now_visible:
+            self._table_insert(node, pred, args, propagate_replicas=True)
+        else:
+            self._table_delete(node, pred, args, propagate_replicas=True)
+
+    # -- table updates: the delta-firing core -------------------------------------
+
+    def _table_insert(self, node: Node, pred: str, args: ArgsTuple,
+                      propagate_replicas: bool) -> None:
+        runtime = self.runtimes[node.id]
+        table = runtime.table(pred)
+        if args in table:
+            return
+        table.add(args)
+        if propagate_replicas:
+            self._send_replicas(node, pred, args, "ins")
+        self._check_watchers(node, pred, args)
+        self._fire_rules(node, pred, args, op="add")
+
+    def _table_delete(self, node: Node, pred: str, args: ArgsTuple,
+                      propagate_replicas: bool) -> None:
+        runtime = self.runtimes[node.id]
+        table = runtime.table(pred)
+        if args not in table:
+            return
+        # Fire deletions while the fact is still bindable, then remove.
+        table.discard(args)
+        if propagate_replicas:
+            self._send_replicas(node, pred, args, "del")
+        self._check_watchers(node, pred, args)
+        self._fire_rules(node, pred, args, op="sub")
+
+    def _send_replicas(self, node: Node, pred: str, args: ArgsTuple, op: str) -> None:
+        placement = self.placements[pred]
+        targets: List[int] = []
+        if placement.replicate_to_neighbors:
+            targets.extend(node.neighbors)
+        for extra in placement.all_nodes(args, self.registry)[1:]:
+            if extra != node.id and extra not in targets:
+                targets.append(extra)
+        for target in targets:
+            msg = ReplicaMsg(pred, args, op)
+            node.send_routed(target, msg, category="replica")
+
+    def _on_replica(self, node: Node, msg: ReplicaMsg) -> None:
+        if msg.op == "ins":
+            self._table_insert(node, msg.pred, msg.args, propagate_replicas=False)
+        else:
+            self._table_delete(node, msg.pred, msg.args, propagate_replicas=False)
+
+    def _check_watchers(self, node: Node, pred: str, args: ArgsTuple) -> None:
+        runtime = self.runtimes[node.id]
+        watchers = runtime.watches.get((pred, args))
+        if not watchers:
+            return
+        for fact_key, _ident in list(watchers):
+            self._recompute_visibility(node, fact_key[0], fact_key[1])
+
+    # -- rule firing -----------------------------------------------------------------
+
+    def _fire_rules(self, node: Node, pred: str, args: ArgsTuple, op: str) -> None:
+        for rp, occ in self.plan.positive_triggers.get(pred, ()):
+            self._fire_rule(node, rp, occ, pred, args, op)
+
+    def _fire_rule(
+        self, node: Node, rp: RulePlan, occurrence: int,
+        pred: str, args: ArgsTuple, op: str,
+    ) -> None:
+        runtime = self.runtimes[node.id]
+        lit = rp.positive[occurrence]
+        seed = match_sequences(
+            tuple(normalize_partial(a, self.registry) for a in lit.atom.args),
+            args,
+            Substitution(),
+        )
+        if seed is None:
+            return
+        # Localized mode identifies facts by value, not by stream tuple
+        # id: a fixed id keeps derivation identities location-independent
+        # so duplicate firings (primary + replicas) dedupe at the home.
+        trigger_ref = FactRef(pred, args, _VALUE_ID)
+        # Materialize before emitting: locally delivered results mutate
+        # the very tables the enumeration reads.
+        matches = list(
+            self._enumerate_local(runtime, rp, occurrence, seed, trigger_ref, op)
+        )
+        for subst, used in matches:
+            substs = [subst]
+            for bl in rp.builtins:
+                nxt = []
+                for s in substs:
+                    try:
+                        nxt.extend(eval_builtin(bl, s, self.registry))
+                    except EvaluationError:
+                        pass
+                substs = nxt
+            for s in substs:
+                try:
+                    head_args = ground_head(rp.rule, s, self.registry)
+                except EvaluationError:
+                    continue
+                neg_atoms = tuple(
+                    (
+                        nlit.predicate,
+                        tuple(
+                            normalize_partial(a.substitute(s), self.registry)
+                            for a in nlit.atom.args
+                        ),
+                    )
+                    for nlit in rp.negative
+                )
+                for np, nargs in neg_atoms:
+                    for t in nargs:
+                        if not t.is_ground():
+                            raise PlanError(
+                                "localized mode requires ground negated "
+                                f"subgoals; got {np}{nargs!r}"
+                            )
+                derivation = WireDerivation(rp.rule_id, tuple(used))
+                home = self.placements[rp.head.predicate].primary_node(
+                    head_args, self.registry
+                )
+                msg = LocalResultMsg(
+                    rp.head.predicate, head_args, derivation, neg_atoms, op
+                )
+                if home == node.id:
+                    node.local_deliver(msg)
+                else:
+                    node.send_routed(home, msg, category="result")
+
+    def _enumerate_local(
+        self, runtime: LocalRuntime, rp: RulePlan, occurrence: int,
+        seed: Substitution, trigger: FactRef, op: str,
+    ):
+        """Delta-join the trigger against this node's local tables."""
+        others = [
+            (i, lit) for i, lit in enumerate(rp.positive) if i != occurrence
+        ]
+
+        def recurse(idx: int, subst: Substitution, used: List[FactRef]):
+            if idx == len(others):
+                yield subst, list(used)
+                return
+            _i, lit = others[idx]
+            pattern = tuple(
+                normalize_partial(a.substitute(subst), self.registry)
+                for a in lit.atom.args
+            )
+            for row in list(runtime.tables.get(lit.predicate, ())):
+                bindings = match_sequences(pattern, row, Substitution())
+                if bindings is None:
+                    continue
+                s2 = Substitution(subst)
+                s2.update(bindings)
+                used.append(FactRef(lit.predicate, row, _VALUE_ID))
+                yield from recurse(idx + 1, s2, used)
+                used.pop()
+
+        yield from recurse(0, seed, [trigger])
+
+
+def logich_program() -> str:
+    """Example 3's shortest-path-tree program text, parameterized by the
+    root fact injected separately."""
+    return """
+        hp(Y, D + 1) :- h(_, Y, Dp), D + 1 > Dp, h(_, X, D), g(X, Y).
+        h(X, Y, D + 1) :- g(X, Y), h(_, X, D), not hp(Y, D + 1).
+    """
+
+
+def logicj_program() -> str:
+    """The improved logicJ program (Section VI): J carries only
+    (node, depth), shrinking both tuples and join work."""
+    return """
+        jp(Y, D + 1) :- j(Y, Dp), D + 1 > Dp, j(X, D), g(X, Y).
+        j(Y, D + 1) :- g(X, Y), j(X, D), not jp(Y, D + 1).
+    """
+
+
+def logich_placements() -> Dict[str, Placement]:
+    return {
+        "g": Placement(1, extra_attrs=[0]),
+        "h": Placement(1, replicate_to_neighbors=True),
+        "hp": Placement(0),
+    }
+
+
+def logicj_placements() -> Dict[str, Placement]:
+    return {
+        "g": Placement(1, extra_attrs=[0]),
+        "j": Placement(0, replicate_to_neighbors=True),
+        "jp": Placement(0),
+    }
+
+
+def build_sptree(
+    network: SensorNetwork,
+    root: int,
+    variant: str = "h",
+) -> Tuple["LocalizedEngine", str]:
+    """Install and run a shortest-path-tree construction from ``root``.
+
+    Returns (engine, result predicate).  ``variant`` is 'h' (logicH) or
+    'j' (logicJ).
+    """
+    if variant == "h":
+        engine = LocalizedEngine(logich_program(), network, logich_placements())
+        engine.install()
+        engine.seed_edges("g")
+        engine.seed(root, "h", (root, root, 0))
+        return engine, "h"
+    if variant == "j":
+        engine = LocalizedEngine(logicj_program(), network, logicj_placements())
+        engine.install()
+        engine.seed_edges("g")
+        engine.seed(root, "j", (root, 0))
+        return engine, "j"
+    raise PlanError(f"unknown shortest-path variant {variant!r}")
+
+
+def visible_rows(engine: LocalizedEngine, pred: str) -> Set[tuple]:
+    """All visible placed facts for ``pred`` (primary placements only)."""
+    out = set()
+    for runtime in engine.runtimes.values():
+        for (p, args), fact in runtime.placed.items():
+            if p == pred and fact.visible:
+                out.add(tuple(
+                    _freeze_value(eval_term(a, engine.registry)) for a in args
+                ))
+    return out

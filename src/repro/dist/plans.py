@@ -1,0 +1,121 @@
+"""Compiled distributed query plans.
+
+The compiler output mirrors Fig. 3: per rule, an ordered list of join
+conditions (the positive subgoals in join order), the negated subgoals,
+and the built-in filters — this is the read-only "list of join
+conditions" a real deployment would place in program flash, consumed by
+the generic join component on every node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.ast import BuiltinLiteral, Literal, Program, RelLiteral, Rule
+from ..core.builtins import BuiltinRegistry, DEFAULT_REGISTRY
+from ..core.errors import PlanError
+from ..core.eval import order_body
+from ..core.safety import check_program_safety
+from ..core.stratify import Analysis, ProgramClass, classify
+
+
+class RulePlan:
+    """One rule, compiled: join order, negations, built-ins."""
+
+    def __init__(self, rule: Rule):
+        self.rule = rule
+        self.rule_id = rule.rule_id if rule.rule_id is not None else -1
+        self.head = rule.head
+        ordered = order_body(rule)
+        self.positive: List[RelLiteral] = [
+            lit for lit in ordered
+            if isinstance(lit, RelLiteral) and not lit.negated
+        ]
+        self.negative: List[RelLiteral] = [
+            lit for lit in ordered if isinstance(lit, RelLiteral) and lit.negated
+        ]
+        self.builtins: List[BuiltinLiteral] = [
+            lit for lit in ordered if isinstance(lit, BuiltinLiteral)
+        ]
+        if not self.positive:
+            raise PlanError(
+                f"rule {rule!r} has no positive relational subgoal"
+            )
+
+    @property
+    def has_negation(self) -> bool:
+        return bool(self.negative)
+
+    @property
+    def n_positive(self) -> int:
+        return len(self.positive)
+
+    def positive_predicates(self) -> Set[str]:
+        return {lit.predicate for lit in self.positive}
+
+    def negative_predicates(self) -> Set[str]:
+        return {lit.predicate for lit in self.negative}
+
+    def __repr__(self) -> str:
+        return f"RulePlan(#{self.rule_id}: {self.rule!r})"
+
+
+class DistributedPlan:
+    """The whole program compiled for in-network evaluation."""
+
+    def __init__(
+        self,
+        program: Program,
+        registry: Optional[BuiltinRegistry] = None,
+        allow_local_nonrecursive: bool = False,
+    ):
+        check_program_safety(program)
+        for rule in program.rules:
+            if rule.has_aggregates:
+                raise PlanError(
+                    "in-network evaluation of head aggregates is delegated to "
+                    "the TAG layer (repro.net.aggregation); remove the "
+                    "aggregate rule from the distributed program"
+                )
+        self.program = program
+        self.registry = registry or DEFAULT_REGISTRY
+        self.analysis: Analysis = classify(program)
+        supported = {
+            ProgramClass.NONRECURSIVE,
+            ProgramClass.POSITIVE_RECURSIVE,
+            ProgramClass.STRATIFIED,
+            ProgramClass.XY_STRATIFIED,
+        }
+        if self.analysis.program_class not in supported and not allow_local_nonrecursive:
+            raise PlanError(
+                "program mixes recursion and negation beyond "
+                "XY-stratification; pass allow_local_nonrecursive=True to "
+                "run it anyway (correct only for locally non-recursive "
+                "executions, Section IV-C)"
+            )
+        self.rule_plans: List[RulePlan] = [RulePlan(r) for r in program.rules]
+        self.by_id: Dict[int, RulePlan] = {rp.rule_id: rp for rp in self.rule_plans}
+        self.idb: Set[str] = program.idb_predicates()
+        self.edb: Set[str] = program.edb_predicates()
+        # Which rules must react to an update of predicate P?
+        self.positive_triggers: Dict[str, List[Tuple[RulePlan, int]]] = {}
+        self.negative_triggers: Dict[str, List[Tuple[RulePlan, int]]] = {}
+        for rp in self.rule_plans:
+            for i, lit in enumerate(rp.positive):
+                self.positive_triggers.setdefault(lit.predicate, []).append((rp, i))
+            for i, lit in enumerate(rp.negative):
+                self.negative_triggers.setdefault(lit.predicate, []).append((rp, i))
+
+    def predicates(self) -> Set[str]:
+        return self.idb | self.edb
+
+    def consumed(self, predicate: str) -> bool:
+        """Is the predicate read by any rule (so its updates need join
+        phases)?"""
+        return predicate in self.positive_triggers or predicate in self.negative_triggers
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedPlan({len(self.rule_plans)} rules, "
+            f"{self.analysis.program_class.value})"
+        )

@@ -1,0 +1,322 @@
+"""Storage and join-computation regions — the Generalized Perpendicular
+Approach (Section III-A).
+
+The core idea of PA is a pair of region families such that **every
+storage region intersects every join-computation region**: a tuple is
+replicated over its storage region, and an update's join phase
+traverses its join region, meeting the full sliding window of every
+operand stream on the way.
+
+Strategies provided (all instances of GPA):
+
+* :class:`PerpendicularRegions` — the paper's construction on 2-D grids
+  (storage along the generating node's horizontal line, join along its
+  vertical line);
+* :class:`VirtualGridRegions` — the generalization to arbitrary
+  topologies: nodes are ranked by y into √N equal "rows" and by x within
+  each row; column *i* is the set of i-th nodes of every row, so every
+  row intersects every column by construction (the [44] idea);
+* :class:`BroadcastRegions` — degenerate GPA: storage region = entire
+  network, join region = the local node;
+* :class:`LocalStorageRegions` — degenerate GPA: storage region = the
+  local node, join region = the entire network;
+* :class:`CentralizedRegions` — every tuple shipped to a server node
+  (default: a corner), joins at the server — the naive baseline whose
+  hotspot kills the nodes around the server;
+* :class:`CentroidRegions` — like centralized but at the topological
+  center, the Centroid Approach PA is compared against.
+
+Spatial constraints (Section III-A) clip both regions to a radius
+around the generating node via :class:`SpatialClip`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..core.errors import PlanError
+from ..net.network import SensorNetwork
+from ..net.topology import GridTopology
+
+
+class RegionStrategy:
+    """Abstract GPA instance.
+
+    ``storage_paths(origin)`` — node sequences (starting adjacent to the
+    origin's position in the region) along which replicas propagate; the
+    origin itself always stores a copy and is not listed.
+
+    ``join_path(origin)`` — the node sequence the join phase traverses
+    (the origin may or may not belong to it); consecutive entries are
+    connected by routed hops.
+    """
+
+    name = "abstract"
+
+    def __init__(self, network: SensorNetwork):
+        self.network = network
+
+    def storage_paths(self, origin: int) -> List[List[int]]:
+        raise NotImplementedError
+
+    def join_path(self, origin: int) -> List[int]:
+        raise NotImplementedError
+
+    # -- timing bounds ------------------------------------------------------
+
+    def storage_hops_bound(self) -> int:
+        """Upper bound on hops for any storage phase (for tau_s)."""
+        raise NotImplementedError
+
+    def join_hops_bound(self) -> int:
+        """Upper bound on hops for any join phase (for tau_j)."""
+        raise NotImplementedError
+
+    def _routed_length(self, path: Sequence[int]) -> int:
+        hops = 0
+        for a, b in zip(path, path[1:]):
+            hops += self.network.router.hop_distance(a, b)
+        return hops
+
+
+class PerpendicularRegions(RegionStrategy):
+    """The paper's PA on an m x n grid: storage along the row, join along
+    the column (approached from its south end)."""
+
+    name = "pa"
+
+    def __init__(self, network: SensorNetwork):
+        super().__init__(network)
+        if not isinstance(network.topology, GridTopology):
+            raise PlanError("PerpendicularRegions requires a grid topology")
+        self.grid: GridTopology = network.topology
+
+    def storage_paths(self, origin: int) -> List[List[int]]:
+        x, y = self.grid.coords(origin)
+        west = [self.grid.node_at(i, y) for i in range(x - 1, -1, -1)]
+        east = [self.grid.node_at(i, y) for i in range(x + 1, self.grid.m)]
+        return [p for p in (west, east) if p]
+
+    def join_path(self, origin: int) -> List[int]:
+        x, _y = self.grid.coords(origin)
+        return self.grid.column(x)
+
+    def storage_hops_bound(self) -> int:
+        return self.grid.m
+
+    def join_hops_bound(self) -> int:
+        # Unicast to the south end plus the full column traversal.
+        return 2 * self.grid.n
+
+
+class VirtualGridRegions(RegionStrategy):
+    """GPA on arbitrary topologies via rank-based virtual rows/columns.
+
+    Nodes are sorted by y and split into ``rows`` chunks of (almost)
+    equal size; each row is ordered by x.  Column *i* consists of the
+    i-th node of every row (modulo the row's length), so every row
+    intersects every column.  Paths between consecutive members are
+    routed multi-hop.
+    """
+
+    name = "virtual-grid"
+
+    def __init__(self, network: SensorNetwork, rows: Optional[int] = None):
+        super().__init__(network)
+        ids = network.topology.node_ids
+        n = len(ids)
+        self.n_rows = rows or max(1, round(math.sqrt(n)))
+        by_y = sorted(ids, key=lambda i: (network.topology.position(i)[1], i))
+        base, extra = divmod(n, self.n_rows)
+        self.rows: List[List[int]] = []
+        cursor = 0
+        for r in range(self.n_rows):
+            size = base + (1 if r < extra else 0)
+            chunk = by_y[cursor:cursor + size]
+            chunk.sort(key=lambda i: (network.topology.position(i)[0], i))
+            self.rows.append(chunk)
+            cursor += size
+        self.row_of: Dict[int, int] = {}
+        self.index_in_row: Dict[int, int] = {}
+        for r, row in enumerate(self.rows):
+            for idx, node in enumerate(row):
+                self.row_of[node] = r
+                self.index_in_row[node] = idx
+
+    def storage_paths(self, origin: int) -> List[List[int]]:
+        row = self.rows[self.row_of[origin]]
+        idx = self.index_in_row[origin]
+        west = list(reversed(row[:idx]))
+        east = row[idx + 1:]
+        return [p for p in (west, east) if p]
+
+    def join_path(self, origin: int) -> List[int]:
+        i = self.index_in_row[origin]
+        return [row[min(i, len(row) - 1)] for row in self.rows]
+
+    def storage_hops_bound(self) -> int:
+        longest = max(len(row) for row in self.rows)
+        return longest * self._max_leg()
+
+    def join_hops_bound(self) -> int:
+        return (self.n_rows + 1) * self._max_leg()
+
+    def _max_leg(self) -> int:
+        # Conservative per-leg routing bound: the network diameter.
+        return self.network.topology.diameter
+
+
+class BroadcastRegions(RegionStrategy):
+    """Naive Broadcast: replicate everywhere, join locally."""
+
+    name = "broadcast"
+
+    def storage_paths(self, origin: int) -> List[List[int]]:
+        # A DFS walk of the BFS tree reaches every node; modelled as one
+        # long path (each consecutive pair is a tree edge, 1 hop apart).
+        order = _dfs_walk(self.network, origin)
+        return [order[1:]] if len(order) > 1 else []
+
+    def join_path(self, origin: int) -> List[int]:
+        return [origin]
+
+    def storage_hops_bound(self) -> int:
+        return 2 * len(self.network)
+
+    def join_hops_bound(self) -> int:
+        return 1
+
+
+class LocalStorageRegions(RegionStrategy):
+    """Local Storage: keep tuples at home, sweep the network to join."""
+
+    name = "local-storage"
+
+    def storage_paths(self, origin: int) -> List[List[int]]:
+        return []
+
+    def join_path(self, origin: int) -> List[int]:
+        return _dfs_walk(self.network, origin)
+
+    def storage_hops_bound(self) -> int:
+        return 1
+
+    def join_hops_bound(self) -> int:
+        return 2 * len(self.network)
+
+
+class CentralizedRegions(RegionStrategy):
+    """Ship everything to a server node; join there (Section III-A's
+    'naive way')."""
+
+    name = "centralized"
+
+    def __init__(self, network: SensorNetwork, server: Optional[int] = None):
+        super().__init__(network)
+        self.server = network.topology.node_ids[0] if server is None else server
+
+    def storage_paths(self, origin: int) -> List[List[int]]:
+        if origin == self.server:
+            return []
+        return [[self.server]]
+
+    def join_path(self, origin: int) -> List[int]:
+        return [self.server]
+
+    def storage_hops_bound(self) -> int:
+        return self.network.topology.diameter
+
+    def join_hops_bound(self) -> int:
+        return self.network.topology.diameter
+
+
+class CentroidRegions(CentralizedRegions):
+    """The Centroid Approach: the server sits at the topological center
+    (minimizing transport cost), the scheme PA is compared against."""
+
+    name = "centroid"
+
+    def __init__(self, network: SensorNetwork):
+        center = _topological_center(network)
+        super().__init__(network, server=center)
+
+
+class SpatialClip(RegionStrategy):
+    """Wrap a strategy, clipping both regions to ``radius`` (Euclidean)
+    around the generating node — the spatial-constraint optimization of
+    Section III-A: when the join predicate admits only nearby matches,
+    storing and traversing the full lines is wasted."""
+
+    def __init__(self, inner: RegionStrategy, radius: float):
+        super().__init__(inner.network)
+        self.inner = inner
+        self.radius = radius
+        self.name = f"{inner.name}+clip({radius})"
+
+    def _within(self, origin: int, node: int) -> bool:
+        return self.network.topology.euclidean(origin, node) <= self.radius
+
+    def storage_paths(self, origin: int) -> List[List[int]]:
+        out = []
+        for path in self.inner.storage_paths(origin):
+            clipped = []
+            for node in path:
+                if not self._within(origin, node):
+                    break  # paths extend outward; stop at the boundary
+                clipped.append(node)
+            if clipped:
+                out.append(clipped)
+        return out
+
+    def join_path(self, origin: int) -> List[int]:
+        return [
+            node for node in self.inner.join_path(origin)
+            if self._within(origin, node)
+        ] or [origin]
+
+    def storage_hops_bound(self) -> int:
+        return self.inner.storage_hops_bound()
+
+    def join_hops_bound(self) -> int:
+        return self.inner.join_hops_bound()
+
+
+def _dfs_walk(network: SensorNetwork, origin: int) -> List[int]:
+    """A DFS preorder walk over a BFS tree from origin; consecutive
+    nodes may be several hops apart (routed)."""
+    graph = network.topology.graph
+    tree = nx.bfs_tree(graph, origin)
+    return list(nx.dfs_preorder_nodes(tree, origin))
+
+
+def _topological_center(network: SensorNetwork) -> int:
+    """The node minimizing total hop distance to all others (computed
+    over positions for speed: nearest node to the centroid)."""
+    xs = [p[0] for p in network.topology.positions.values()]
+    ys = [p[1] for p in network.topology.positions.values()]
+    centroid = (sum(xs) / len(xs), sum(ys) / len(ys))
+    return network.topology.nearest_node(centroid)
+
+
+STRATEGIES = {
+    "pa": PerpendicularRegions,
+    "virtual-grid": VirtualGridRegions,
+    "broadcast": BroadcastRegions,
+    "local-storage": LocalStorageRegions,
+    "centralized": CentralizedRegions,
+    "centroid": CentroidRegions,
+}
+
+
+def make_strategy(name: str, network: SensorNetwork, **kwargs) -> RegionStrategy:
+    """Build a region strategy by name ('pa' falls back to the virtual
+    grid on non-grid topologies)."""
+    if name == "pa" and not isinstance(network.topology, GridTopology):
+        return VirtualGridRegions(network, **kwargs)
+    cls = STRATEGIES.get(name)
+    if cls is None:
+        raise PlanError(f"unknown strategy {name!r} (have {sorted(STRATEGIES)})")
+    return cls(network, **kwargs)

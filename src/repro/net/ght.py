@@ -1,0 +1,48 @@
+"""Geographic hashing of derived tuples.
+
+Derived tuples must be stored so that *identical* tuples land at the
+same (or nearby) node — that is what turns a derived table into a set
+and a derived stream (Section III-B: duplicates are detected at the
+hashed location and are not re-generated).  Classic geographic hash
+tables (GHT) hash a key to a position and store at the node nearest
+that position; we do exactly that with a process-independent hash
+(Python's builtin ``hash`` is salted, so md5 it is).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple
+
+from ..core.terms import Term
+from .topology import Position, Topology
+
+
+def stable_hash(data: str) -> int:
+    """Deterministic 64-bit hash of a string (same across processes)."""
+    digest = hashlib.md5(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class GeographicHash:
+    """Hashes fact keys to storage nodes via positions."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self._bbox = topology.bounding_box()
+
+    def position_for(self, key: str) -> Position:
+        """Map a key to a position inside the deployment bounding box."""
+        x0, y0, x1, y1 = self._bbox
+        h = stable_hash(key)
+        fx = ((h >> 32) & 0xFFFFFFFF) / 0xFFFFFFFF
+        fy = (h & 0xFFFFFFFF) / 0xFFFFFFFF
+        return (x0 + fx * (x1 - x0), y0 + fy * (y1 - y0))
+
+    def node_for_key(self, key: str) -> int:
+        """The home node for a key: nearest node to the hashed position."""
+        return self.topology.nearest_node(self.position_for(key))
+
+    def node_for_fact(self, predicate: str, args: Tuple[Term, ...]) -> int:
+        """Home node for a derived fact (predicate + ground arguments)."""
+        return self.node_for_key(f"{predicate}/{args!r}")

@@ -1,0 +1,42 @@
+"""Network messages.
+
+A message is a typed payload with a size estimate.  The byte-cost model
+charges a fixed header plus a per-symbol cost for terms (constants,
+variables, function symbols all count one symbol — matching how a real
+implementation would serialize term trees).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+#: Bytes charged per message for headers (addresses, type, ids).
+HEADER_BYTES = 8
+#: Bytes charged per term symbol in a payload.
+BYTES_PER_SYMBOL = 4
+
+_msg_counter = itertools.count()
+
+
+class Message:
+    """Base class for everything the radio carries.
+
+    ``kind`` selects the receiving handler; ``dst`` is the final
+    destination for routed messages (None for single-hop / flood);
+    ``payload_symbols`` drives the byte-cost model.
+    """
+
+    def __init__(self, kind: str, dst: Optional[int] = None, payload_symbols: int = 0):
+        self.kind = kind
+        self.dst = dst
+        self.payload_symbols = payload_symbols
+        self.msg_id = next(_msg_counter)
+        self.hops = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + BYTES_PER_SYMBOL * self.payload_symbols
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} #{self.msg_id} -> {self.dst}>"

@@ -1,0 +1,99 @@
+"""Communication and energy metrics.
+
+The evaluation section's headline numbers are communication costs:
+total messages, total bytes, the per-node load distribution (hotspots
+kill networks: nodes near a central server die first, Section III-A),
+and energy.  Every radio transmission/reception is recorded here with a
+free-form category ("storage", "join", "result", "control", ...) so
+benchmarks can break costs down by phase.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from .energy import EnergyModel
+
+
+class MetricsCollector:
+    """Counts transmissions, receptions, bytes and energy per node and
+    per category."""
+
+    def __init__(self, energy_model: Optional[EnergyModel] = None):
+        self.energy_model = energy_model or EnergyModel()
+        self.reset()
+
+    def reset(self) -> None:
+        self.tx_count: Dict[int, int] = defaultdict(int)
+        self.rx_count: Dict[int, int] = defaultdict(int)
+        self.tx_bytes: Dict[int, int] = defaultdict(int)
+        self.rx_bytes: Dict[int, int] = defaultdict(int)
+        self.category_tx: Dict[str, int] = defaultdict(int)
+        self.category_bytes: Dict[str, int] = defaultdict(int)
+        self.energy: Dict[int, float] = defaultdict(float)
+        self.dropped = 0
+
+    # -- recording ------------------------------------------------------
+
+    def record_tx(self, node_id: int, size_bytes: int, category: str) -> None:
+        self.tx_count[node_id] += 1
+        self.tx_bytes[node_id] += size_bytes
+        self.category_tx[category] += 1
+        self.category_bytes[category] += size_bytes
+        self.energy[node_id] += self.energy_model.tx_cost(size_bytes)
+
+    def record_rx(self, node_id: int, size_bytes: int) -> None:
+        self.rx_count[node_id] += 1
+        self.rx_bytes[node_id] += size_bytes
+        self.energy[node_id] += self.energy_model.rx_cost(size_bytes)
+
+    def record_drop(self) -> None:
+        self.dropped += 1
+
+    # -- summaries ------------------------------------------------------
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.tx_count.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.tx_bytes.values())
+
+    @property
+    def total_energy(self) -> float:
+        return sum(self.energy.values())
+
+    @property
+    def max_node_load(self) -> int:
+        """Transmissions at the busiest node — the hotspot metric."""
+        return max(self.tx_count.values(), default=0)
+
+    def load_of(self, node_id: int) -> int:
+        return self.tx_count.get(node_id, 0)
+
+    def load_distribution(self) -> List[int]:
+        return sorted(self.tx_count.values(), reverse=True)
+
+    def load_imbalance(self) -> float:
+        """max/mean transmission load (1.0 = perfectly balanced)."""
+        loads = list(self.tx_count.values())
+        if not loads:
+            return 0.0
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "messages": self.total_messages,
+            "bytes": self.total_bytes,
+            "energy_uJ": round(self.total_energy, 1),
+            "max_node_load": self.max_node_load,
+            "load_imbalance": round(self.load_imbalance(), 2),
+            "dropped": self.dropped,
+            **{f"msgs[{c}]": n for c, n in sorted(self.category_tx.items())},
+        }
+
+    def __repr__(self) -> str:
+        return f"MetricsCollector({self.summary()!r})"

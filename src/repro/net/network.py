@@ -1,0 +1,111 @@
+"""The assembled sensor network: topology + simulator + radio + routing
++ geographic hashing + metrics.
+
+This is the object benchmarks and examples construct; the distributed
+deductive engine installs its per-node runtimes onto ``network.nodes``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..core.errors import NetworkError
+from .ght import GeographicHash
+from .metrics import MetricsCollector
+from .node import Node
+from .radio import Radio
+from .routing import Router
+from .sim import LocalClock, Simulator
+from .topology import GridTopology, RandomGeometricTopology, Topology
+
+
+class SensorNetwork:
+    """A simulated multi-hop sensor network."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        seed: int = 0,
+        delay_base: float = 0.01,
+        delay_jitter: float = 0.005,
+        loss_rate: float = 0.0,
+        clock_skew: float = 0.0,
+        battery_capacity: float = None,
+        collisions: bool = False,
+    ):
+        self.topology = topology
+        self.sim = Simulator(seed)
+        self.metrics = MetricsCollector()
+        self.radio = Radio(
+            self.sim, self.metrics, delay_base, delay_jitter, loss_rate,
+            battery_capacity=battery_capacity, collisions=collisions,
+        )
+        self.router = Router(topology)
+        self.ght = GeographicHash(topology)
+        self.clock_skew = clock_skew
+        self.nodes: Dict[int, Node] = {}
+        for node_id in topology.node_ids:
+            skew = self.sim.rng.uniform(-clock_skew / 2, clock_skew / 2) if clock_skew else 0.0
+            self.nodes[node_id] = Node(node_id, self, LocalClock(self.sim, skew))
+
+    # -- accessors ----------------------------------------------------------
+
+    def node(self, node_id: int) -> Node:
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise NetworkError(f"unknown node {node_id}")
+        return node
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def tau_c(self) -> float:
+        """Bound on the clock difference between any two nodes."""
+        return self.clock_skew
+
+    def phase_bound(self, max_hops: Optional[int] = None, per_hop_work: float = 0.0) -> float:
+        """Conservative completion-time bound for a phase traversing at
+        most ``max_hops`` hops (default: network diameter + 1), with
+        optional per-hop processing time."""
+        hops = (self.topology.diameter + 1) if max_hops is None else max_hops
+        return hops * (self.radio.max_hop_delay + per_hop_work) * 1.25
+
+    # -- running --------------------------------------------------------------
+
+    def run_until(self, when: float) -> int:
+        return self.sim.run(until=when)
+
+    def run_all(self, max_events: int = 10_000_000) -> int:
+        return self.sim.run_all(max_events)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+
+class GridNetwork(SensorNetwork):
+    """Convenience: a SensorNetwork over an m x n unit grid."""
+
+    def __init__(self, m: int, n: Optional[int] = None, **kwargs):
+        super().__init__(GridTopology(m, n), **kwargs)
+
+    @property
+    def grid(self) -> GridTopology:
+        return self.topology  # type: ignore[return-value]
+
+
+class RandomNetwork(SensorNetwork):
+    """Convenience: a SensorNetwork over a random unit-disk deployment."""
+
+    def __init__(
+        self,
+        n: int,
+        radius: float = 2.0,
+        side: float = 10.0,
+        seed: int = 0,
+        **kwargs,
+    ):
+        super().__init__(
+            RandomGeometricTopology(n, radius, side, seed), seed=seed, **kwargs
+        )

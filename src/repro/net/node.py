@@ -1,0 +1,116 @@
+"""Sensor nodes.
+
+A node owns a local clock (with bounded skew), a handler table for
+message kinds (the "other layers" of Fig. 2/3 register themselves
+here), and primitives for single-hop sends, routed multi-hop sends, and
+path-following sends (the storage/join-phase traversals of PA).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from ..core.errors import NetworkError
+from .messages import Message
+from .sim import LocalClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import SensorNetwork
+
+Handler = Callable[["Node", Message], None]
+
+#: Handler kind used for routed-message forwarding.
+ROUTED = "__routed__"
+
+
+class RoutedEnvelope(Message):
+    """Wraps an inner message for hop-by-hop forwarding to ``dst``."""
+
+    def __init__(self, inner: Message, dst: int, category: str):
+        super().__init__(ROUTED, dst=dst, payload_symbols=inner.payload_symbols)
+        self.inner = inner
+        self.category = category
+
+
+class Node:
+    """One simulated sensor node."""
+
+    def __init__(self, node_id: int, network: "SensorNetwork", clock: LocalClock):
+        self.id = node_id
+        self.network = network
+        self.clock = clock
+        self._handlers: Dict[str, Handler] = {}
+        self._seq = 0
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def position(self):
+        return self.network.topology.position(self.id)
+
+    @property
+    def neighbors(self) -> List[int]:
+        return self.network.topology.neighbors(self.id)
+
+    def next_seq(self) -> int:
+        """Per-node sequence counter (disambiguates same-instant tuples)."""
+        self._seq += 1
+        return self._seq
+
+    # -- handlers -----------------------------------------------------------
+
+    def register_handler(self, kind: str, handler: Handler, replace: bool = False) -> None:
+        if kind in self._handlers and not replace:
+            raise NetworkError(f"duplicate handler for {kind!r} at node {self.id}")
+        self._handlers[kind] = handler
+
+    def deliver(self, message: Message) -> None:
+        """Entry point for messages arriving over the radio."""
+        if isinstance(message, RoutedEnvelope):
+            if message.dst == self.id:
+                self.deliver(message.inner)
+            else:
+                hop = self.network.router.next_hop(self.id, message.dst)
+                self.network.radio.transmit(
+                    self.id, hop, message,
+                    self.network.node(hop).deliver, message.category,
+                )
+            return
+        handler = self._handlers.get(message.kind)
+        if handler is None:
+            raise NetworkError(
+                f"node {self.id} has no handler for message kind {message.kind!r}"
+            )
+        handler(self, message)
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, neighbor_id: int, message: Message, category: str = "data") -> None:
+        """Single-hop send to a direct neighbor."""
+        if not self.network.topology.are_neighbors(self.id, neighbor_id):
+            raise NetworkError(
+                f"node {self.id} cannot reach non-neighbor {neighbor_id}"
+            )
+        self.network.radio.transmit(
+            self.id, neighbor_id, message,
+            self.network.node(neighbor_id).deliver, category,
+        )
+
+    def send_routed(self, dst: int, message: Message, category: str = "data") -> None:
+        """Multi-hop send via the routing layer."""
+        if dst == self.id:
+            self.deliver(message)
+            return
+        envelope = RoutedEnvelope(message, dst, category)
+        hop = self.network.router.next_hop(self.id, dst)
+        self.network.radio.transmit(
+            self.id, hop, envelope, self.network.node(hop).deliver, category
+        )
+
+    def local_deliver(self, message: Message) -> None:
+        """Hand a message to this node's own handler without any radio
+        cost (used when a phase starts at the generating node itself)."""
+        self.deliver(message)
+
+    def __repr__(self) -> str:
+        return f"Node({self.id}@{self.position})"

@@ -1,0 +1,154 @@
+"""The radio/link layer: single-hop transmission between neighbors.
+
+Models per-hop latency (base + uniform jitter) and independent message
+loss.  Bounded message delay — the assumption behind Theorems 1-3 — is
+guaranteed by construction (delay <= delay_base + jitter).  Loss is the
+fault-injection knob for robustness experiments (E7); the paper's
+theorems assume no losses, and the experiments measure how gracefully
+results degrade when that assumption breaks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from ..core.errors import NetworkError
+from .messages import Message
+from .metrics import MetricsCollector
+from .sim import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import SensorNetwork
+
+
+class Radio:
+    """Delivers messages between neighboring nodes through the event queue."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        metrics: MetricsCollector,
+        delay_base: float = 0.01,
+        delay_jitter: float = 0.005,
+        loss_rate: float = 0.0,
+        battery_capacity: Optional[float] = None,
+        collisions: bool = False,
+        bitrate_bps: float = 250_000.0,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise NetworkError(f"loss rate {loss_rate} out of range")
+        self.sim = sim
+        self.metrics = metrics
+        self.delay_base = delay_base
+        self.delay_jitter = delay_jitter
+        self.loss_rate = loss_rate
+        # Links are FIFO (as real MAC layers are): per directed link,
+        # deliveries never overtake earlier ones.
+        self._last_arrival: dict = {}
+        # Finite batteries: a node whose radio energy exceeds the
+        # capacity dies — it stops transmitting and receiving.  This is
+        # how server hotspots translate into network partition
+        # (Section III-A's "quick failure of the nodes close to the
+        # server").
+        self.battery_capacity = battery_capacity
+        self.death_time: dict = {}
+        #: Observers called with (event, src, dst, message, category) for
+        #: event in {'tx', 'rx', 'drop'} — the tracing hook.
+        self.listeners: list = []
+        # First-order contention model (TOSSIM-ish CSMA behaviour): a
+        # frame whose airtime at the receiver overlaps a frame from a
+        # *different* sender is lost (the earlier frame captures the
+        # channel).  Same-sender frames are FIFO-queued, never colliding.
+        self.collisions = collisions
+        self.bitrate_bps = bitrate_bps
+        self.collision_count = 0
+        # dst -> (airtime_end, src) of the last frame heard there
+        self._channel: dict = {}
+
+    def airtime(self, size_bytes: int) -> float:
+        return size_bytes * 8.0 / self.bitrate_bps
+
+    def is_alive(self, node_id: int) -> bool:
+        return node_id not in self.death_time
+
+    def kill(self, node_id: int) -> None:
+        """Fail a node immediately (fault injection: crash, tamper,
+        hardware death).  The node stops transmitting and receiving;
+        its stored replicas are simply unreachable — which is exactly
+        the failure PA's replication is designed to ride out."""
+        self.death_time.setdefault(node_id, self.sim.now)
+
+    def _check_battery(self, node_id: int) -> None:
+        if (
+            self.battery_capacity is not None
+            and node_id not in self.death_time
+            and self.metrics.energy[node_id] > self.battery_capacity
+        ):
+            self.death_time[node_id] = self.sim.now
+
+    @property
+    def first_death_time(self) -> Optional[float]:
+        return min(self.death_time.values()) if self.death_time else None
+
+    @property
+    def max_hop_delay(self) -> float:
+        """Upper bound on one hop's latency (basis for tau_s / tau_j)."""
+        return self.delay_base + self.delay_jitter
+
+    def transmit(
+        self,
+        src_id: int,
+        dst_id: int,
+        message: Message,
+        deliver: Callable[[Message], None],
+        category: str = "data",
+    ) -> None:
+        """Send one hop; the transmission is always paid for, delivery
+        happens only if the message survives loss and both radios live."""
+        if not self.is_alive(src_id):
+            return  # dead nodes transmit nothing
+        self.metrics.record_tx(src_id, message.size_bytes, category)
+        self._notify("tx", src_id, dst_id, message, category)
+        self._check_battery(src_id)
+        if not self.is_alive(dst_id):
+            self.metrics.record_drop()
+            self._notify("drop", src_id, dst_id, message, category)
+            return  # nobody listening
+        if self.loss_rate and self.sim.rng.random() < self.loss_rate:
+            self.metrics.record_drop()
+            self._notify("drop", src_id, dst_id, message, category)
+            return
+        delay = self.delay_base + self.sim.rng.uniform(0, self.delay_jitter)
+        arrival = self.sim.now + delay
+        link = (src_id, dst_id)
+        previous = self._last_arrival.get(link)
+        if previous is not None and arrival <= previous:
+            arrival = previous + 1e-9  # FIFO: queue behind the last frame
+        self._last_arrival[link] = arrival
+        message.hops += 1
+        size = message.size_bytes
+        if self.collisions:
+            start = arrival - self.airtime(size)
+            prev = self._channel.get(dst_id)
+            if prev is not None and prev[1] != src_id and start < prev[0]:
+                self.collision_count += 1
+                self.metrics.record_drop()
+                self._notify("drop", src_id, dst_id, message, category)
+                return
+            self._channel[dst_id] = (arrival, src_id)
+
+        def arrive() -> None:
+            if not self.is_alive(dst_id):
+                self.metrics.record_drop()
+                self._notify("drop", src_id, dst_id, message, category)
+                return  # died while the frame was in the air
+            self.metrics.record_rx(dst_id, size)
+            self._notify("rx", src_id, dst_id, message, category)
+            self._check_battery(dst_id)
+            deliver(message)
+
+        self.sim.schedule_at(arrival, arrive)
+
+    def _notify(self, event: str, src: int, dst: int, message: Message, category: str) -> None:
+        for listener in self.listeners:
+            listener(event, src, dst, message, category)

@@ -1,0 +1,66 @@
+"""Multi-hop routing substrate.
+
+Real deployments run a routing protocol (e.g. tree routing, GPSR); its
+steady-state product is a next-hop table per destination.  We model
+that product directly: shortest-path next-hop tables computed lazily
+per destination (one BFS each), which every node consults hop-by-hop.
+Route-maintenance traffic is not modeled — the paper's costs exclude it
+for all compared schemes alike, so shapes are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import networkx as nx
+
+from ..core.errors import NetworkError
+from .topology import Topology
+
+
+class Router:
+    """Hop-by-hop shortest-path routing over a static topology."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        # _next_hop[dst][node] = neighbor of node, one hop closer to dst
+        self._next_hop: Dict[int, Dict[int, int]] = {}
+
+    def _table_for(self, dst: int) -> Dict[int, int]:
+        table = self._next_hop.get(dst)
+        if table is None:
+            # BFS tree rooted at dst: each node's parent is its next hop.
+            parents = nx.bfs_predecessors(self.topology.graph, dst)
+            table = {node: parent for node, parent in parents}
+            self._next_hop[dst] = table
+        return table
+
+    def next_hop(self, node: int, dst: int) -> int:
+        """The neighbor of ``node`` on a shortest path to ``dst``."""
+        if node == dst:
+            raise NetworkError(f"node {node} routing to itself")
+        table = self._table_for(dst)
+        hop = table.get(node)
+        if hop is None:
+            raise NetworkError(f"no route from {node} to {dst}")
+        return hop
+
+    def hop_distance(self, a: int, b: int) -> int:
+        """Shortest-path hop count (0 when a == b)."""
+        if a == b:
+            return 0
+        count = 0
+        node = a
+        while node != b:
+            node = self.next_hop(node, b)
+            count += 1
+        return count
+
+    def path(self, a: int, b: int) -> List[int]:
+        """The node sequence a .. b that hop-by-hop forwarding follows."""
+        out = [a]
+        node = a
+        while node != b:
+            node = self.next_hop(node, b)
+            out.append(node)
+        return out

@@ -1,0 +1,181 @@
+"""Network topologies.
+
+The paper describes PA on 2-D grid networks (unit transmission radius,
+node at every integer coordinate) and generalizes to arbitrary
+topologies; we provide grids, random geometric (unit-disk) graphs, and
+arbitrary user graphs.  All expose positions — geographic hashing and
+the region constructions need them.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..core.errors import NetworkError
+
+Position = Tuple[float, float]
+
+
+class Topology:
+    """Connectivity + positions for a set of integer-identified nodes."""
+
+    def __init__(self, graph: "nx.Graph", positions: Dict[int, Position]):
+        if set(graph.nodes) != set(positions):
+            raise NetworkError("graph nodes and positions disagree")
+        if len(graph) == 0:
+            raise NetworkError("empty topology")
+        if not nx.is_connected(graph):
+            raise NetworkError("topology must be connected")
+        self.graph = graph
+        self.positions = dict(positions)
+        self._diameter: Optional[int] = None
+
+    @property
+    def node_ids(self) -> List[int]:
+        return sorted(self.graph.nodes)
+
+    def __len__(self) -> int:
+        return len(self.graph)
+
+    def neighbors(self, node_id: int) -> List[int]:
+        return sorted(self.graph.neighbors(node_id))
+
+    def position(self, node_id: int) -> Position:
+        return self.positions[node_id]
+
+    def are_neighbors(self, a: int, b: int) -> bool:
+        return self.graph.has_edge(a, b)
+
+    @property
+    def diameter(self) -> int:
+        if self._diameter is None:
+            self._diameter = nx.diameter(self.graph)
+        return self._diameter
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        xs = [p[0] for p in self.positions.values()]
+        ys = [p[1] for p in self.positions.values()]
+        return min(xs), min(ys), max(xs), max(ys)
+
+    def nearest_node(self, point: Position) -> int:
+        """Node closest to a geographic point (ties: lowest id)."""
+        return min(
+            self.node_ids,
+            key=lambda n: (_dist(self.positions[n], point), n),
+        )
+
+    def euclidean(self, a: int, b: int) -> float:
+        return _dist(self.positions[a], self.positions[b])
+
+
+def _dist(p: Position, q: Position) -> float:
+    return math.hypot(p[0] - q[0], p[1] - q[1])
+
+
+class GridTopology(Topology):
+    """An m x n unit grid: node at (x, y) for 0 <= x < m, 0 <= y < n,
+    unit transmission radius (so 4-neighborhood).
+
+    Node ids are ``y * m + x``; helpers expose the horizontal/vertical
+    lines PA replicates and traverses.
+    """
+
+    def __init__(self, m: int, n: Optional[int] = None):
+        if m < 1:
+            raise NetworkError("grid needs at least one column")
+        n = m if n is None else n
+        self.m, self.n = m, n
+        graph = nx.Graph()
+        positions: Dict[int, Position] = {}
+        for y in range(n):
+            for x in range(m):
+                node = y * m + x
+                graph.add_node(node)
+                positions[node] = (float(x), float(y))
+                if x > 0:
+                    graph.add_edge(node, node - 1)
+                if y > 0:
+                    graph.add_edge(node, node - m)
+        super().__init__(graph, positions)
+
+    def node_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.m and 0 <= y < self.n):
+            raise NetworkError(f"({x}, {y}) outside {self.m}x{self.n} grid")
+        return y * self.m + x
+
+    def coords(self, node_id: int) -> Tuple[int, int]:
+        return node_id % self.m, node_id // self.m
+
+    def row(self, y: int) -> List[int]:
+        """The y-th horizontal line, west to east (PA's storage region)."""
+        return [self.node_at(x, y) for x in range(self.m)]
+
+    def column(self, x: int) -> List[int]:
+        """The x-th vertical line, south to north (PA's join region)."""
+        return [self.node_at(x, y) for y in range(self.n)]
+
+    def __repr__(self) -> str:
+        return f"GridTopology({self.m}x{self.n})"
+
+
+class RandomGeometricTopology(Topology):
+    """Unit-disk graph over uniformly random points in a square.
+
+    Retries seeds until the graph is connected (or takes the giant
+    component after ``max_tries``), mimicking a realistic random sensor
+    deployment.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        radius: float,
+        side: float = 10.0,
+        seed: int = 0,
+        max_tries: int = 25,
+    ):
+        rng = random.Random(seed)
+        graph: Optional[nx.Graph] = None
+        positions: Dict[int, Position] = {}
+        for _ in range(max_tries):
+            pts = {i: (rng.uniform(0, side), rng.uniform(0, side)) for i in range(n)}
+            g = nx.Graph()
+            g.add_nodes_from(pts)
+            ids = sorted(pts)
+            for i_idx, i in enumerate(ids):
+                for j in ids[i_idx + 1:]:
+                    if _dist(pts[i], pts[j]) <= radius:
+                        g.add_edge(i, j)
+            if nx.is_connected(g):
+                graph, positions = g, pts
+                break
+        if graph is None:
+            # Fall back to the giant component, relabeled contiguously.
+            component = max(nx.connected_components(g), key=len)
+            mapping = {old: new for new, old in enumerate(sorted(component))}
+            graph = nx.relabel_nodes(g.subgraph(component).copy(), mapping)
+            positions = {mapping[old]: pts[old] for old in component}
+        self.side = side
+        self.radius = radius
+        super().__init__(graph, positions)
+
+    def __repr__(self) -> str:
+        return f"RandomGeometricTopology(n={len(self)}, r={self.radius})"
+
+
+def topology_from_edges(
+    edges: Iterable[Tuple[int, int]],
+    positions: Optional[Dict[int, Position]] = None,
+) -> Topology:
+    """Arbitrary topology from an edge list; spring-layout positions are
+    synthesized when none are given (geo-hashing still needs them)."""
+    graph = nx.Graph()
+    graph.add_edges_from(edges)
+    if positions is None:
+        layout = nx.spring_layout(graph, seed=0)
+        positions = {n: (float(p[0]) * 10, float(p[1]) * 10) for n, p in layout.items()}
+    return Topology(graph, positions)

@@ -1,0 +1,131 @@
+"""Message tracing — the TOSSIM ``dbg`` channel equivalent.
+
+Attach a :class:`Tracer` to a network to record every radio event with
+its timestamp, endpoints, message kind, phase category and size; then
+filter, render a timeline, or summarize.  Used when debugging protocol
+interleavings (the storage/join phase races are invisible in aggregate
+metrics) and by tests asserting on message sequences.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Iterable, List, NamedTuple, Optional
+
+from .network import SensorNetwork
+
+
+class TraceEvent(NamedTuple):
+    time: float
+    event: str        # 'tx' | 'rx' | 'drop'
+    src: int
+    dst: int
+    msg_kind: str
+    msg_id: int
+    category: str
+    size_bytes: int
+
+    def render(self) -> str:
+        arrow = {"tx": "->", "rx": "=>", "drop": "x>"}[self.event]
+        return (
+            f"{self.time:10.4f}  {self.src:>4} {arrow} {self.dst:<4} "
+            f"{self.msg_kind:<12} #{self.msg_id:<6} "
+            f"[{self.category}] {self.size_bytes}B"
+        )
+
+
+class Tracer:
+    """Records radio events; supports filtering and rendering."""
+
+    def __init__(self, network: SensorNetwork, capacity: Optional[int] = 100_000):
+        self.network = network
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.truncated = False
+        self._attached = False
+
+    def attach(self) -> "Tracer":
+        if not self._attached:
+            self.network.radio.listeners.append(self._record)
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self.network.radio.listeners.remove(self._record)
+            self._attached = False
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.truncated = False
+
+    def _record(self, event, src, dst, message, category) -> None:
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.truncated = True
+            return
+        self.events.append(TraceEvent(
+            time=self.network.now,
+            event=event,
+            src=src,
+            dst=dst,
+            msg_kind=message.kind,
+            msg_id=message.msg_id,
+            category=category,
+            size_bytes=message.size_bytes,
+        ))
+
+    # -- queries ------------------------------------------------------------
+
+    def filter(
+        self,
+        event: Optional[str] = None,
+        node: Optional[int] = None,
+        category: Optional[str] = None,
+        msg_kind: Optional[str] = None,
+        since: Optional[float] = None,
+    ) -> List[TraceEvent]:
+        """Events matching every given criterion (node matches either
+        endpoint)."""
+        out = []
+        for ev in self.events:
+            if event is not None and ev.event != event:
+                continue
+            if node is not None and node not in (ev.src, ev.dst):
+                continue
+            if category is not None and ev.category != category:
+                continue
+            if msg_kind is not None and ev.msg_kind != msg_kind:
+                continue
+            if since is not None and ev.time < since:
+                continue
+            out.append(ev)
+        return out
+
+    def timeline(self, limit: int = 50, **filters) -> str:
+        """A printable timeline of (filtered) events."""
+        events = self.filter(**filters)
+        lines = [ev.render() for ev in events[:limit]]
+        if len(events) > limit:
+            lines.append(f"... {len(events) - limit} more")
+        return "\n".join(lines) if lines else "(no events)"
+
+    def summary(self) -> dict:
+        """Counts by event type, category and message kind."""
+        by_event = Counter(ev.event for ev in self.events)
+        by_category = Counter(
+            ev.category for ev in self.events if ev.event == "tx"
+        )
+        by_kind = Counter(
+            ev.msg_kind for ev in self.events if ev.event == "tx"
+        )
+        return {
+            "events": len(self.events),
+            "by_event": dict(by_event),
+            "by_category": dict(by_category),
+            "by_kind": dict(by_kind),
+            "truncated": self.truncated,
+        }
+
+    def message_path(self, msg_id: int) -> List[TraceEvent]:
+        """All events for one message id — follow a token's journey."""
+        return [ev for ev in self.events if ev.msg_id == msg_id]

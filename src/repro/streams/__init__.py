@@ -1,0 +1,9 @@
+"""Stream model: tuple identity, stream tuples, sliding windows."""
+
+from .tuples import ArgsTuple, StreamTuple, TupleID
+from .windows import CountWindow, SlidingWindow, WindowParams
+
+__all__ = [
+    "ArgsTuple", "StreamTuple", "TupleID", "CountWindow",
+    "SlidingWindow", "WindowParams",
+]

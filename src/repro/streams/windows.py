@@ -1,0 +1,173 @@
+"""Time-based sliding windows over data streams.
+
+Sensor data is modeled as unbounded streams; limited memory forces
+nodes to keep only a sliding window of recent tuples (Section II-B).
+Windows here are time-based: a tuple with generation timestamp ``g``
+belongs to the window of time ``T`` when ``T - range < g <= T``.
+
+Expiry follows the paper's storage-time rule (Section IV-B): a replica
+may be physically dropped only after
+
+    (tau_s + tau_c) + tau_j + (tau_w + tau_c)
+
+so that every join-computation phase that could still match the tuple
+finds it present.  Deleted tuples keep their slot (with a deletion
+timestamp) until the same bound passes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.terms import Term
+from .tuples import ArgsTuple, StreamTuple, TupleID
+
+
+class WindowParams:
+    """The timing constants of Theorem 3."""
+
+    def __init__(self, window: float, tau_s: float, tau_c: float, tau_j: float):
+        self.window = window      # tau_w: sliding-window range
+        self.tau_s = tau_s        # storage-phase completion bound
+        self.tau_c = tau_c        # max clock skew between two nodes
+        self.tau_j = tau_j        # join-phase completion bound
+
+    @property
+    def join_delay(self) -> float:
+        """Delay between storage-phase start and join-phase start."""
+        return self.tau_s + self.tau_c
+
+    @property
+    def storage_time(self) -> float:
+        """Total replica retention time before physical expiry."""
+        return (self.tau_s + self.tau_c) + self.tau_j + (self.window + self.tau_c)
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowParams(w={self.window}, s={self.tau_s}, "
+            f"c={self.tau_c}, j={self.tau_j})"
+        )
+
+
+class SlidingWindow:
+    """A sliding window of stream tuples for one predicate at one node.
+
+    Holds both locally generated tuples and replicas received during
+    storage phases; supports the timestamp-scoped visibility queries the
+    join-computation phase needs.
+    """
+
+    def __init__(self, predicate: str, params: WindowParams):
+        self.predicate = predicate
+        self.params = params
+        self._tuples: Dict[TupleID, StreamTuple] = {}
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        return iter(self._tuples.values())
+
+    def store(self, tup: StreamTuple) -> bool:
+        """Store a tuple/replica; duplicate IDs are ignored (replication
+        is idempotent).  Returns True when newly stored."""
+        if tup.tuple_id in self._tuples:
+            return False
+        self._tuples[tup.tuple_id] = tup
+        return True
+
+    def mark_deleted(self, tuple_id: TupleID, deletion_ts: float) -> bool:
+        """Record a deletion timestamp on a replica (the *removal* of
+        Section IV — not a physical delete).  Returns True if found."""
+        tup = self._tuples.get(tuple_id)
+        if tup is None:
+            return False
+        if tup.deletion_ts is None or deletion_ts < tup.deletion_ts:
+            tup.deletion_ts = deletion_ts
+        return True
+
+    def live_at(self, when: float) -> List[StreamTuple]:
+        """Tuples visible to an update with timestamp ``when`` (Theorem 3):
+        generated in ``(when - tau_w, when]`` and not deleted before
+        ``when``."""
+        return [
+            t for t in self._tuples.values()
+            if t.is_live_at(when, self.params.window)
+        ]
+
+    def match_live(self, when: float, probe: Callable[[ArgsTuple], bool]) -> List[StreamTuple]:
+        """Live tuples whose arguments satisfy ``probe``."""
+        return [t for t in self.live_at(when) if probe(t.args)]
+
+    def expire(self, now: float) -> List[StreamTuple]:
+        """Drop tuples whose storage time has fully elapsed; returns what
+        was dropped (for memory accounting)."""
+        horizon = now - self.params.storage_time
+        dropped = [
+            t for t in self._tuples.values() if t.generation_ts <= horizon
+        ]
+        for t in dropped:
+            del self._tuples[t.tuple_id]
+        return dropped
+
+    def get(self, tuple_id: TupleID) -> Optional[StreamTuple]:
+        return self._tuples.get(tuple_id)
+
+    def memory_tuples(self) -> int:
+        """Resident tuple count — the per-node memory metric of
+        Section V."""
+        return len(self._tuples)
+
+
+class CountWindow:
+    """A count-based sliding window: the most recent ``capacity`` tuples
+    by generation timestamp.
+
+    Section II-B restricts the *in-network* machinery to time-based
+    windows and calls the in-network maintenance of other window types
+    "a challenge and part of our future work" — the difficulty being
+    that which tuples belong to a count window is a global property of
+    the stream, not decidable locally from a replica's own timestamps.
+    This implementation is therefore for centralized / per-source use:
+    a single authority (the source node for its own sub-stream, or a
+    central evaluator) observes the full insertion order.
+    """
+
+    def __init__(self, predicate: str, capacity: int):
+        if capacity < 1:
+            raise ValueError("count window capacity must be >= 1")
+        self.predicate = predicate
+        self.capacity = capacity
+        self._tuples: Dict[TupleID, StreamTuple] = {}
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        return iter(self._tuples.values())
+
+    def store(self, tup: StreamTuple) -> List[StreamTuple]:
+        """Insert a tuple; returns the tuples evicted to stay within
+        capacity (oldest generation timestamps first)."""
+        if tup.tuple_id in self._tuples:
+            return []
+        self._tuples[tup.tuple_id] = tup
+        evicted: List[StreamTuple] = []
+        while len(self._tuples) > self.capacity:
+            oldest_id = min(self._tuples, key=lambda tid: tid)
+            evicted.append(self._tuples.pop(oldest_id))
+        return evicted
+
+    def mark_deleted(self, tuple_id: TupleID, deletion_ts: float) -> bool:
+        """Deletion frees a slot immediately (unlike the time window's
+        deferred removal — there is no in-flight join phase to protect
+        in the centralized setting)."""
+        return self._tuples.pop(tuple_id, None) is not None
+
+    def contents(self) -> List[StreamTuple]:
+        """Window contents, newest first."""
+        return sorted(
+            self._tuples.values(),
+            key=lambda t: t.tuple_id,
+            reverse=True,
+        )

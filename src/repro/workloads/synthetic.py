@@ -1,0 +1,95 @@
+"""Generic synthetic stream workloads.
+
+Benchmarks need reproducible distributed insertion streams with a
+controllable join selectivity; this module generates timed event lists
+``(time, node, predicate, args)`` to feed an engine.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+Event = Tuple[float, int, str, tuple]
+
+
+class UniformStreamWorkload:
+    """Tuples of several streams generated uniformly across nodes.
+
+    Each stream ``s`` emits tuples ``(key, payload)`` where ``key`` is
+    drawn from ``range(key_domain)`` — two tuples of different streams
+    join when their keys match, so ``key_domain`` controls selectivity
+    (smaller domain, more matches).
+    """
+
+    def __init__(
+        self,
+        node_ids: Sequence[int],
+        streams: Sequence[str] = ("r", "s"),
+        tuples_per_stream: int = 20,
+        key_domain: int = 8,
+        interval: float = 1.0,
+        seed: int = 0,
+    ):
+        self.node_ids = list(node_ids)
+        self.streams = list(streams)
+        self.tuples_per_stream = tuples_per_stream
+        self.key_domain = key_domain
+        self.interval = interval
+        self.seed = seed
+
+    def events(self) -> List[Event]:
+        rng = random.Random(self.seed)
+        out: List[Event] = []
+        t = 0.0
+        for i in range(self.tuples_per_stream):
+            for stream_index, stream in enumerate(self.streams):
+                node = rng.choice(self.node_ids)
+                key = rng.randrange(self.key_domain)
+                payload = f"{stream}{i}"
+                out.append((t, node, stream, (key, payload)))
+                t += self.interval
+        return out
+
+
+class ChurnWorkload:
+    """Insert-then-delete workload for deletion/maintenance benchmarks.
+
+    Produces (time, op, node, predicate, args) with ``op`` in
+    {'ins', 'del'}; every deleted tuple was inserted earlier.
+    """
+
+    def __init__(
+        self,
+        node_ids: Sequence[int],
+        predicate: str = "r",
+        inserts: int = 30,
+        delete_fraction: float = 0.4,
+        key_domain: int = 6,
+        interval: float = 1.0,
+        seed: int = 0,
+    ):
+        self.node_ids = list(node_ids)
+        self.predicate = predicate
+        self.inserts = inserts
+        self.delete_fraction = delete_fraction
+        self.key_domain = key_domain
+        self.interval = interval
+        self.seed = seed
+
+    def events(self) -> List[Tuple[float, str, int, str, tuple]]:
+        rng = random.Random(self.seed)
+        out = []
+        live: List[Tuple[int, tuple]] = []
+        t = 0.0
+        for i in range(self.inserts):
+            node = rng.choice(self.node_ids)
+            args = (rng.randrange(self.key_domain), f"v{i}")
+            out.append((t, "ins", node, self.predicate, args))
+            live.append((node, args))
+            t += self.interval
+            if live and rng.random() < self.delete_fraction:
+                node, args = live.pop(rng.randrange(len(live)))
+                out.append((t, "del", node, self.predicate, args))
+                t += self.interval
+        return out

@@ -1,0 +1,102 @@
+"""Leader-based target tracking (Section II-B's tracking discussion).
+
+"In vehicle tracking [7, 36], arithmetic computations involve
+estimating belief states, information utilities, and future target
+location; the first two computations are local and can be embedded in
+built-in functions, while the last computation requires the maximum
+aggregate."
+
+This workload provides exactly those pieces:
+
+* a target moving through the field;
+* per-epoch sensor readings whose *signal strength* decays with
+  distance (the information utility — a local built-in computation);
+* a `detect` rule filtering weak readings in-network;
+* a max-aggregate leader election per epoch (the best-informed sensor
+  leads) and the leader's position as the track estimate.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..net.topology import Topology
+
+Reading = Tuple[float, int, str, tuple]  # (time, node, "reading", args)
+
+#: The in-network part of the tracking program: filter weak readings.
+TRACKING_PROGRAM_TEMPLATE = (
+    "detect(N, L, S, E) :- reading(N, L, S, E), S >= {threshold}."
+)
+
+
+def signal_strength(distance: float, sensing_range: float) -> float:
+    """Information utility of a reading: quadratic decay to zero at the
+    sensing range (a stand-in for the belief-state computations the
+    paper embeds in built-ins)."""
+    if distance >= sensing_range:
+        return 0.0
+    return round((1.0 - distance / sensing_range) ** 2, 4)
+
+
+class TargetTrackingWorkload:
+    """A target on a straight path; sensors within range report."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        epochs: int = 5,
+        sensing_range: float = 2.5,
+        threshold: float = 0.05,
+        speed: float = 1.0,
+        seed: int = 0,
+    ):
+        self.topology = topology
+        self.epochs = epochs
+        self.sensing_range = sensing_range
+        self.threshold = threshold
+        rng = random.Random(seed)
+        x0, y0, x1, y1 = topology.bounding_box()
+        self.start = (rng.uniform(x0 + 1, x1 - 1), rng.uniform(y0 + 1, y1 - 1))
+        angle = rng.uniform(0, 2 * math.pi)
+        self.velocity = (speed * math.cos(angle), speed * math.sin(angle))
+
+    def program_text(self) -> str:
+        return TRACKING_PROGRAM_TEMPLATE.format(threshold=self.threshold)
+
+    def target_position(self, epoch: int) -> Tuple[float, float]:
+        x = self.start[0] + self.velocity[0] * epoch
+        y = self.start[1] + self.velocity[1] * epoch
+        x0, y0, x1, y1 = self.topology.bounding_box()
+        return (min(max(x, x0), x1), min(max(y, y0), y1))
+
+    def readings_for_epoch(self, epoch: int) -> List[Reading]:
+        """One reading per sensor within range of the target."""
+        target = self.target_position(epoch)
+        out: List[Reading] = []
+        for node in self.topology.node_ids:
+            pos = self.topology.position(node)
+            dist = math.hypot(pos[0] - target[0], pos[1] - target[1])
+            strength = signal_strength(dist, self.sensing_range)
+            if strength > 0.0:
+                out.append((
+                    float(epoch), node, "reading",
+                    (node, pos, strength, epoch),
+                ))
+        return out
+
+    def best_sensor(self, epoch: int) -> Optional[int]:
+        """Oracle: the sensor with the strongest (detectable) reading."""
+        readings = [
+            (args[2], node) for _t, node, _p, args in self.readings_for_epoch(epoch)
+            if args[2] >= self.threshold
+        ]
+        if not readings:
+            return None
+        return max(readings)[1]
+
+    def tracking_error(self, epoch: int, estimate: Tuple[float, float]) -> float:
+        target = self.target_position(epoch)
+        return math.hypot(estimate[0] - target[0], estimate[1] - target[1])

@@ -1,0 +1,112 @@
+"""Trajectory workload (Example 2).
+
+Targets cross the field one report per timestep (the paper assumes a
+single sensor detects the target at any instant, so a trajectory can be
+synthesized from a sequence of ``report`` tuples).  Provides the
+``close``/``isparallel`` built-ins the trajectory program uses and an
+oracle for complete trajectories and parallel pairs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from ..core.builtins import BuiltinRegistry
+from ..net.topology import Topology
+
+Report = Tuple[int, int, int]  # (x, y, t)
+ReportEvent = Tuple[float, int, str, tuple]  # (time, node, "report", (report,))
+
+#: The trajectory logic program (standard cons lists, newest first).
+TRAJECTORY_PROGRAM = """
+    notstart(R2) :- report(R1), report(R2), close(R1, R2).
+    notlast(R1) :- report(R1), report(R2), close(R1, R2).
+    traj([R2, R1]) :- report(R1), report(R2), close(R1, R2), not notstart(R1).
+    traj([R2, R1 | Rest]) :- traj([R1 | Rest]), report(R2), close(R1, R2).
+    completetraj([R | Rest]) :- traj([R | Rest]), not notlast(R).
+    parallel(L1, L2) :- completetraj(L1), completetraj(L2), isparallel(L1, L2).
+"""
+
+
+def close_reports(r1, r2) -> bool:
+    """r2 can follow r1 on a trajectory: next timestep, adjacent cell."""
+    return (
+        r2[2] == r1[2] + 1
+        and abs(r2[0] - r1[0]) <= 1
+        and abs(r2[1] - r1[1]) <= 1
+        and (r2[0], r2[1]) != (r1[0], r1[1])
+    )
+
+
+def parallel_paths(l1, l2) -> bool:
+    """Same length, constant nonzero offset, not the same path."""
+    if len(l1) != len(l2) or list(l1) == list(l2):
+        return False
+    dx = {a[0] - b[0] for a, b in zip(l1, l2)}
+    dy = {a[1] - b[1] for a, b in zip(l1, l2)}
+    return len(dx) == 1 and len(dy) == 1
+
+
+def trajectory_registry(base: BuiltinRegistry = None) -> BuiltinRegistry:
+    """A registry with the trajectory built-ins installed."""
+    registry = base.copy() if base is not None else BuiltinRegistry()
+    registry.register_predicate("close", close_reports)
+    registry.register_predicate("isparallel", parallel_paths)
+    return registry
+
+
+class TrajectoryWorkload:
+    """Targets moving diagonally across the field, optionally in
+    parallel pairs."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        n_targets: int = 2,
+        length: int = 4,
+        parallel_pair: bool = True,
+        seed: int = 0,
+    ):
+        self.topology = topology
+        self.length = length
+        rng = random.Random(seed)
+        x0, y0, x1, y1 = topology.bounding_box()
+        self.tracks: List[List[Report]] = []
+        for i in range(n_targets):
+            if parallel_pair and i == 1 and self.tracks:
+                # Second target: offset copy of the first — a parallel
+                # pair.  Offset 3 keeps the tracks far enough apart that
+                # `close` cannot chain reports across them (the paper's
+                # single-detection assumption).
+                offset = 3
+                self.tracks.append(
+                    [(x, y + offset, t) for (x, y, t) in self.tracks[0]]
+                )
+                continue
+            sx = rng.randrange(int(x0), max(int(x0) + 1, int(x1) - self.length))
+            sy = rng.randrange(int(y0), max(int(y0) + 1, int(y1) - self.length))
+            self.tracks.append([(sx + t, sy + t, t) for t in range(self.length)])
+
+    def reports(self) -> List[ReportEvent]:
+        out: List[ReportEvent] = []
+        for track in self.tracks:
+            for (x, y, t) in track:
+                node = self.topology.nearest_node((float(x), float(y)))
+                out.append((float(t), node, "report", ((x, y, t),)))
+        out.sort(key=lambda e: e[0])
+        return out
+
+    def complete_trajectories(self) -> set:
+        """Oracle: each track as a newest-first tuple of reports."""
+        return {tuple(reversed(track)) for track in self.tracks}
+
+    def parallel_pairs(self) -> set:
+        """Oracle: unordered parallel pairs of complete trajectories."""
+        tracks = [tuple(reversed(t)) for t in self.tracks]
+        out = set()
+        for i, a in enumerate(tracks):
+            for b in tracks[i + 1:]:
+                if parallel_paths(a, b):
+                    out.add(frozenset((a, b)))
+        return out

@@ -1,0 +1,180 @@
+"""Tests for built-in functions, predicates, and term evaluation."""
+
+import math
+
+import pytest
+
+from repro.core.ast import BuiltinLiteral
+from repro.core.builtins import (
+    BuiltinRegistry,
+    DEFAULT_REGISTRY,
+    eval_builtin,
+    eval_term,
+    normalize_partial,
+    value_to_term,
+)
+from repro.core.errors import BuiltinError, EvaluationError
+from repro.core.parser import parse_term
+from repro.core.terms import Constant, FunctionTerm, Substitution, Variable, make_list
+
+
+class TestEvalTerm:
+    def test_constant(self):
+        assert eval_term(Constant(5)) == 5
+
+    def test_arithmetic(self):
+        assert eval_term(parse_term("2 + 3 * 4")) == 14
+
+    def test_division(self):
+        assert eval_term(parse_term("7 / 2")) == 3.5
+        assert eval_term(parse_term("7 // 2")) == 3
+
+    def test_mod(self):
+        assert eval_term(parse_term("7 mod 3")) == 1
+
+    def test_min_max(self):
+        assert eval_term(parse_term("min(3, 5)")) == 3
+        assert eval_term(parse_term("max(3, 5)")) == 5
+
+    def test_neg(self):
+        assert eval_term(parse_term("-(2 + 3)")) == -5
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(EvaluationError):
+            eval_term(Variable("X"))
+
+    def test_dist(self):
+        t = FunctionTerm("dist", (Constant((0, 0)), Constant((3, 4))))
+        assert eval_term(t) == 5.0
+
+    def test_manhattan(self):
+        t = FunctionTerm("manhattan", (Constant((0, 0)), Constant((3, 4))))
+        assert eval_term(t) == 7.0
+
+    def test_dist_bad_args(self):
+        with pytest.raises(BuiltinError):
+            eval_term(FunctionTerm("dist", (Constant(1), Constant(2))))
+
+    def test_list_evaluates_to_python_list(self):
+        t = make_list([Constant(1), parse_term("1 + 1")])
+        assert eval_term(t) == [1, 2]
+
+    def test_uninterpreted_normalizes_args(self):
+        t = parse_term("f(1 + 2)")
+        result = eval_term(t)
+        assert result == FunctionTerm("f", (Constant(3),))
+
+    def test_arith_on_symbol_raises(self):
+        with pytest.raises(BuiltinError):
+            eval_term(parse_term('1 + "abc"'))
+
+
+class TestValueToTerm:
+    def test_scalar(self):
+        assert value_to_term(3) == Constant(3)
+
+    def test_list(self):
+        term = value_to_term([1, 2])
+        assert eval_term(term) == [1, 2]
+
+    def test_tuple(self):
+        assert value_to_term((1, 2)) == Constant((1, 2))
+
+    def test_term_passthrough(self):
+        t = FunctionTerm("f", (Constant(1),))
+        assert value_to_term(t) is t
+
+
+class TestNormalizePartial:
+    def test_ground_arith(self):
+        assert normalize_partial(parse_term("1 + 2")) == Constant(3)
+
+    def test_variable_untouched(self):
+        v = Variable("X")
+        assert normalize_partial(v) is v
+
+    def test_partial_function(self):
+        t = parse_term("f(1 + 2, X)")
+        result = normalize_partial(t)
+        assert result == FunctionTerm("f", (Constant(3), Variable("X")))
+
+
+class TestRegistry:
+    def test_register_and_call_function(self):
+        registry = BuiltinRegistry()
+        registry.register_function("double", lambda x: 2 * x)
+        assert eval_term(parse_term("double(21)"), registry) == 42
+
+    def test_cannot_shadow_arith(self):
+        registry = BuiltinRegistry()
+        with pytest.raises(BuiltinError):
+            registry.register_function("+", lambda a, b: 0)
+
+    def test_copy_independent(self):
+        registry = DEFAULT_REGISTRY.copy()
+        registry.register_predicate("mine", lambda: True)
+        assert registry.has_predicate("mine")
+        assert not DEFAULT_REGISTRY.has_predicate("mine")
+
+
+def lit(name, *args, negated=False):
+    return BuiltinLiteral(name, args, negated)
+
+
+class TestEvalBuiltin:
+    def test_comparison_true(self):
+        results = list(eval_builtin(lit("<", Constant(1), Constant(2)), Substitution()))
+        assert len(results) == 1
+
+    def test_comparison_false(self):
+        assert not list(eval_builtin(lit(">", Constant(1), Constant(2)), Substitution()))
+
+    def test_negated_comparison(self):
+        results = list(
+            eval_builtin(lit(">", Constant(1), Constant(2), negated=True), Substitution())
+        )
+        assert len(results) == 1
+
+    def test_equality_on_symbols(self):
+        assert list(eval_builtin(lit("=", Constant("a"), Constant("a")), Substitution()))
+        assert not list(eval_builtin(lit("=", Constant("a"), Constant("b")), Substitution()))
+
+    def test_assignment_binds(self):
+        x = Variable("X")
+        (result,) = eval_builtin(lit("=", x, parse_term("2 + 2")), Substitution())
+        assert result[x] == Constant(4)
+
+    def test_assignment_reverse(self):
+        x = Variable("X")
+        (result,) = eval_builtin(lit("=", Constant(5), x), Substitution())
+        assert result[x] == Constant(5)
+
+    def test_assignment_under_subst(self):
+        x, d = Variable("X"), Variable("D")
+        base = Substitution({d: Constant(3)})
+        (result,) = eval_builtin(lit("=", x, parse_term("D + 1")), base)
+        assert result[x] == Constant(4)
+
+    def test_unbound_comparison_raises(self):
+        with pytest.raises(EvaluationError):
+            list(eval_builtin(lit("<", Variable("X"), Constant(1)), Substitution()))
+
+    def test_registered_predicate(self):
+        registry = BuiltinRegistry()
+        registry.register_predicate("evenp", lambda x: x % 2 == 0)
+        assert list(eval_builtin(lit("evenp", Constant(4)), Substitution(), registry))
+        assert not list(eval_builtin(lit("evenp", Constant(5)), Substitution(), registry))
+
+    def test_unknown_predicate(self):
+        with pytest.raises(BuiltinError):
+            list(eval_builtin(lit("nosuch", Constant(1)), Substitution()))
+
+    def test_ordered_comparison_on_terms_raises(self):
+        t = FunctionTerm("f", (Constant(1),))
+        with pytest.raises(BuiltinError):
+            list(eval_builtin(lit("<", t, Constant(1)), Substitution()))
+
+    def test_structural_equality_on_terms(self):
+        t1 = FunctionTerm("f", (Constant(1),))
+        t2 = FunctionTerm("f", (Constant(1),))
+        assert list(eval_builtin(lit("=", t1, t2), Substitution()))

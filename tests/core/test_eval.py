@@ -1,0 +1,407 @@
+"""Tests for centralized bottom-up evaluation (the reference semantics)."""
+
+import pytest
+
+from repro.core.builtins import BuiltinRegistry, DEFAULT_REGISTRY
+from repro.core.errors import ProgramError
+from repro.core.eval import (
+    Database,
+    Relation,
+    SemiNaiveEvaluator,
+    XYEvaluator,
+    evaluate,
+    order_body,
+)
+from repro.core.parser import parse_program, parse_rule
+from repro.core.terms import Constant
+
+LOGICH = """
+    h(a, a, 0).
+    h(a, X, 1) :- g(a, X).
+    hp(Y, D + 1) :- h(_, Y, Dp), D + 1 > Dp, h(_, X, D), g(X, Y).
+    h(X, Y, D + 1) :- g(X, Y), h(_, X, D), not hp(Y, D + 1).
+"""
+
+
+class TestRelation:
+    def test_add_and_contains(self):
+        rel = Relation("r")
+        args = (Constant(1), Constant(2))
+        assert rel.add(args)
+        assert not rel.add(args)
+        assert args in rel
+        assert len(rel) == 1
+
+    def test_discard(self):
+        rel = Relation("r")
+        args = (Constant(1),)
+        rel.add(args)
+        assert rel.discard(args)
+        assert not rel.discard(args)
+        assert len(rel) == 0
+
+    def test_index_stays_consistent(self):
+        rel = Relation("r")
+        a = (Constant(1), Constant("x"))
+        b = (Constant(1), Constant("y"))
+        rel.add(a)
+        # Force index creation on position 0, then mutate.
+        from repro.core.terms import Substitution, Variable
+
+        pattern = (Constant(1), Variable("Y"))
+        assert set(rel.candidates(pattern, Substitution())) == {a}
+        rel.add(b)
+        assert set(rel.candidates(pattern, Substitution())) == {a, b}
+        rel.discard(a)
+        assert set(rel.candidates(pattern, Substitution())) == {b}
+
+
+class TestDatabase:
+    def test_assert_coerces(self):
+        db = Database()
+        db.assert_fact("p", (1, "a", (2, 3)))
+        assert db.rows("p") == {(1, "a", (2, 3))}
+
+    def test_duplicate_insert(self):
+        db = Database()
+        assert db.assert_fact("p", (1,))
+        assert not db.assert_fact("p", (1,))
+
+    def test_retract(self):
+        db = Database()
+        db.assert_fact("p", (1,))
+        assert db.retract_fact("p", (1,))
+        assert db.count("p") == 0
+
+    def test_copy_is_deep(self):
+        db = Database()
+        db.assert_fact("p", (1,))
+        clone = db.copy()
+        clone.assert_fact("p", (2,))
+        assert db.count("p") == 1 and clone.count("p") == 2
+
+
+class TestOrderBody:
+    def test_builtin_deferred_until_bound(self):
+        rule = parse_rule("p(X, Y) :- X < Y, q(X), r(Y).")
+        ordered = order_body(rule)
+        names = [getattr(lit, "name", getattr(lit, "predicate", "?")) for lit in ordered]
+        assert names.index("<") > names.index("q")
+        assert names.index("<") > names.index("r")
+
+    def test_negation_deferred(self):
+        rule = parse_rule("p(X) :- not r(X), q(X).")
+        ordered = order_body(rule)
+        assert not ordered[0].negated and ordered[1].negated
+
+    def test_assignment_as_early_as_possible(self):
+        rule = parse_rule("p(X, D1) :- q(X, D), D1 = D + 1, r(X).")
+        ordered = order_body(rule)
+        kinds = [getattr(lit, "name", None) or lit.predicate for lit in ordered]
+        assert kinds == ["q", "=", "r"]
+
+    def test_assignment_waits_for_arithmetic_operands(self):
+        # Regression: T1 = T + 1 must not run before T binds — the
+        # engine cannot invert arithmetic even with T1 already bound.
+        rule = parse_rule("p(T1, N) :- a(T1), b(T, N), T1 = T + 1.")
+        ordered = order_body(rule)
+        kinds = [getattr(lit, "name", None) or lit.predicate for lit in ordered]
+        assert kinds.index("=") > kinds.index("b")
+
+    def test_assignment_as_equality_filter(self):
+        db = Database()
+        db.assert_fact("a", (2,))
+        db.assert_fact("b", (1,))
+        db.assert_fact("b", (7,))
+        evaluate(parse_program("p(T1, T) :- a(T1), b(T), T1 = T + 1."), db)
+        assert db.rows("p") == {(2, 1)}
+
+
+class TestNonRecursive:
+    def test_projection(self):
+        db = Database()
+        db.assert_fact("q", (1, 2))
+        db.assert_fact("q", (3, 4))
+        evaluate(parse_program("p(X) :- q(X, _)."), db)
+        assert db.rows("p") == {(1,), (3,)}
+
+    def test_join(self):
+        db = Database()
+        db.assert_fact("e", ("a", "b"))
+        db.assert_fact("e", ("b", "c"))
+        evaluate(parse_program("p(X, Z) :- e(X, Y), e(Y, Z)."), db)
+        assert db.rows("p") == {("a", "c")}
+
+    def test_selection_with_comparison(self):
+        db = Database()
+        for i in range(5):
+            db.assert_fact("n", (i,))
+        evaluate(parse_program("big(X) :- n(X), X >= 3."), db)
+        assert db.rows("big") == {(3,), (4,)}
+
+    def test_multiple_rules_union(self):
+        db = Database()
+        db.assert_fact("a", (1,))
+        db.assert_fact("b", (2,))
+        evaluate(parse_program("u(X) :- a(X). u(X) :- b(X)."), db)
+        assert db.rows("u") == {(1,), (2,)}
+
+    def test_program_facts_loaded(self):
+        db = Database()
+        evaluate(parse_program("e(x, y). p(A) :- e(A, _)."), db)
+        assert db.rows("p") == {("x",)}
+
+    def test_cross_product(self):
+        db = Database()
+        db.assert_fact("a", (1,))
+        db.assert_fact("a", (2,))
+        db.assert_fact("b", ("x",))
+        evaluate(parse_program("c(X, Y) :- a(X), b(Y)."), db)
+        assert db.rows("c") == {(1, "x"), (2, "x")}
+
+
+class TestNegation:
+    def test_set_difference(self):
+        db = Database()
+        for i in range(4):
+            db.assert_fact("all", (i,))
+        db.assert_fact("bad", (1,))
+        db.assert_fact("bad", (3,))
+        evaluate(parse_program("good(X) :- all(X), not bad(X)."), db)
+        assert db.rows("good") == {(0,), (2,)}
+
+    def test_uncovered_vehicle_example(self):
+        """Example 1 from the paper."""
+        program = parse_program(
+            """
+            cov(L1, T)  :- veh("enemy", L1, T), veh("friendly", L2, T),
+                           dist(L1, L2) <= 50.
+            uncov(L, T) :- veh("enemy", L, T), not cov(L, T).
+            """
+        )
+        db = Database()
+        db.assert_fact("veh", ("enemy", (10, 10), 3))
+        db.assert_fact("veh", ("enemy", (90, 90), 3))
+        db.assert_fact("veh", ("friendly", (12, 12), 3))
+        evaluate(program, db)
+        assert db.rows("uncov") == {((90, 90), 3)}
+        assert db.rows("cov") == {((10, 10), 3)}
+
+    def test_negation_with_anonymous(self):
+        db = Database()
+        db.assert_fact("node", ("a",))
+        db.assert_fact("node", ("b",))
+        db.assert_fact("e", ("a", "b"))
+        evaluate(parse_program("sink(X) :- node(X), not e(X, _)."), db)
+        assert db.rows("sink") == {("b",)}
+
+    def test_double_negation_strata(self):
+        db = Database()
+        db.assert_fact("n", (1,))
+        db.assert_fact("n", (2,))
+        db.assert_fact("p", (1,))
+        program = parse_program(
+            """
+            q(X) :- n(X), not p(X).
+            r(X) :- n(X), not q(X).
+            """
+        )
+        evaluate(program, db)
+        assert db.rows("q") == {(2,)}
+        assert db.rows("r") == {(1,)}
+
+
+class TestRecursion:
+    def test_transitive_closure(self):
+        db = Database()
+        for u, v in [("a", "b"), ("b", "c"), ("c", "d")]:
+            db.assert_fact("e", (u, v))
+        program = parse_program("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).")
+        evaluate(program, db)
+        assert ("a", "d") in db.rows("t")
+        assert len(db.rows("t")) == 6
+
+    def test_cycle_terminates(self):
+        db = Database()
+        for u, v in [("a", "b"), ("b", "a")]:
+            db.assert_fact("e", (u, v))
+        program = parse_program("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).")
+        evaluate(program, db)
+        assert db.rows("t") == {("a", "b"), ("b", "a"), ("a", "a"), ("b", "b")}
+
+    def test_same_generation(self):
+        db = Database()
+        for p, c in [("r", "a"), ("r", "b"), ("a", "x"), ("b", "y")]:
+            db.assert_fact("par", (p, c))
+        program = parse_program(
+            """
+            sg(X, Y) :- par(P, X), par(P, Y).
+            sg(X, Y) :- par(P1, X), par(P2, Y), sg(P1, P2).
+            """
+        )
+        evaluate(program, db)
+        assert ("x", "y") in db.rows("sg")
+
+    def test_nonlinear_recursion(self):
+        db = Database()
+        for u, v in [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")]:
+            db.assert_fact("e", (u, v))
+        program = parse_program("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), t(Y, Z).")
+        evaluate(program, db)
+        assert len(db.rows("t")) == 10
+
+    def test_recursion_feeding_nonrecursive_same_stratum(self):
+        # Regression test: deltas must flow to non-recursive rules in the
+        # same stratum (traj -> completetraj -> parallel pattern).
+        db = Database()
+        for u, v in [("a", "b"), ("b", "c")]:
+            db.assert_fact("e", (u, v))
+        program = parse_program(
+            """
+            t(X, Y) :- e(X, Y).
+            t(X, Z) :- t(X, Y), e(Y, Z).
+            pairs(X, Y) :- t(X, Y).
+            """
+        )
+        evaluate(program, db)
+        assert db.rows("pairs") == db.rows("t")
+
+    def test_function_symbol_recursion(self):
+        db = Database()
+        db.assert_fact("start", (0,))
+        program = parse_program(
+            """
+            chain(s(0), 1) :- start(0).
+            chain(s(L), N + 1) :- chain(L, N), N < 4.
+            """
+        )
+        evaluate(program, db)
+        assert db.count("chain") == 4
+
+
+class TestAggregates:
+    def test_min(self):
+        db = Database()
+        for y, d in [("b", 1), ("b", 3), ("c", 2)]:
+            db.assert_fact("path", (y, d))
+        evaluate(parse_program("shortest(Y, min(D)) :- path(Y, D)."), db)
+        assert db.rows("shortest") == {("b", 1), ("c", 2)}
+
+    def test_count_sum_avg_max(self):
+        db = Database()
+        for v in [1, 2, 3, 4]:
+            db.assert_fact("obs", ("s1", v))
+        program = parse_program(
+            """
+            stats(S, count(_), sum(V), avg(V), max(V)) :- obs(S, V).
+            """
+        )
+        evaluate(program, db)
+        assert db.rows("stats") == {("s1", 4, 10, 2.5, 4)}
+
+    def test_aggregate_groups(self):
+        db = Database()
+        db.assert_fact("obs", ("a", 1))
+        db.assert_fact("obs", ("a", 2))
+        db.assert_fact("obs", ("b", 5))
+        evaluate(parse_program("c(S, count(_)) :- obs(S, V)."), db)
+        assert db.rows("c") == {("a", 2), ("b", 1)}
+
+    def test_aggregate_feeding_rule(self):
+        db = Database()
+        db.assert_fact("obs", ("a", 1))
+        db.assert_fact("obs", ("b", 5))
+        program = parse_program(
+            """
+            m(S, max(V)) :- obs(S, V).
+            alarm(S) :- m(S, V), V >= 3.
+            """
+        )
+        evaluate(program, db)
+        assert db.rows("alarm") == {("b",)}
+
+    def test_count_distinct_valuations(self):
+        # Set semantics: identical tuples collapse before aggregation.
+        db = Database()
+        db.assert_fact("obs", ("a", 1))
+        evaluate(parse_program("c(count(_)) :- obs(S, V), obs(S, V)."), db)
+        assert db.rows("c") == {(1,)}
+
+
+class TestXYEvaluation:
+    def graph_db(self, edges):
+        db = Database()
+        for u, v in edges:
+            db.assert_fact("g", (u, v))
+            db.assert_fact("g", (v, u))
+        return db
+
+    def test_logich_line(self):
+        db = self.graph_db([("a", "b"), ("b", "c"), ("c", "d")])
+        evaluate(parse_program(LOGICH), db)
+        assert db.rows("h") == {
+            ("a", "a", 0), ("a", "b", 1), ("b", "c", 2), ("c", "d", 3)
+        }
+
+    def test_logich_diamond(self):
+        db = self.graph_db([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+        evaluate(parse_program(LOGICH), db)
+        h = db.rows("h")
+        # d reachable at depth 2 via both parents (paper: all BFS edges).
+        assert ("b", "d", 2) in h and ("c", "d", 2) in h
+        assert not any(row[1] == "d" and row[2] != 2 for row in h)
+
+    def test_logich_with_cycle(self):
+        db = self.graph_db([("a", "b"), ("b", "c"), ("c", "a")])
+        evaluate(parse_program(LOGICH), db)
+        depths = {row[1]: row[2] for row in db.rows("h")}
+        assert depths == {"a": 0, "b": 1, "c": 1}
+
+    def test_xy_evaluator_accepts_stratified(self):
+        db = Database()
+        db.assert_fact("q", (1,))
+        XYEvaluator(parse_program("p(X) :- q(X).")).evaluate(db)
+        assert db.rows("p") == {(1,)}
+
+    def test_counter_program(self):
+        program = parse_program(
+            """
+            cnt(0).
+            cnt(T + 1) :- cnt(T), not stop(T + 1).
+            stop(T + 1) :- cnt(T), bound(B), T + 1 > B.
+            """
+        )
+        db = Database()
+        db.assert_fact("bound", (3,))
+        evaluate(program, db)
+        assert db.rows("cnt") == {(0,), (1,), (2,), (3,)}
+
+
+class TestDerivationRecording:
+    def test_derivations_recorded(self):
+        db = Database()
+        db.assert_fact("e", ("a", "b"))
+        program = parse_program("p(X, Y) :- e(X, Y).")
+        evaluate(program, db)
+        fact = ("p", (Constant("a"), Constant("b")))
+        assert db.derivations.has_fact(fact)
+
+    def test_multiple_derivations(self):
+        db = Database()
+        db.assert_fact("e1", (1,))
+        db.assert_fact("e2", (1,))
+        program = parse_program("p(X) :- e1(X). p(X) :- e2(X).")
+        evaluate(program, db)
+        fact = ("p", (Constant(1),))
+        assert len(db.derivations.derivations_of(fact)) == 2
+
+
+class TestErrors:
+    def test_unstratifiable_rejected(self):
+        program = parse_program("win(X) :- move(X, Y), not win(Y).")
+        with pytest.raises(ProgramError):
+            evaluate(program, Database())
+
+    def test_seminaive_rejects_xy(self):
+        with pytest.raises(ProgramError):
+            SemiNaiveEvaluator(parse_program(LOGICH))

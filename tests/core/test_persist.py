@@ -1,0 +1,81 @@
+"""Tests for database persistence and fixpoint guards."""
+
+import pytest
+
+from repro.core.errors import EvaluationError
+from repro.core.eval import Database, SemiNaiveEvaluator, evaluate
+from repro.core.parser import parse_program, parse_term
+from repro.core.persist import (
+    database_from_json,
+    database_to_json,
+    load_database,
+    save_database,
+)
+
+
+class TestPersistence:
+    def sample_db(self):
+        db = Database()
+        db.assert_fact("veh", ("enemy", (10, 10), 3))
+        db.assert_fact("n", (1,))
+        db.assert_fact("n", (2.5,))
+        from repro.core.terms import make_list, Constant
+
+        db.relation("lists").add((make_list([Constant(1), Constant(2)]),))
+        db.relation("fn").add((parse_term("f(g(7), [a])"),))
+        return db
+
+    def test_roundtrip(self):
+        db = self.sample_db()
+        restored = database_from_json(database_to_json(db))
+        for pred in db.predicates():
+            assert set(db.relation(pred)) == set(restored.relation(pred))
+
+    def test_deterministic(self):
+        db = self.sample_db()
+        assert database_to_json(db) == database_to_json(self.sample_db())
+
+    def test_file_roundtrip(self, tmp_path):
+        db = self.sample_db()
+        path = tmp_path / "facts.json"
+        save_database(db, str(path))
+        restored = load_database(str(path))
+        assert restored.rows("veh") == db.rows("veh")
+
+    def test_version_checked(self):
+        import json
+
+        payload = json.loads(database_to_json(Database()))
+        payload["version"] = 99
+        with pytest.raises(EvaluationError):
+            database_from_json(json.dumps(payload))
+
+    def test_loaded_db_evaluates(self):
+        db = Database()
+        db.assert_fact("e", ("a", "b"))
+        db.assert_fact("e", ("b", "c"))
+        restored = database_from_json(database_to_json(db))
+        evaluate(parse_program("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z)."), restored)
+        assert ("a", "c") in restored.rows("t")
+
+
+class TestFixpointGuard:
+    def test_nonterminating_function_recursion_caught(self):
+        # Term construction never stops: the guard turns the hang into
+        # an error.  (Two constructors keep the term depth logarithmic
+        # in the fact count, so the guard fires before deep nesting.)
+        program = parse_program(
+            "num(z). num(s(N)) :- num(N). num(t(N)) :- num(N)."
+        )
+        db = Database()
+        with pytest.raises(EvaluationError):
+            SemiNaiveEvaluator(program, max_facts=500).evaluate(db)
+
+    def test_guard_allows_terminating_programs(self):
+        program = parse_program(
+            "chain(s(0), 1) :- start(0). chain(s(L), N + 1) :- chain(L, N), N < 4."
+        )
+        db = Database()
+        db.assert_fact("start", (0,))
+        SemiNaiveEvaluator(program, max_facts=500).evaluate(db)
+        assert db.count("chain") == 4

@@ -1,0 +1,189 @@
+"""Tests for safety checking and stratification analysis."""
+
+import pytest
+
+from repro.core.errors import SafetyError, StratificationError
+from repro.core.parser import parse_program, parse_rule
+from repro.core.safety import check_program_safety, check_rule_safety, safe_variables
+from repro.core.stratify import (
+    ProgramClass,
+    classify,
+    dependency_graph,
+    find_xy_stratification,
+    is_recursive,
+    recursive_components,
+    stratify,
+)
+from repro.core.terms import Variable
+
+LOGICH = """
+    h(a, a, 0).
+    h(a, X, 1) :- g(a, X).
+    hp(Y, D + 1) :- h(_, Y, Dp), D + 1 > Dp, h(_, X, D), g(X, Y).
+    h(X, Y, D + 1) :- g(X, Y), h(_, X, D), not hp(Y, D + 1).
+"""
+
+
+class TestSafety:
+    def test_safe_simple(self):
+        check_rule_safety(parse_rule("p(X) :- q(X)."))
+
+    def test_unbound_head_variable(self):
+        with pytest.raises(SafetyError):
+            check_rule_safety(parse_rule("p(X, Y) :- q(X)."))
+
+    def test_variable_only_in_negated(self):
+        with pytest.raises(SafetyError):
+            check_rule_safety(parse_rule("p(X) :- q(X), not r(Y)."))
+
+    def test_anonymous_in_negated_allowed(self):
+        check_rule_safety(parse_rule("p(X) :- q(X), not r(X, _)."))
+
+    def test_anonymous_in_head_rejected(self):
+        with pytest.raises(SafetyError):
+            check_rule_safety(parse_rule("p(_) :- q(X)."))
+
+    def test_assignment_makes_safe(self):
+        check_rule_safety(parse_rule("p(D1) :- q(D), D1 = D + 1."))
+
+    def test_assignment_chain(self):
+        check_rule_safety(parse_rule("p(D2) :- q(D), D1 = D + 1, D2 = D1 * 2."))
+
+    def test_assignment_from_unbound_rejected(self):
+        with pytest.raises(SafetyError):
+            check_rule_safety(parse_rule("p(D1) :- q(D), D1 = Z + 1."))
+
+    def test_comparison_with_unbound_rejected(self):
+        with pytest.raises(SafetyError):
+            check_rule_safety(parse_rule("p(X) :- q(X), Y < 3."))
+
+    def test_safe_variables_set(self):
+        rule = parse_rule("p(X, D1) :- q(X, D), D1 = D + 1.")
+        names = {v.name for v in safe_variables(rule)}
+        assert names == {"X", "D", "D1"}
+
+    def test_program_safety(self):
+        check_program_safety(parse_program("p(X) :- q(X). r(Y) :- p(Y)."))
+
+
+class TestDependencyGraph:
+    def test_edges_and_negation_flag(self):
+        program = parse_program("p(X) :- q(X), not r(X).")
+        graph = dependency_graph(program)
+        assert graph.has_edge("q", "p") and not graph["q"]["p"]["negative"]
+        assert graph.has_edge("r", "p") and graph["r"]["p"]["negative"]
+
+    def test_aggregation_counts_as_negative(self):
+        program = parse_program("c(count(_)) :- obs(X).")
+        graph = dependency_graph(program)
+        assert graph["obs"]["c"]["negative"]
+
+
+class TestRecursion:
+    def test_nonrecursive(self):
+        assert not is_recursive(parse_program("p(X) :- q(X)."))
+
+    def test_self_recursion(self):
+        program = parse_program("p(X, Z) :- p(X, Y), e(Y, Z). p(X, Y) :- e(X, Y).")
+        assert recursive_components(program) == [{"p"}]
+
+    def test_mutual_recursion(self):
+        program = parse_program(
+            "even(X) :- zero(X). even(X) :- odd(Y), succ(Y, X). odd(X) :- even(Y), succ(Y, X)."
+        )
+        assert {"even", "odd"} in recursive_components(program)
+
+
+class TestStratify:
+    def test_two_strata(self):
+        program = parse_program("p(X) :- q(X), not r(X). r(X) :- s(X).")
+        strata = stratify(program)
+        level = {pred: i for i, ps in enumerate(strata) for pred in ps}
+        assert level["r"] < level["p"]
+        assert level["s"] <= level["r"]
+
+    def test_unstratifiable(self):
+        program = parse_program("p(X) :- q(X), not p(X).")
+        with pytest.raises(StratificationError):
+            stratify(program)
+
+    def test_positive_recursion_single_stratum(self):
+        program = parse_program("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).")
+        strata = stratify(program)
+        level = {pred: i for i, ps in enumerate(strata) for pred in ps}
+        assert level["t"] == level["e"]
+
+    def test_negation_below_recursion(self):
+        program = parse_program(
+            """
+            good(X) :- node(X), not bad(X).
+            reach(X) :- start(X).
+            reach(Y) :- reach(X), e(X, Y), good(Y).
+            """
+        )
+        strata = stratify(program)
+        level = {pred: i for i, ps in enumerate(strata) for pred in ps}
+        assert level["bad"] < level["good"] <= level["reach"]
+
+
+class TestClassify:
+    def test_nonrecursive(self):
+        assert (
+            classify(parse_program("p(X) :- q(X).")).program_class
+            is ProgramClass.NONRECURSIVE
+        )
+
+    def test_positive_recursive(self):
+        program = parse_program("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).")
+        assert classify(program).program_class is ProgramClass.POSITIVE_RECURSIVE
+
+    def test_stratified(self):
+        program = parse_program(
+            "t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z). iso(X) :- v(X), not t(X, X)."
+        )
+        assert classify(program).program_class is ProgramClass.STRATIFIED
+
+    def test_logich_is_xy_stratified(self):
+        analysis = classify(parse_program(LOGICH))
+        assert analysis.program_class is ProgramClass.XY_STRATIFIED
+        assert analysis.xy.stage_position == {"h": 2, "hp": 1}
+        # hp must be saturated before h within a stage
+        assert analysis.xy.priority["hp"] < analysis.xy.priority["h"]
+
+    def test_hopeless_program(self):
+        # win(X) :- move(X, Y), not win(Y): genuinely non-XY
+        program = parse_program("win(X) :- move(X, Y), not win(Y).")
+        analysis = classify(program)
+        assert analysis.program_class is ProgramClass.LOCALLY_NONRECURSIVE_REQUIRED
+
+
+class TestXYDetection:
+    def test_simple_counter(self):
+        program = parse_program(
+            """
+            cnt(0).
+            cnt(T + 1) :- cnt(T), tick(T), not stop(T + 1).
+            stop(T + 1) :- cnt(T), bound(B), T + 1 > B.
+            """
+        )
+        xy = find_xy_stratification(program)
+        assert xy is not None
+        assert xy.stage_position["cnt"] == 0
+
+    def test_no_stage_argument(self):
+        program = parse_program("p(X) :- q(X), not p(X).")
+        assert find_xy_stratification(program) is None
+
+    def test_logicj(self):
+        # The improved shortest-path program (Section VI): J carries
+        # only (node, depth).
+        program = parse_program(
+            """
+            j(a, 0).
+            jp(Y, D + 1) :- j(Y, Dp), D + 1 > Dp, j(X, D), g(X, Y).
+            j(Y, D + 1) :- g(X, Y), j(X, D), not jp(Y, D + 1).
+            """
+        )
+        xy = find_xy_stratification(program)
+        assert xy is not None
+        assert xy.stage_position == {"j": 1, "jp": 1}

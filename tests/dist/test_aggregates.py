@@ -1,0 +1,79 @@
+"""Tests for distributed aggregates (GPA-materialized body + TAG head)."""
+
+import pytest
+
+import repro
+from repro.core.parser import parse_program
+from repro.dist.aggregates import DistributedAggregate, local_values
+from repro.dist.gpa import GPAEngine
+from repro.net.network import GridNetwork
+
+PROGRAM = "hot(N, V) :- reading(N, V), V > 70."
+
+
+def build(m=6, readings=((1, 70.0), (5, 80.0), (9, 90.0), (14, 75.0))):
+    net = GridNetwork(m, seed=4)
+    engine = GPAEngine(parse_program(PROGRAM), net, strategy="pa").install()
+    for node, value in readings:
+        engine.publish(node, "reading", (node, value))
+    net.run_all()
+    return engine, net
+
+
+class TestLocalValues:
+    def test_only_visible_and_matching(self):
+        engine, _net = build()
+        values = sorted(
+            v for vs in local_values(engine, "hot", 1).values() for v in vs
+        )
+        assert values == [75.0, 80.0, 90.0]  # 70.0 filtered by V > 70
+
+    def test_empty_when_no_facts(self):
+        engine, _net = build(readings=())
+        assert local_values(engine, "hot", 1) == {}
+
+
+class TestDistributedAggregate:
+    @pytest.mark.parametrize("func,expected", [
+        ("count", 3.0),
+        ("sum", 245.0),
+        ("min", 75.0),
+        ("max", 90.0),
+        ("avg", 245.0 / 3),
+    ])
+    def test_functions(self, func, expected):
+        engine, _net = build()
+        agg = DistributedAggregate(engine, "hot", 1, func, root=0)
+        assert agg.collect() == pytest.approx(expected)
+
+    def test_matches_oracle(self):
+        engine, _net = build()
+        agg = DistributedAggregate(engine, "hot", 1, "avg", root=0)
+        assert agg.collect() == pytest.approx(agg.oracle())
+
+    def test_empty_returns_none(self):
+        engine, _net = build(readings=())
+        agg = DistributedAggregate(engine, "hot", 1, "count", root=0)
+        assert agg.collect() is None
+
+    def test_collection_cost_linear_in_nodes(self):
+        engine, net = build()
+        before = net.metrics.total_messages
+        agg = DistributedAggregate(engine, "hot", 1, "sum", root=0)
+        agg.collect()
+        cost = net.metrics.total_messages - before
+        # One query + at most one partial per tree edge.
+        assert cost <= 2 * (len(net) - 1)
+
+    def test_updates_reflected_in_next_epoch(self):
+        engine, net = build()
+        agg = DistributedAggregate(engine, "hot", 1, "count", root=0)
+        assert agg.collect() == 3.0
+        engine.publish(20, "reading", (20, 99.0))
+        net.run_all()
+        assert agg.collect() == 4.0
+
+    def test_unknown_function_rejected(self):
+        engine, _net = build()
+        with pytest.raises(repro.PlanError):
+            DistributedAggregate(engine, "hot", 1, "median", root=0)

@@ -1,0 +1,127 @@
+"""Tests for program images and over-the-air deployment."""
+
+import pytest
+
+from repro.core.errors import PlanError
+from repro.core.parser import parse_program, parse_rule, parse_term
+from repro.dist.codegen import (
+    Deployment,
+    ProgramImage,
+    image_for,
+    rule_from_json,
+    rule_to_json,
+    term_from_json,
+    term_to_json,
+)
+from repro.net.network import GridNetwork
+
+PROGRAM_TEXT = """
+    cov(L1, T)  :- veh("enemy", L1, T), veh("friendly", L2, T),
+                   dist(L1, L2) <= 50.
+    uncov(L, T) :- veh("enemy", L, T), not cov(L, T).
+"""
+
+
+class TestTermSerialization:
+    @pytest.mark.parametrize("text", [
+        "42", "3.5", '"enemy"', "X", "f(X, 1)", "[1, 2, 3]",
+        "[H | T]", "D + 1", "(3, 4)", "f(g(h(X)), [a, b])",
+    ])
+    def test_roundtrip(self, text):
+        term = parse_term(text)
+        assert term_from_json(term_to_json(term)) == term
+
+
+class TestRuleSerialization:
+    @pytest.mark.parametrize("text", [
+        "p(X) :- q(X).",
+        "p(X) :- q(X), not r(X, _).",
+        "h(X, Y, D + 1) :- g(X, Y), h(_, X, D), not hp(Y, D + 1).",
+        'cov(L) :- veh("enemy", L), dist(L, (0, 0)) <= 50.',
+    ])
+    def test_roundtrip(self, text):
+        rule = parse_rule(text)
+        restored = rule_from_json(rule_to_json(rule))
+        assert restored.head == rule.head
+        assert restored.body == rule.body
+
+    def test_aggregates_rejected(self):
+        with pytest.raises(PlanError):
+            rule_to_json(parse_rule("c(count(_)) :- q(X)."))
+
+
+class TestProgramImage:
+    def test_roundtrip(self):
+        image = image_for(PROGRAM_TEXT, strategy="pa", window=30.0,
+                          builtins=["close"])
+        restored = ProgramImage.from_json(image.to_json())
+        assert repr(restored.program) == repr(image.program)
+        assert restored.strategy == "pa"
+        assert restored.window == 30.0
+        assert restored.builtins == ["close"]
+
+    def test_deterministic_serialization(self):
+        a = image_for(PROGRAM_TEXT).to_json()
+        b = image_for(PROGRAM_TEXT).to_json()
+        assert a == b
+
+    def test_size_fits_flash(self):
+        # Section V: a typical on-chip flash (128 KB) easily holds the
+        # program image.
+        image = image_for(PROGRAM_TEXT)
+        assert 0 < image.size_bytes < 128 * 1024
+
+    def test_version_checked(self):
+        import json
+
+        payload = json.loads(image_for("p(X) :- q(X).").to_json())
+        payload["version"] = 99
+        with pytest.raises(PlanError):
+            ProgramImage.from_json(json.dumps(payload))
+
+    def test_facts_carried(self):
+        image = image_for("e(a, b). p(X) :- e(X, _).")
+        restored = ProgramImage.from_json(image.to_json())
+        assert len(restored.program.facts) == 1
+
+
+class TestDeployment:
+    def test_floods_whole_network(self):
+        net = GridNetwork(5)
+        deployment = Deployment(net, base_station=0)
+        deployment.push(image_for(PROGRAM_TEXT))
+        net.run_all()
+        assert deployment.complete
+        assert deployment.consistent()
+
+    def test_cost_one_message_per_node(self):
+        net = GridNetwork(5)
+        deployment = Deployment(net, base_station=0)
+        deployment.push(image_for(PROGRAM_TEXT))
+        net.run_all()
+        # Tree dissemination: exactly one transmission per tree edge.
+        assert net.metrics.total_messages == len(net) - 1
+        assert net.metrics.category_tx["deploy"] == len(net) - 1
+
+    def test_partial_coverage_under_loss(self):
+        net = GridNetwork(5, loss_rate=0.3, seed=3)
+        deployment = Deployment(net, base_station=0)
+        deployment.push(image_for(PROGRAM_TEXT))
+        net.run_all()
+        assert 0 < deployment.coverage <= 1.0
+
+    def test_deployed_engine_runs(self):
+        net = GridNetwork(6, seed=5)
+        deployment = Deployment(net, base_station=0)
+        deployment.push(image_for(PROGRAM_TEXT, strategy="pa"))
+        net.run_all()
+        engine = deployment.build_engine().install()
+        engine.publish(3, "veh", ("enemy", (10, 10), 3))
+        net.run_all()
+        assert engine.rows("uncov") == {((10, 10), 3)}
+
+    def test_build_without_deploy_rejected(self):
+        net = GridNetwork(3)
+        deployment = Deployment(net, base_station=0)
+        with pytest.raises(PlanError):
+            deployment.build_engine()

@@ -1,0 +1,80 @@
+"""Node-crash fault injection: PA's replication rides out failures of
+individual storage nodes (the fault-tolerance claim of Section III-A)."""
+
+import pytest
+
+from repro.core.parser import parse_program
+from repro.dist.gpa import GPAEngine
+from repro.net.messages import Message
+from repro.net.network import GridNetwork
+
+PROGRAM = "j(K, A, B) :- r(K, A), s(K, B)."
+
+
+class TestKill:
+    def test_killed_node_goes_silent(self):
+        net = GridNetwork(3)
+        got = []
+        net.node(1).register_handler("ping", lambda n, m: got.append(1))
+        net.radio.kill(1)
+        net.node(0).send(1, Message("ping"))
+        net.run_all()
+        assert got == []
+        assert net.metrics.dropped == 1
+
+    def test_kill_is_idempotent(self):
+        net = GridNetwork(3)
+        net.radio.kill(1)
+        t = net.radio.death_time[1]
+        net.radio.kill(1)
+        assert net.radio.death_time[1] == t
+
+
+class TestReplicationSurvivesCrash:
+    def test_join_succeeds_despite_dead_replica_holder(self):
+        """Kill one replica holder on r's storage row (not on the join
+        column of s's origin): the copy on the join column still serves
+        the join."""
+        net = GridNetwork(6, seed=13)
+        engine = GPAEngine(parse_program(PROGRAM), net, strategy="pa").install()
+        r_origin = net.grid.node_at(1, 2)     # row 2
+        s_origin = net.grid.node_at(4, 5)     # join column 4
+        engine.publish(r_origin, "r", (1, "a"))
+        net.run_all()
+        # Kill a replica holder on row 2 away from column 4.
+        victim = net.grid.node_at(0, 2)
+        net.radio.kill(victim)
+        engine.publish(s_origin, "s", (1, "b"))
+        net.run_all()
+        assert engine.rows("j") == {(1, "a", "b")}
+
+    def test_centralized_dies_with_its_server(self):
+        net = GridNetwork(6, seed=13)
+        engine = GPAEngine(
+            parse_program(PROGRAM), net, strategy="centralized"
+        ).install()
+        engine.publish(10, "r", (1, "a"))
+        net.run_all()
+        net.radio.kill(0)  # the corner server
+        engine.publish(22, "s", (1, "b"))
+        net.run_all()
+        assert engine.rows("j") == set()
+
+    def test_pa_partial_degradation_many_crashes(self):
+        """Killing a whole column's worth of random nodes loses some
+        results but not all — graceful degradation."""
+        import random
+
+        net = GridNetwork(8, seed=14)
+        engine = GPAEngine(parse_program(PROGRAM), net, strategy="pa").install()
+        rng = random.Random(14)
+        for i in range(6):
+            engine.publish(rng.randrange(64), "r", (i % 2, f"r{i}"))
+        net.run_all()
+        for victim in rng.sample(range(64), 8):
+            net.radio.kill(victim)
+        for i in range(6):
+            engine.publish(rng.randrange(64), "s", (i % 2, f"s{i}"))
+        net.run_all()
+        # Some (usually most) results still appear.
+        assert len(engine.rows("j")) > 0

@@ -1,0 +1,291 @@
+"""Integration tests for the GPA distributed engine.
+
+Every scenario is validated against the centralized evaluator (the
+reference semantics) on the same fact set.
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro.core.eval import Database, evaluate
+from repro.core.parser import parse_program
+from repro.dist.gpa import GPAEngine
+from repro.net.network import GridNetwork, RandomNetwork
+
+JOIN2 = "j(X, A, B) :- r(X, A), s(X, B)."
+JOIN3 = "j(X, A, B, C) :- r(X, A), s(X, B), t(X, C)."
+UNCOV = """
+    cov(L1, T)  :- veh("enemy", L1, T), veh("friendly", L2, T),
+                   dist(L1, L2) <= 50.
+    uncov(L, T) :- veh("enemy", L, T), not cov(L, T).
+"""
+ALL_STRATEGIES = ["pa", "broadcast", "local-storage", "centralized", "centroid"]
+
+
+def oracle(program_text, facts, registry=None):
+    program = parse_program(program_text, registry) if registry else parse_program(program_text)
+    db = Database(registry) if registry else Database()
+    for pred, args in facts:
+        db.assert_fact(pred, args)
+    evaluate(program, db, registry)
+    return db
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+class TestTwoWayJoin:
+    def test_matches_oracle(self, strategy):
+        net = GridNetwork(6, seed=1)
+        eng = GPAEngine(parse_program(JOIN2), net, strategy=strategy).install()
+        rng = random.Random(3)
+        facts = []
+        for i in range(8):
+            for pred in ("r", "s"):
+                node = rng.randrange(36)
+                args = (i % 3, f"{pred}{i}")
+                eng.publish(node, pred, args)
+                facts.append((pred, args))
+        net.run_all()
+        assert eng.rows("j") == oracle(JOIN2, facts).rows("j")
+
+    def test_empty_when_no_matches(self, strategy):
+        net = GridNetwork(4, seed=1)
+        eng = GPAEngine(parse_program(JOIN2), net, strategy=strategy).install()
+        eng.publish(0, "r", (1, "a"))
+        eng.publish(15, "s", (2, "b"))
+        net.run_all()
+        assert eng.rows("j") == set()
+
+
+class TestThreeWayJoin:
+    def test_one_pass_multiway(self):
+        net = GridNetwork(6, seed=2)
+        eng = GPAEngine(parse_program(JOIN3), net, strategy="pa").install()
+        rng = random.Random(5)
+        facts = []
+        for i in range(6):
+            for pred in ("r", "s", "t"):
+                node = rng.randrange(36)
+                args = (i % 2, f"{pred}{i}")
+                eng.publish(node, pred, args)
+                facts.append((pred, args))
+        net.run_all()
+        expected = oracle(JOIN3, facts).rows("j")
+        assert eng.rows("j") == expected
+        assert expected  # non-trivial workload
+
+    def test_self_join(self):
+        net = GridNetwork(5, seed=3)
+        program = parse_program("pair(A, B) :- r(X, A), r(X, B), A < B.")
+        eng = GPAEngine(program, net, strategy="pa").install()
+        facts = []
+        for i, node in enumerate([3, 8, 20]):
+            eng.publish(node, "r", (1, i))
+            facts.append(("r", (1, i)))
+        net.run_all()
+        assert eng.rows("pair") == oracle(
+            "pair(A, B) :- r(X, A), r(X, B), A < B.", facts
+        ).rows("pair")
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+class TestNegationAndDeletion:
+    def test_blocker_lifecycle(self, strategy):
+        net = GridNetwork(6, seed=2)
+        eng = GPAEngine(parse_program(UNCOV), net, strategy=strategy).install()
+        eng.publish(3, "veh", ("enemy", (10, 10), 3))
+        eng.publish(17, "veh", ("enemy", (90, 90), 3))
+        net.run_all()
+        assert eng.rows("uncov") == {((10, 10), 3), ((90, 90), 3)}
+        tid = eng.publish(22, "veh", ("friendly", (12, 12), 3))
+        net.run_all()
+        assert eng.rows("uncov") == {((90, 90), 3)}
+        assert eng.rows("cov") == {((10, 10), 3)}
+        eng.retract(22, "veh", ("friendly", (12, 12), 3), tid)
+        net.run_all()
+        assert eng.rows("uncov") == {((10, 10), 3), ((90, 90), 3)}
+        assert eng.rows("cov") == set()
+
+    def test_positive_support_deletion(self, strategy):
+        net = GridNetwork(5, seed=4)
+        eng = GPAEngine(parse_program(JOIN2), net, strategy=strategy).install()
+        tid = eng.publish(7, "r", (1, "a"))
+        eng.publish(13, "s", (1, "b"))
+        net.run_all()
+        assert eng.rows("j") == {(1, "a", "b")}
+        eng.retract(7, "r", (1, "a"), tid)
+        net.run_all()
+        assert eng.rows("j") == set()
+
+
+class TestDerivedChains:
+    def test_two_level_derivation(self):
+        program = parse_program(
+            """
+            m(X) :- r(X, _).
+            top(X) :- m(X), s(X, _).
+            """
+        )
+        net = GridNetwork(5, seed=5)
+        eng = GPAEngine(program, net, strategy="pa").install()
+        eng.publish(2, "r", (1, "a"))
+        eng.publish(11, "s", (1, "b"))
+        eng.publish(21, "s", (2, "c"))
+        net.run_all()
+        assert eng.rows("m") == {(1,)}
+        assert eng.rows("top") == {(1,)}
+
+    def test_derived_deletion_cascades(self):
+        program = parse_program(
+            """
+            m(X) :- r(X, _).
+            top(X) :- m(X), s(X, _).
+            """
+        )
+        net = GridNetwork(5, seed=6)
+        eng = GPAEngine(program, net, strategy="pa").install()
+        tid = eng.publish(2, "r", (1, "a"))
+        eng.publish(11, "s", (1, "b"))
+        net.run_all()
+        assert eng.rows("top") == {(1,)}
+        eng.retract(2, "r", (1, "a"), tid)
+        net.run_all()
+        assert eng.rows("m") == set()
+        assert eng.rows("top") == set()
+
+    def test_alternative_derivations_survive(self):
+        program = parse_program("m(X) :- r(X, _). m(X) :- s(X, _).")
+        net = GridNetwork(5, seed=7)
+        eng = GPAEngine(program, net, strategy="pa").install()
+        tid = eng.publish(2, "r", (1, "a"))
+        eng.publish(11, "s", (1, "b"))
+        net.run_all()
+        eng.retract(2, "r", (1, "a"), tid)
+        net.run_all()
+        assert eng.rows("m") == {(1,)}
+
+
+class TestSlidingWindows:
+    def test_old_tuples_do_not_join(self):
+        net = GridNetwork(5, seed=8)
+        eng = GPAEngine(
+            parse_program(JOIN2), net, strategy="pa", window=5.0
+        ).install()
+        eng.publish(3, "r", (1, "old"))
+        net.run_until(net.now + 60.0)   # r's tuple ages far out of range
+        eng.publish(18, "s", (1, "new"))
+        net.run_all()
+        assert eng.rows("j") == set()
+
+    def test_within_window_joins(self):
+        net = GridNetwork(5, seed=8)
+        eng = GPAEngine(
+            parse_program(JOIN2), net, strategy="pa", window=100.0
+        ).install()
+        eng.publish(3, "r", (1, "old"))
+        net.run_until(net.now + 30.0)
+        eng.publish(18, "s", (1, "new"))
+        net.run_all()
+        assert eng.rows("j") == {(1, "old", "new")}
+
+    def test_memory_reclaimed_by_expiry(self):
+        net = GridNetwork(5, seed=8)
+        eng = GPAEngine(
+            parse_program(JOIN2), net, strategy="pa", window=2.0
+        ).install()
+        for i in range(5):
+            eng.publish(i, "r", (i, "x"))
+        net.run_all()
+        peak = sum(eng.memory_report(include_derived=False).values())
+        net.run_until(net.now + 100.0)
+        eng.expire_all()
+        later = sum(eng.memory_report(include_derived=False).values())
+        assert later < peak
+
+
+class TestRobustness:
+    def test_result_completeness_under_loss(self):
+        """PA's replication tolerates moderate loss: most results
+        survive (the paper's fault-tolerance claim, tested at 10%)."""
+        def run(loss):
+            net = GridNetwork(6, seed=10, loss_rate=loss)
+            eng = GPAEngine(parse_program(JOIN2), net, strategy="pa").install()
+            rng = random.Random(11)
+            facts = []
+            for i in range(10):
+                for pred in ("r", "s"):
+                    args = (i % 3, f"{pred}{i}")
+                    eng.publish(rng.randrange(36), pred, args)
+                    facts.append((pred, args))
+            net.run_all()
+            expected = oracle(JOIN2, facts).rows("j")
+            return len(eng.rows("j") & expected), len(expected)
+
+        got0, total0 = run(0.0)
+        assert got0 == total0
+        # Every result still crosses one multi-hop join pass, so 10%
+        # per-hop loss costs a sizable fraction; a meaningful share of
+        # results must survive thanks to the replicated storage.
+        got10, total10 = run(0.10)
+        assert got10 >= 0.2 * total10
+
+    def test_clock_skew_tolerated(self):
+        net = GridNetwork(5, seed=12, clock_skew=0.05)
+        eng = GPAEngine(parse_program(JOIN2), net, strategy="pa").install()
+        facts = []
+        rng = random.Random(13)
+        for i in range(8):
+            for pred in ("r", "s"):
+                args = (i % 2, f"{pred}{i}")
+                eng.publish(rng.randrange(25), pred, args)
+                facts.append((pred, args))
+        net.run_all()
+        assert eng.rows("j") == oracle(JOIN2, facts).rows("j")
+
+
+class TestRandomNetworks:
+    def test_join_on_virtual_grid(self):
+        net = RandomNetwork(25, radius=3.5, seed=14)
+        eng = GPAEngine(parse_program(JOIN2), net, strategy="pa").install()
+        rng = random.Random(15)
+        ids = net.topology.node_ids
+        facts = []
+        for i in range(8):
+            for pred in ("r", "s"):
+                args = (i % 3, f"{pred}{i}")
+                eng.publish(rng.choice(ids), pred, args)
+                facts.append((pred, args))
+        net.run_all()
+        assert eng.rows("j") == oracle(JOIN2, facts).rows("j")
+
+
+class TestEngineValidation:
+    def test_install_required(self):
+        net = GridNetwork(3)
+        eng = GPAEngine(parse_program(JOIN2), net, strategy="pa")
+        with pytest.raises(repro.NetworkError):
+            eng.publish(0, "r", (1, "a"))
+
+    def test_retract_from_wrong_node(self):
+        net = GridNetwork(3)
+        eng = GPAEngine(parse_program(JOIN2), net, strategy="pa").install()
+        tid = eng.publish(0, "r", (1, "a"))
+        with pytest.raises(repro.NetworkError):
+            eng.retract(1, "r", (1, "a"), tid)
+
+    def test_aggregates_rejected(self):
+        net = GridNetwork(3)
+        with pytest.raises(repro.PlanError):
+            GPAEngine(parse_program("c(count(_)) :- r(X)."), net)
+
+    def test_unstratifiable_rejected(self):
+        net = GridNetwork(3)
+        with pytest.raises(repro.PlanError):
+            GPAEngine(parse_program("w(X) :- m(X, Y), not w(Y)."), net)
+
+    def test_program_text_accepted(self):
+        net = GridNetwork(3)
+        eng = GPAEngine(JOIN2, net, strategy="pa").install()
+        eng.publish(0, "r", (1, "a"))
+        net.run_all()

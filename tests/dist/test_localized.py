@@ -1,0 +1,216 @@
+"""Tests for the localized engine: shortest-path trees (Example 3)."""
+
+import networkx as nx
+import pytest
+
+from repro.core.errors import PlanError
+from repro.dist.baselines import ProceduralBFS
+from repro.dist.localized import (
+    LocalizedEngine,
+    Placement,
+    build_sptree,
+    logich_placements,
+    logich_program,
+    visible_rows,
+)
+from repro.net.network import GridNetwork, RandomNetwork
+
+
+def bfs_depths(net, root):
+    return nx.single_source_shortest_path_length(net.topology.graph, root)
+
+
+def expected_h(net, root):
+    depths = bfs_depths(net, root)
+    rows = {
+        (x, y, depths[y])
+        for y in depths if y != root
+        for x in net.topology.neighbors(y)
+        if depths[x] == depths[y] - 1
+    }
+    rows.add((root, root, 0))
+    return rows
+
+
+def expected_j(net, root):
+    return set(bfs_depths(net, root).items())
+
+
+class TestLogicH:
+    @pytest.mark.parametrize("m,root", [(4, 0), (5, 12), (6, 35)])
+    def test_grid_bfs_edges(self, m, root):
+        net = GridNetwork(m, seed=root)
+        eng, pred = build_sptree(net, root=root, variant="h")
+        net.run_all()
+        assert visible_rows(eng, "h") == expected_h(net, root)
+
+    def test_random_topology(self):
+        net = RandomNetwork(20, radius=3.5, seed=21)
+        root = net.topology.node_ids[0]
+        eng, _ = build_sptree(net, root=root, variant="h")
+        net.run_all()
+        assert visible_rows(eng, "h") == expected_h(net, root)
+
+    def test_depths_unique_per_node(self):
+        net = GridNetwork(5, seed=1)
+        eng, _ = build_sptree(net, root=0, variant="h")
+        net.run_all()
+        depth_of = {}
+        for (_x, y, d) in visible_rows(eng, "h"):
+            depth_of.setdefault(y, set()).add(d)
+        assert all(len(ds) == 1 for ds in depth_of.values())
+
+    def test_memory_is_local(self):
+        """Section V: each node stores O(degree) tuples."""
+        net = GridNetwork(6, seed=2)
+        eng, _ = build_sptree(net, root=0, variant="h")
+        net.run_all()
+        for node_id, runtime in eng.runtimes.items():
+            degree = len(net.topology.neighbors(node_id))
+            non_edge = sum(
+                len(t) for p, t in runtime.tables.items() if p != "g"
+            )
+            assert non_edge <= 4 * degree + 4
+
+    def test_memory_report(self):
+        net = GridNetwork(4, seed=2)
+        eng, _ = build_sptree(net, root=0, variant="j")
+        net.run_all()
+        report = eng.memory_report()
+        assert set(report) == set(net.topology.node_ids)
+        assert all(v > 0 for v in report.values())  # edges at least
+
+
+class TestLogicJ:
+    @pytest.mark.parametrize("m,root", [(4, 0), (5, 12)])
+    def test_grid_depths(self, m, root):
+        net = GridNetwork(m, seed=root)
+        eng, pred = build_sptree(net, root=root, variant="j")
+        net.run_all()
+        assert visible_rows(eng, "j") == expected_j(net, root)
+
+    def test_random_topology(self):
+        net = RandomNetwork(20, radius=3.5, seed=22)
+        root = net.topology.node_ids[0]
+        eng, _ = build_sptree(net, root=root, variant="j")
+        net.run_all()
+        assert visible_rows(eng, "j") == expected_j(net, root)
+
+    def test_j_cheaper_than_h(self):
+        """Section VI's improvement: logicJ carries smaller tuples and
+        sends fewer messages than logicH."""
+        net_h = GridNetwork(6, seed=3)
+        _eh, _ = build_sptree(net_h, root=0, variant="h")
+        net_h.run_all()
+        net_j = GridNetwork(6, seed=3)
+        _ej, _ = build_sptree(net_j, root=0, variant="j")
+        net_j.run_all()
+        assert net_j.metrics.total_messages < net_h.metrics.total_messages
+        assert net_j.metrics.total_bytes < net_h.metrics.total_bytes
+
+
+class TestProceduralBaseline:
+    def test_bfs_correct(self):
+        net = GridNetwork(6, seed=4)
+        bfs = ProceduralBFS(net, root=0).install()
+        bfs.start()
+        net.run_all()
+        assert bfs.tree_rows() == expected_j(net, 0)
+
+    def test_bfs_on_random(self):
+        net = RandomNetwork(25, radius=3.5, seed=5)
+        root = net.topology.node_ids[0]
+        bfs = ProceduralBFS(net, root=root).install()
+        bfs.start()
+        net.run_all()
+        assert bfs.tree_rows() == expected_j(net, root)
+
+    def test_declarative_within_constant_of_procedural(self):
+        """The compiled logicJ stays within a small constant factor of
+        hand-written flooding — the paper's efficiency claim."""
+        net_j = GridNetwork(6, seed=6)
+        _e, _ = build_sptree(net_j, root=0, variant="j")
+        net_j.run_all()
+        net_p = GridNetwork(6, seed=6)
+        bfs = ProceduralBFS(net_p, root=0).install()
+        bfs.start()
+        net_p.run_all()
+        assert net_j.metrics.total_messages <= 10 * net_p.metrics.total_messages
+
+
+def bounded_j_program(bound: int) -> str:
+    """logicJ with a depth bound.
+
+    Retracting a recursive support without a stage bound is the classic
+    count-to-infinity problem of distance-vector routing: the teardown
+    wave chases a revival wave deriving facts at ever-increasing depths
+    (the blocker jp(y, d) dies with the old tree, un-suppressing stale
+    longer paths).  A bound >= the network diameter — the standard
+    "maximum metric" fix — computes the same tree and makes teardown
+    terminate.
+    """
+    return f"""
+        jp(Y, D + 1) :- j(Y, Dp), D + 1 > Dp, j(X, D), g(X, Y).
+        j(Y, D + 1) :- g(X, Y), j(X, D), D + 1 <= {bound},
+                       not jp(Y, D + 1).
+    """
+
+
+class TestRetraction:
+    def _build_bounded(self, net, root):
+        from repro.dist.localized import logicj_placements
+
+        bound = net.topology.diameter
+        eng = LocalizedEngine(
+            bounded_j_program(bound), net, logicj_placements()
+        ).install()
+        eng.seed_edges("g")
+        eng.seed(root, "j", (root, 0))
+        return eng
+
+    def test_root_retraction_clears_tree_on_line(self):
+        net = GridNetwork(6, 1, seed=7)
+        eng = self._build_bounded(net, 0)
+        net.run_all()
+        assert len(visible_rows(eng, "j")) == 6
+        eng.retract(0, "j", (0, 0))
+        net.run_all(max_events=2_000_000)
+        assert visible_rows(eng, "j") == set()
+
+    def test_root_retraction_with_depth_bound_on_grid(self):
+        net = GridNetwork(3, seed=8)
+        eng = self._build_bounded(net, 0)
+        net.run_all()
+        assert len(visible_rows(eng, "j")) == 9
+        eng.retract(0, "j", (0, 0))
+        net.run_all(max_events=2_000_000)
+        assert visible_rows(eng, "j") == set()
+
+    def test_bounded_program_builds_same_tree(self):
+        import networkx as nx
+
+        net = GridNetwork(4, seed=9)
+        eng = self._build_bounded(net, 0)
+        net.run_all()
+        truth = set(
+            nx.single_source_shortest_path_length(net.topology.graph, 0).items()
+        )
+        assert visible_rows(eng, "j") == truth
+
+
+class TestValidation:
+    def test_missing_placement_rejected(self):
+        net = GridNetwork(3)
+        with pytest.raises(PlanError):
+            LocalizedEngine(logich_program(), net, {"h": Placement(1)})
+
+    def test_bad_variant(self):
+        with pytest.raises(PlanError):
+            build_sptree(GridNetwork(3), root=0, variant="z")
+
+    def test_placement_requires_node_id(self):
+        from repro.core.terms import Constant
+
+        p = Placement(0)
+        with pytest.raises(PlanError):
+            p.primary_node((Constant("abc"),), None)

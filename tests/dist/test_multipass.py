@@ -1,0 +1,89 @@
+"""Tests for the multiple-pass join scheme (Section III-A)."""
+
+import random
+
+import pytest
+
+import repro
+from repro.core.eval import Database, evaluate
+from repro.core.parser import parse_program
+from repro.dist.gpa import GPAEngine
+from repro.net.network import GridNetwork
+
+JOIN3 = "j(X, A, B, C) :- r(X, A), s(X, B), t(X, C)."
+JOIN4 = "j(X, A, B, C, D) :- r(X, A), s(X, B), t(X, C), u(X, D)."
+
+
+def run(program_text, streams, scheme, m=6, tuples=6, seed=9):
+    net = GridNetwork(m, seed=seed)
+    eng = GPAEngine(
+        parse_program(program_text), net, strategy="pa", scheme=scheme
+    ).install()
+    rng = random.Random(seed + 1)
+    facts = []
+    for i in range(tuples):
+        for pred in streams:
+            node = rng.randrange(m * m)
+            args = (i % 2, f"{pred}{i}")
+            eng.publish(node, pred, args)
+            facts.append((pred, args))
+    net.run_all()
+    db = Database()
+    for pred, args in facts:
+        db.assert_fact(pred, args)
+    evaluate(parse_program(program_text), db)
+    return eng.rows("j"), db.rows("j"), net.metrics
+
+
+class TestMultiPassCorrectness:
+    def test_three_way(self):
+        got, expected, _ = run(JOIN3, ("r", "s", "t"), "multi-pass")
+        assert got == expected and expected
+
+    def test_four_way(self):
+        got, expected, _ = run(JOIN4, ("r", "s", "t", "u"), "multi-pass", tuples=4)
+        assert got == expected
+
+    def test_agrees_with_one_pass(self):
+        got_multi, _, _ = run(JOIN3, ("r", "s", "t"), "multi-pass")
+        got_one, _, _ = run(JOIN3, ("r", "s", "t"), "one-pass")
+        assert got_multi == got_one
+
+    def test_two_way_falls_back_to_one_pass(self):
+        # n=2: one occurrence is the trigger, so there is only one
+        # stream left to join — multi-pass degenerates to one-pass.
+        program = "j(X, A, B) :- r(X, A), s(X, B)."
+        got, expected, _ = run(program, ("r", "s"), "multi-pass")
+        assert got == expected
+
+    def test_negation_rules_use_one_pass(self):
+        program = """
+            m(X, A, B) :- r(X, A), s(X, B), t(X, _).
+            out(X) :- r(X, _), not blocked(X).
+        """
+        net = GridNetwork(5, seed=3)
+        eng = GPAEngine(
+            parse_program(program), net, strategy="pa", scheme="multi-pass"
+        ).install()
+        eng.publish(3, "r", (1, "a"))
+        eng.publish(7, "blocked", (2,))
+        net.run_all()
+        assert eng.rows("out") == {(1,)}
+
+
+class TestSchemeValidation:
+    def test_unknown_scheme(self):
+        net = GridNetwork(3)
+        with pytest.raises(repro.PlanError):
+            GPAEngine(parse_program(JOIN3), net, scheme="zero-pass")
+
+
+class TestMultiPassCost:
+    def test_multipass_carries_more_payload(self):
+        """The paper's trade-off: multi-pass is simpler per region but
+        re-ships partials on every pass."""
+        _g1, _e1, metrics_one = run(JOIN3, ("r", "s", "t"), "one-pass", tuples=8)
+        _g2, _e2, metrics_multi = run(JOIN3, ("r", "s", "t"), "multi-pass", tuples=8)
+        one_bytes = metrics_one.category_bytes.get("join", 0)
+        multi_bytes = metrics_multi.category_bytes.get("join", 0)
+        assert multi_bytes > one_bytes

@@ -1,0 +1,87 @@
+"""Tests for TinyDB-style periodic continuous queries."""
+
+import pytest
+
+import repro
+from repro.core.errors import PlanError
+from repro.core.parser import parse_program
+from repro.dist.gpa import GPAEngine
+from repro.dist.periodic import ContinuousQuery
+from repro.net.network import GridNetwork
+
+PROGRAM = "hot(N, V, E) :- reading(N, V, E), V > 70."
+
+
+def make_query(m=5, aggregate="avg", sampler=None, **kwargs):
+    net = GridNetwork(m, seed=8, **kwargs)
+    engine = GPAEngine(parse_program(PROGRAM), net, strategy="pa").install()
+
+    def default_sampler(node_id, epoch):
+        return 60.0 + node_id % 4 * 5 + epoch  # 60/65/70/75 + epoch
+
+    query = ContinuousQuery(
+        engine,
+        sampler=sampler or default_sampler,
+        period=5.0,
+        program_pred="hot",
+        value_position=1,
+        aggregate=aggregate,
+        sink=0,
+        epoch_position=2,
+    )
+    return query, engine, net
+
+
+class TestEpochs:
+    def test_reading_counts(self):
+        query, engine, net = make_query()
+        result = query.run_epoch()
+        assert result.epoch == 0
+        assert result.readings == 25
+
+    def test_aggregate_per_epoch(self):
+        query, engine, net = make_query(aggregate="count")
+        r0 = query.run_epoch()
+        # Epoch 0: hot (V > 70) only nodes with id%4==3 (75.0): 6 of 25.
+        assert r0.aggregate == 6.0
+        r1 = query.run_epoch()
+        # Epoch 1: 70+1 readings also qualify: 6 nodes with id%4==2.
+        assert r1.aggregate == 12.0
+
+    def test_series(self):
+        query, engine, net = make_query(aggregate="count")
+        query.run_epochs(3)
+        series = query.series()
+        assert [e for e, _ in series] == [0, 1, 2]
+
+    def test_avg_correct(self):
+        query, engine, net = make_query(aggregate="avg")
+        r0 = query.run_epoch()
+        assert r0.aggregate == pytest.approx(75.0)
+
+    def test_none_sampler_values_skipped(self):
+        def sparse(node_id, epoch):
+            return 80.0 if node_id % 5 == 0 else None
+
+        query, engine, net = make_query(sampler=sparse, aggregate="count")
+        result = query.run_epoch()
+        assert result.readings == 5
+        assert result.aggregate == 5.0
+
+    def test_dead_nodes_do_not_sample(self):
+        query, engine, net = make_query(aggregate=None)
+        net.radio.kill(7)
+        result = query.run_epoch()
+        assert result.readings == 24
+
+    def test_aggregate_requires_program_pred(self):
+        net = GridNetwork(3)
+        engine = GPAEngine(parse_program(PROGRAM), net, strategy="pa").install()
+        with pytest.raises(PlanError):
+            ContinuousQuery(engine, sampler=lambda n, e: 1.0, aggregate="avg")
+
+    def test_period_advances_clock(self):
+        query, engine, net = make_query(aggregate=None)
+        t0 = net.now
+        query.run_epoch()
+        assert net.now >= t0 + 5.0

@@ -1,0 +1,69 @@
+"""Tests for TAG-style in-network aggregation."""
+
+import pytest
+
+from repro.core.errors import NetworkError
+from repro.net.aggregation import TagAggregator, naive_collect_cost
+from repro.net.network import GridNetwork
+
+
+def run_aggregate(func, values, m=4, **net_kwargs):
+    net = GridNetwork(m, **net_kwargs)
+    agg = TagAggregator(net, root=0)
+    agg.start(func, values)
+    net.run_all()
+    return agg, net
+
+
+class TestTagCorrectness:
+    def test_count(self):
+        values = {i: 1.0 for i in range(16)}
+        agg, _ = run_aggregate("count", values)
+        assert agg.result == 16
+
+    def test_sum(self):
+        values = {i: float(i) for i in range(16)}
+        agg, _ = run_aggregate("sum", values)
+        assert agg.result == sum(range(16))
+
+    def test_min_max(self):
+        values = {i: float(i % 7) for i in range(16)}
+        agg, _ = run_aggregate("min", values)
+        assert agg.result == 0.0
+        agg, _ = run_aggregate("max", values)
+        assert agg.result == 6.0
+
+    def test_avg(self):
+        values = {i: float(i) for i in range(16)}
+        agg, _ = run_aggregate("avg", values)
+        assert agg.result == pytest.approx(7.5)
+
+    def test_partial_participation(self):
+        values = {i: 10.0 for i in range(4)}  # only 4 nodes report
+        agg, _ = run_aggregate("count", values)
+        assert agg.result == 4
+
+    def test_unsupported_function(self):
+        net = GridNetwork(2)
+        agg = TagAggregator(net, root=0)
+        with pytest.raises(NetworkError):
+            agg.start("median", {})
+
+
+class TestTagEfficiency:
+    def test_one_partial_per_node(self):
+        values = {i: 1.0 for i in range(36)}
+        agg, net = run_aggregate("sum", values, m=6)
+        # Query dissemination: 35 tree edges; collection: <= 35 partials.
+        assert net.metrics.total_messages <= 2 * 35
+
+    def test_beats_naive_collection(self):
+        values = {i: 1.0 for i in range(64)}
+        agg, net = run_aggregate("sum", values, m=8)
+        naive = naive_collect_cost(net, 0)
+        assert net.metrics.total_messages < naive
+
+    def test_robust_under_light_jitter(self):
+        values = {i: float(i) for i in range(16)}
+        agg, _ = run_aggregate("sum", values, delay_jitter=0.004, seed=5)
+        assert agg.result == sum(range(16))

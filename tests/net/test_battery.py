@@ -1,0 +1,59 @@
+"""Tests for finite batteries and node death."""
+
+import pytest
+
+from repro.net.messages import Message
+from repro.net.network import GridNetwork
+
+
+def ping(net, src, dst, n=1):
+    for _ in range(n):
+        net.node(src).send(dst, Message("ping"))
+    net.run_all()
+
+
+class TestBattery:
+    def test_infinite_by_default(self):
+        net = GridNetwork(3)
+        net.node(1).register_handler("ping", lambda n, m: None)
+        ping(net, 0, 1, n=500)
+        assert net.radio.first_death_time is None
+
+    def test_node_dies_after_capacity(self):
+        net = GridNetwork(3, battery_capacity=100.0)
+        net.node(1).register_handler("ping", lambda n, m: None)
+        ping(net, 0, 1, n=50)
+        assert not net.radio.is_alive(0)      # transmitter burns faster
+        assert net.radio.first_death_time is not None
+
+    def test_dead_node_stops_transmitting(self):
+        net = GridNetwork(3, battery_capacity=100.0)
+        got = []
+        net.node(1).register_handler("ping", lambda n, m: got.append(1))
+        ping(net, 0, 1, n=60)
+        tx_after_death = net.metrics.tx_count[0]
+        ping(net, 0, 1, n=20)
+        assert net.metrics.tx_count[0] == tx_after_death  # no more tx
+
+    def test_dead_receiver_drops_frames(self):
+        net = GridNetwork(3, battery_capacity=120.0)
+        net.node(0).register_handler("ping", lambda n, m: None)
+        net.node(1).register_handler("ping", lambda n, m: None)
+        # Burn node 1's battery with receptions from both sides.
+        for _ in range(40):
+            net.node(0).send(1, Message("ping"))
+            net.node(2).send(1, Message("ping"))
+        net.run_all()
+        assert not net.radio.is_alive(1)
+        before = net.metrics.rx_count[1]
+        net.node(0).send(1, Message("ping"))
+        net.run_all()
+        assert net.metrics.rx_count[1] == before
+        assert net.metrics.dropped > 0
+
+    def test_death_time_recorded(self):
+        net = GridNetwork(3, battery_capacity=50.0)
+        net.node(1).register_handler("ping", lambda n, m: None)
+        ping(net, 0, 1, n=30)
+        death = net.radio.death_time.get(0)
+        assert death is not None and death >= 0.0

@@ -1,0 +1,65 @@
+"""Tests for the contention/collision model."""
+
+import pytest
+
+from repro.core.parser import parse_program
+from repro.dist.gpa import GPAEngine
+from repro.net.messages import Message
+from repro.net.network import GridNetwork
+
+
+def star_net(collisions):
+    # Node 4 is the center of a 3x3 grid with 4 neighbors.
+    net = GridNetwork(3, collisions=collisions, delay_jitter=0.0)
+    net.node(4).register_handler("ping", lambda n, m: None)
+    return net
+
+
+class TestCollisions:
+    def test_concurrent_senders_collide(self):
+        net = star_net(collisions=True)
+        for sender in (1, 3, 5, 7):
+            net.node(sender).send(4, Message("ping", payload_symbols=20))
+        net.run_all()
+        assert net.radio.collision_count > 0
+        assert net.metrics.rx_count[4] < 4
+
+    def test_no_collisions_when_disabled(self):
+        net = star_net(collisions=False)
+        for sender in (1, 3, 5, 7):
+            net.node(sender).send(4, Message("ping", payload_symbols=20))
+        net.run_all()
+        assert net.radio.collision_count == 0
+        assert net.metrics.rx_count[4] == 4
+
+    def test_same_sender_never_collides(self):
+        net = star_net(collisions=True)
+        for _ in range(10):
+            net.node(1).send(4, Message("ping", payload_symbols=20))
+        net.run_all()
+        assert net.radio.collision_count == 0
+        assert net.metrics.rx_count[4] == 10
+
+    def test_spaced_frames_survive(self):
+        net = star_net(collisions=True)
+        net.node(1).send(4, Message("ping"))
+        net.run_all()
+        net.node(3).send(4, Message("ping"))
+        net.run_all()
+        assert net.radio.collision_count == 0
+
+    def test_airtime_model(self):
+        net = star_net(collisions=True)
+        assert net.radio.airtime(250_000 / 8) == pytest.approx(1.0)
+
+    def test_engine_still_correct_with_spaced_workload(self):
+        """With events spaced beyond airtimes, contention changes
+        nothing — the phases already serialize most traffic."""
+        program = "j(K, A, B) :- r(K, A), s(K, B)."
+        net = GridNetwork(5, seed=6, collisions=True)
+        engine = GPAEngine(parse_program(program), net, strategy="pa").install()
+        engine.publish(3, "r", (1, "a"))
+        net.run_all()
+        engine.publish(17, "s", (1, "b"))
+        net.run_all()
+        assert engine.rows("j") == {(1, "a", "b")}

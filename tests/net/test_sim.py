@@ -1,0 +1,95 @@
+"""Tests for the discrete-event engine and local clocks."""
+
+import pytest
+
+from repro.net.sim import LocalClock, Simulator
+
+
+class TestSimulator:
+    def test_events_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.run_all()
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(1.0, lambda: log.append(2))
+        sim.run_all()
+        assert log == [1, 2]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run_all()
+        assert seen == [5.0]
+
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("early"))
+        sim.schedule(10.0, lambda: log.append("late"))
+        sim.run(until=5.0)
+        assert log == ["early"]
+        assert sim.now == 5.0
+        sim.run_all()
+        assert log == ["early", "late"]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(sim.now)
+            sim.schedule(1.0, lambda: log.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run_all()
+        assert log == [1.0, 2.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run_all()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(1.0, loop)
+
+        sim.schedule(1.0, loop)
+        processed = sim.run(max_events=50)
+        assert processed == 50
+
+    def test_deterministic_rng(self):
+        a = Simulator(seed=42).rng.random()
+        b = Simulator(seed=42).rng.random()
+        assert a == b
+
+
+class TestLocalClock:
+    def test_skew_applied(self):
+        sim = Simulator()
+        clock = LocalClock(sim, skew=0.25)
+        sim.schedule(1.0, lambda: None)
+        sim.run_all()
+        assert clock.now() == 1.25
+
+    def test_to_global_roundtrip(self):
+        sim = Simulator()
+        clock = LocalClock(sim, skew=-0.1)
+        assert clock.to_global(clock.now()) == sim.now

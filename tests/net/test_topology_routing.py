@@ -1,0 +1,157 @@
+"""Tests for topologies, routing, and geographic hashing."""
+
+import networkx as nx
+import pytest
+
+from repro.core.errors import NetworkError
+from repro.net.ght import GeographicHash, stable_hash
+from repro.net.network import GridNetwork, RandomNetwork
+from repro.net.routing import Router
+from repro.net.topology import (
+    GridTopology,
+    RandomGeometricTopology,
+    Topology,
+    topology_from_edges,
+)
+
+
+class TestGridTopology:
+    def test_size(self):
+        assert len(GridTopology(4, 3)) == 12
+
+    def test_square_default(self):
+        grid = GridTopology(5)
+        assert grid.m == grid.n == 5
+
+    def test_four_neighborhood(self):
+        grid = GridTopology(3)
+        center = grid.node_at(1, 1)
+        assert len(grid.neighbors(center)) == 4
+        corner = grid.node_at(0, 0)
+        assert len(grid.neighbors(corner)) == 2
+
+    def test_coords_roundtrip(self):
+        grid = GridTopology(7, 4)
+        for node in grid.node_ids:
+            x, y = grid.coords(node)
+            assert grid.node_at(x, y) == node
+
+    def test_row_and_column(self):
+        grid = GridTopology(3, 4)
+        assert len(grid.row(2)) == 3
+        assert len(grid.column(1)) == 4
+        assert all(grid.coords(n)[1] == 2 for n in grid.row(2))
+        assert all(grid.coords(n)[0] == 1 for n in grid.column(1))
+
+    def test_row_column_intersect(self):
+        grid = GridTopology(5)
+        for y in range(5):
+            for x in range(5):
+                assert set(grid.row(y)) & set(grid.column(x))
+
+    def test_out_of_bounds(self):
+        with pytest.raises(NetworkError):
+            GridTopology(3).node_at(3, 0)
+
+    def test_diameter(self):
+        assert GridTopology(4).diameter == 6
+
+
+class TestRandomGeometric:
+    def test_connected(self):
+        topo = RandomGeometricTopology(30, radius=3.0, seed=1)
+        assert nx.is_connected(topo.graph)
+
+    def test_edges_respect_radius(self):
+        topo = RandomGeometricTopology(25, radius=2.5, seed=2)
+        for a, b in topo.graph.edges:
+            assert topo.euclidean(a, b) <= 2.5
+
+    def test_deterministic(self):
+        t1 = RandomGeometricTopology(20, radius=3.0, seed=5)
+        t2 = RandomGeometricTopology(20, radius=3.0, seed=5)
+        assert set(t1.graph.edges) == set(t2.graph.edges)
+
+
+class TestTopologyValidation:
+    def test_disconnected_rejected(self):
+        g = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(NetworkError):
+            Topology(g, {i: (float(i), 0.0) for i in range(4)})
+
+    def test_from_edges_synthesizes_positions(self):
+        topo = topology_from_edges([(0, 1), (1, 2)])
+        assert len(topo.positions) == 3
+
+    def test_nearest_node(self):
+        grid = GridTopology(3)
+        assert grid.nearest_node((0.1, 0.1)) == grid.node_at(0, 0)
+        assert grid.nearest_node((2.4, 1.9)) == grid.node_at(2, 2)
+
+
+class TestRouter:
+    def test_path_is_shortest(self):
+        grid = GridTopology(5)
+        router = Router(grid)
+        a, b = grid.node_at(0, 0), grid.node_at(4, 4)
+        assert router.hop_distance(a, b) == 8
+        path = router.path(a, b)
+        assert path[0] == a and path[-1] == b
+        assert len(path) == 9
+        for u, v in zip(path, path[1:]):
+            assert grid.are_neighbors(u, v)
+
+    def test_self_route_rejected(self):
+        router = Router(GridTopology(3))
+        with pytest.raises(NetworkError):
+            router.next_hop(0, 0)
+
+    def test_distance_zero_to_self(self):
+        assert Router(GridTopology(3)).hop_distance(4, 4) == 0
+
+
+class TestGeographicHash:
+    def test_stable_across_instances(self):
+        grid = GridTopology(6)
+        h1, h2 = GeographicHash(grid), GeographicHash(grid)
+        assert h1.node_for_key("foo/bar") == h2.node_for_key("foo/bar")
+
+    def test_spreads_keys(self):
+        grid = GridTopology(6)
+        ght = GeographicHash(grid)
+        homes = {ght.node_for_key(f"key{i}") for i in range(100)}
+        assert len(homes) > 10  # keys land on many distinct nodes
+
+    def test_stable_hash_deterministic(self):
+        assert stable_hash("x") == stable_hash("x")
+        assert stable_hash("x") != stable_hash("y")
+
+    def test_node_for_fact(self):
+        from repro.core.terms import Constant
+
+        grid = GridTopology(4)
+        ght = GeographicHash(grid)
+        args = (Constant(1), Constant("a"))
+        assert ght.node_for_fact("p", args) == ght.node_for_fact("p", args)
+        assert isinstance(ght.node_for_fact("p", args), int)
+
+
+class TestNetworks:
+    def test_grid_network_nodes(self):
+        net = GridNetwork(4)
+        assert len(net) == 16
+        assert net.node(5).id == 5
+
+    def test_clock_skew_bounded(self):
+        net = GridNetwork(4, clock_skew=0.2)
+        skews = [n.clock.skew for n in net.nodes.values()]
+        assert all(-0.1 <= s <= 0.1 for s in skews)
+        assert any(s != 0 for s in skews)
+
+    def test_random_network(self):
+        net = RandomNetwork(20, radius=3.0, seed=1)
+        assert len(net) >= 15
+
+    def test_unknown_node(self):
+        with pytest.raises(NetworkError):
+            GridNetwork(2).node(99)

@@ -1,0 +1,106 @@
+"""Tests for the message tracer."""
+
+import pytest
+
+from repro.core.parser import parse_program
+from repro.dist.gpa import GPAEngine
+from repro.net.messages import Message
+from repro.net.network import GridNetwork
+from repro.net.trace import Tracer
+
+
+def simple_net():
+    net = GridNetwork(4)
+    net.node(1).register_handler("ping", lambda n, m: None)
+    return net
+
+
+class TestRecording:
+    def test_tx_and_rx_recorded(self):
+        net = simple_net()
+        tracer = Tracer(net).attach()
+        net.node(0).send(1, Message("ping"), category="test")
+        net.run_all()
+        assert [e.event for e in tracer.events] == ["tx", "rx"]
+        assert tracer.events[0].src == 0 and tracer.events[0].dst == 1
+        assert tracer.events[0].category == "test"
+
+    def test_drop_recorded(self):
+        net = GridNetwork(4, loss_rate=0.999, seed=1)
+        net.node(1).register_handler("ping", lambda n, m: None)
+        tracer = Tracer(net).attach()
+        net.node(0).send(1, Message("ping"))
+        net.run_all()
+        assert any(e.event == "drop" for e in tracer.events)
+
+    def test_detach_stops_recording(self):
+        net = simple_net()
+        tracer = Tracer(net).attach()
+        tracer.detach()
+        net.node(0).send(1, Message("ping"))
+        net.run_all()
+        assert tracer.events == []
+
+    def test_capacity_truncates(self):
+        net = simple_net()
+        tracer = Tracer(net, capacity=3).attach()
+        for _ in range(5):
+            net.node(0).send(1, Message("ping"))
+        net.run_all()
+        assert len(tracer.events) == 3 and tracer.truncated
+
+    def test_clear(self):
+        net = simple_net()
+        tracer = Tracer(net).attach()
+        net.node(0).send(1, Message("ping"))
+        net.run_all()
+        tracer.clear()
+        assert tracer.events == [] and not tracer.truncated
+
+
+class TestQueries:
+    def engine_trace(self):
+        net = GridNetwork(5, seed=2)
+        tracer = Tracer(net).attach()
+        engine = GPAEngine(
+            parse_program("j(X, A, B) :- r(X, A), s(X, B)."),
+            net, strategy="pa",
+        ).install()
+        engine.publish(3, "r", (1, "a"))
+        engine.publish(12, "s", (1, "b"))
+        net.run_all()
+        return tracer
+
+    def test_filter_by_category(self):
+        tracer = self.engine_trace()
+        storage = tracer.filter(category="storage", event="tx")
+        assert storage
+        assert all(e.category == "storage" for e in storage)
+
+    def test_filter_by_node(self):
+        tracer = self.engine_trace()
+        for ev in tracer.filter(node=3):
+            assert 3 in (ev.src, ev.dst)
+
+    def test_summary_counts(self):
+        tracer = self.engine_trace()
+        summary = tracer.summary()
+        assert summary["events"] > 0
+        assert summary["by_event"]["tx"] == summary["events"] - summary["by_event"].get("rx", 0) - summary["by_event"].get("drop", 0)
+        assert "storage" in summary["by_category"]
+
+    def test_message_path_follows_hops(self):
+        tracer = self.engine_trace()
+        some_tx = next(e for e in tracer.events if e.event == "tx")
+        path = tracer.message_path(some_tx.msg_id)
+        assert path and all(e.msg_id == some_tx.msg_id for e in path)
+
+    def test_timeline_renders(self):
+        tracer = self.engine_trace()
+        text = tracer.timeline(limit=5)
+        assert "->" in text or "=>" in text
+
+    def test_timeline_empty(self):
+        net = simple_net()
+        tracer = Tracer(net).attach()
+        assert tracer.timeline() == "(no events)"

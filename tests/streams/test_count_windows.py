@@ -1,0 +1,67 @@
+"""Tests for count-based sliding windows."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.streams.tuples import StreamTuple, TupleID
+from repro.streams.windows import CountWindow
+
+
+def tup(ts, seq=0):
+    return StreamTuple("s", (ts,), TupleID(0, float(ts), seq))
+
+
+class TestCountWindow:
+    def test_capacity_enforced(self):
+        win = CountWindow("s", capacity=3)
+        evicted = []
+        for i in range(5):
+            evicted += win.store(tup(i))
+        assert len(win) == 3
+        assert [t.generation_ts for t in evicted] == [0.0, 1.0]
+
+    def test_keeps_newest(self):
+        win = CountWindow("s", capacity=2)
+        for i in range(4):
+            win.store(tup(i))
+        assert {t.generation_ts for t in win} == {2.0, 3.0}
+
+    def test_contents_ordered_newest_first(self):
+        win = CountWindow("s", capacity=3)
+        for i in (5, 1, 3):
+            win.store(tup(i))
+        assert [t.generation_ts for t in win.contents()] == [5.0, 3.0, 1.0]
+
+    def test_duplicate_id_ignored(self):
+        win = CountWindow("s", capacity=3)
+        t = tup(1)
+        win.store(t)
+        assert win.store(t) == []
+        assert len(win) == 1
+
+    def test_deletion_frees_slot(self):
+        win = CountWindow("s", capacity=2)
+        a, b = tup(1), tup(2)
+        win.store(a)
+        win.store(b)
+        assert win.mark_deleted(a.tuple_id, 3.0)
+        assert win.store(tup(3)) == []  # no eviction needed
+        assert len(win) == 2
+
+    def test_delete_missing(self):
+        win = CountWindow("s", capacity=2)
+        assert not win.mark_deleted(TupleID(9, 9.0, 9), 1.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CountWindow("s", capacity=0)
+
+
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=40, unique=True),
+       st.integers(1, 10))
+def test_window_always_holds_k_newest(timestamps, capacity):
+    win = CountWindow("s", capacity)
+    for i, ts in enumerate(timestamps):
+        win.store(StreamTuple("s", (ts,), TupleID(0, float(ts), i)))
+    expected = set(sorted(timestamps, reverse=True)[:capacity])
+    assert {t.generation_ts for t in win} == {float(t) for t in expected}

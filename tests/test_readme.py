@@ -1,0 +1,36 @@
+"""The README's code blocks actually run (documentation doesn't rot)."""
+
+import pathlib
+import re
+
+import pytest
+
+README = pathlib.Path(__file__).parents[1] / "README.md"
+
+
+def python_blocks():
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, re.DOTALL)
+
+
+def test_readme_has_code():
+    assert len(python_blocks()) >= 1
+
+
+@pytest.mark.parametrize("index", range(len(python_blocks())))
+def test_readme_block_executes(index):
+    code = python_blocks()[index]
+    namespace = {}
+    exec(compile(code, f"README block {index}", "exec"), namespace)
+
+
+def test_readme_quickstart_result():
+    """The quickstart's uncovered-vehicle result is what the prose says."""
+    code = python_blocks()[0]
+    import io
+    import contextlib
+
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        exec(compile(code, "README quickstart", "exec"), {})
+    assert "(10, 10)" in out.getvalue()

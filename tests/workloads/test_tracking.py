@@ -1,0 +1,73 @@
+"""Tests for the target-tracking workload."""
+
+import math
+
+import pytest
+
+from repro.net.topology import GridTopology
+from repro.workloads.tracking import (
+    TargetTrackingWorkload,
+    signal_strength,
+)
+
+
+class TestSignalStrength:
+    def test_max_at_zero_distance(self):
+        assert signal_strength(0.0, 2.5) == 1.0
+
+    def test_zero_at_range(self):
+        assert signal_strength(2.5, 2.5) == 0.0
+        assert signal_strength(3.0, 2.5) == 0.0
+
+    def test_monotone_decay(self):
+        values = [signal_strength(d, 2.5) for d in (0.0, 0.5, 1.0, 2.0, 2.4)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestWorkload:
+    def topo(self):
+        return GridTopology(8)
+
+    def test_target_stays_in_field(self):
+        w = TargetTrackingWorkload(self.topo(), epochs=20, speed=2.0, seed=1)
+        x0, y0, x1, y1 = self.topo().bounding_box()
+        for epoch in range(20):
+            x, y = w.target_position(epoch)
+            assert x0 <= x <= x1 and y0 <= y <= y1
+
+    def test_readings_only_within_range(self):
+        w = TargetTrackingWorkload(self.topo(), sensing_range=2.0, seed=2)
+        target = w.target_position(0)
+        for _t, node, _p, (n, pos, strength, epoch) in w.readings_for_epoch(0):
+            assert node == n and epoch == 0
+            dist = math.hypot(pos[0] - target[0], pos[1] - target[1])
+            assert dist < 2.0 and strength > 0.0
+
+    def test_best_sensor_is_nearest(self):
+        w = TargetTrackingWorkload(self.topo(), seed=3)
+        target = w.target_position(0)
+        best = w.best_sensor(0)
+        best_pos = self.topo().position(best)
+        best_dist = math.hypot(best_pos[0] - target[0], best_pos[1] - target[1])
+        for node in self.topo().node_ids:
+            pos = self.topo().position(node)
+            dist = math.hypot(pos[0] - target[0], pos[1] - target[1])
+            assert best_dist <= dist + 1e-9
+
+    def test_tracking_error_of_best_sensor_bounded(self):
+        w = TargetTrackingWorkload(self.topo(), seed=4)
+        for epoch in range(w.epochs):
+            best = w.best_sensor(epoch)
+            if best is None:
+                continue
+            error = w.tracking_error(epoch, self.topo().position(best))
+            assert error <= w.sensing_range
+
+    def test_program_text_embeds_threshold(self):
+        w = TargetTrackingWorkload(self.topo(), threshold=0.25)
+        assert "0.25" in w.program_text()
+
+    def test_deterministic(self):
+        a = TargetTrackingWorkload(self.topo(), seed=9)
+        b = TargetTrackingWorkload(self.topo(), seed=9)
+        assert a.readings_for_epoch(1) == b.readings_for_epoch(1)
