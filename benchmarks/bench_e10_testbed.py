@@ -21,7 +21,7 @@ from repro.workloads import (
     TrajectoryWorkload,
     trajectory_registry,
 )
-from harness import print_table
+from harness import report
 
 COVER = 2.0
 UNCOV = f"""
@@ -89,7 +89,8 @@ def run(sizes=(3, 4)):
             correct, msgs = fn(m)
             rows.append([f"{m}x{m}", name, msgs, "yes" if correct else "NO"])
             results[(m, name)] = correct
-    print_table(
+    report(
+        "e10_testbed",
         "E10: testbed-scale runs (jitter + clock skew)",
         ["network", "application", "messages", "correct"],
         rows,

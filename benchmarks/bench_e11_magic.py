@@ -18,7 +18,7 @@ import pytest
 from repro.core.eval import Database, SemiNaiveEvaluator, evaluate
 from repro.core.magic import magic_evaluate, magic_transform
 from repro.core.parser import parse_atom, parse_program
-from harness import print_table
+from harness import report
 
 ANCESTOR = """
     anc(X, Y) :- par(X, Y).
@@ -61,7 +61,8 @@ def run(depth=10, family_counts=(1, 2, 4, 8)):
         full, magic, answers = derived_counts(families, depth)
         rows.append([families, full, magic, f"{full / magic:.1f}x", answers])
         results[families] = (full, magic, answers)
-    print_table(
+    report(
+        "e11_magic",
         f"E11: derived facts for anc(f0n0, Z), chains of depth {depth}",
         ["families", "no magic", "with magic", "saving", "answers"],
         rows,

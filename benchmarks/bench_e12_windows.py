@@ -16,7 +16,7 @@ import pytest
 import repro
 from repro.core.parser import parse_program
 from repro.dist.gpa import GPAEngine
-from harness import print_table
+from harness import report
 
 PROGRAM = "j(K, A, B) :- r(K, A), s(K, B)."
 M = 8
@@ -55,7 +55,8 @@ def run(windows=(2.0, 5.0, 10.0, 20.0)):
         peak, resident, per_node = run_window(window)
         rows.append([window, peak, resident, per_node])
         results[window] = (peak, resident)
-    print_table(
+    report(
+        "e12_windows",
         f"E12: resident tuples vs. window range "
         f"({EVENTS} tuples at one per {RATE_INTERVAL}s, {M}x{M} grid)",
         ["window (s)", "peak tuples", "steady tuples", "steady per node"],

@@ -19,7 +19,7 @@ import pytest
 import repro
 from repro.core.parser import parse_program
 from repro.dist.gpa import GPAEngine
-from harness import print_table
+from harness import report
 
 PROGRAM = "j(K, A, B) :- r(K, A), s(K, B)."
 M = 10
@@ -54,7 +54,8 @@ def run(strategies=("pa", "centroid", "centralized")):
             deaths,
         ])
         results[strategy] = events
-    print_table(
+    report(
+        "e13_lifetime",
         f"E13: events until first node death ({M}x{M} grid, "
         f"{CAPACITY/1000:.0f} mJ batteries)",
         ["strategy", "events before first death", "death time (s)", "dead nodes"],

@@ -20,7 +20,7 @@ import pytest
 from repro.core.eval import Database, evaluate
 from repro.core.optimizer import Statistics, optimize_program
 from repro.core.parser import parse_program
-from harness import print_table
+from harness import report
 
 PROGRAM_TEXT = "out(X, V, W) :- big(X, V), mid(X, W), tiny(X)."
 
@@ -60,7 +60,8 @@ def run(big_sizes=(100, 300, 600)):
             f"{probes_plain / probes_opt:.1f}x",
         ])
         results[big_n] = (probes_plain, probes_opt)
-    print_table(
+    report(
+        "e14_join_order",
         "E14: centralized join work (index probes), textual vs. optimized order",
         ["'big' cardinality", "textual probes", "optimized probes", "saving"],
         rows,

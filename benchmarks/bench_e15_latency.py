@@ -16,7 +16,7 @@ load balance (E3) and robustness (E7).
 
 import pytest
 
-from harness import print_table, run_join_workload
+from harness import report, run_join_workload
 
 SIZES = [6, 8, 10, 12]
 
@@ -36,7 +36,8 @@ def run(sizes=SIZES, tuples=10):
                 report["mean"], report["max"],
             ])
             results[(m, strategy)] = report["mean"]
-    print_table(
+    report(
+        "e15_latency",
         "E15: update-to-result latency (seconds of simulated time)",
         ["grid", "strategy", "results", "mean latency", "max latency"],
         rows,

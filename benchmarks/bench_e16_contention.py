@@ -20,7 +20,7 @@ import repro
 from repro.core.eval import Database, evaluate
 from repro.core.parser import parse_program
 from repro.dist.gpa import GPAEngine
-from harness import print_table
+from harness import report
 
 PROGRAM = "j(K, A, B) :- r(K, A), s(K, B)."
 M = 8
@@ -59,7 +59,8 @@ def run(intervals=(0.5, 0.05, 0.005)):
                 f"{1/interval:.0f}/s", strategy, collisions, completeness,
             ])
             results[(interval, strategy)] = (completeness, collisions)
-    print_table(
+    report(
+        "e16_contention",
         f"E16: contention on a {M}x{M} grid ({EVENTS} events)",
         ["offered rate", "strategy", "collisions", "completeness"],
         rows,

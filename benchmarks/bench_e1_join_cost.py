@@ -15,7 +15,7 @@ server (see E3 for the hotspot story).
 
 import pytest
 
-from harness import print_table, run_join_workload
+from harness import report, run_join_workload
 
 STRATEGIES = ["pa", "centroid", "centralized", "broadcast", "local-storage"]
 SIZES = [6, 8, 10, 12]
@@ -37,7 +37,8 @@ def run(sizes=SIZES, tuples=TUPLES):
                 "yes" if correct else "NO",
             ])
             results[(m, strategy)] = net.metrics.total_messages
-    print_table(
+    report(
+        "e1_join_cost",
         "E1: two-stream join cost by strategy and grid size "
         f"({tuples} tuples/stream)",
         ["grid", "strategy", "messages", "bytes", "max-load", "correct"],
@@ -60,4 +61,9 @@ def test_e1_shape(benchmark):
 
 
 if __name__ == "__main__":
-    run()
+    import sys
+
+    if "--smoke" in sys.argv:
+        run(sizes=[6, 8], tuples=8)
+    else:
+        run()

@@ -14,7 +14,7 @@ Expected shape: the ratio is roughly flat in m and stays below 8.
 
 import pytest
 
-from harness import print_table, run_join_workload
+from harness import report, run_join_workload
 
 SIZES = [6, 8, 10, 12, 14]
 TUPLES = 12
@@ -36,7 +36,8 @@ def run(sizes=SIZES, tuples=TUPLES):
         ratios[m] = ratio
         rows.append([f"{m}x{m}", updates, net.metrics.total_messages,
                      per_update, lower_bound, ratio])
-    print_table(
+    report(
+        "e2_pa_optimality",
         "E2: PA cost per update vs. the meeting lower bound (~m/3)",
         ["grid", "updates", "messages", "msgs/update", "bound", "ratio"],
         rows,

@@ -13,7 +13,7 @@ count and the imbalance factor keeps climbing with network size.
 
 import pytest
 
-from harness import print_table, run_join_workload
+from harness import report, run_join_workload
 
 STRATEGIES = ["pa", "centroid", "centralized"]
 RATES = [8, 16, 24]
@@ -36,7 +36,8 @@ def run(m=M, rates=RATES):
             results[(tuples, strategy)] = (
                 metrics.max_node_load, metrics.load_imbalance()
             )
-    print_table(
+    report(
+        "e3_load_balance",
         f"E3: per-node load on a {m}x{m} grid vs. event count",
         ["events", "strategy", "messages", "max-node-load", "imbalance"],
         rows,

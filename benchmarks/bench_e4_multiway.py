@@ -15,7 +15,7 @@ update.
 
 import pytest
 
-from harness import print_table, run_join_workload
+from harness import report, run_join_workload
 
 M = 8
 TUPLES = 8
@@ -38,7 +38,8 @@ def run(m=M, tuples=TUPLES):
                 join_bytes, "yes" if correct else "NO",
             ])
             results[(n, label)] = (net.metrics.total_messages, join_bytes, correct)
-    print_table(
+    report(
+        "e4_multiway",
         f"E4: n-way one-pass join on a {m}x{m} grid ({tuples} tuples/stream)",
         ["streams", "selectivity", "results", "messages", "join-bytes", "correct"],
         rows,

@@ -17,7 +17,7 @@ import pytest
 
 import repro
 from repro.dist import ProceduralBFS, build_sptree, visible_rows
-from harness import print_table
+from harness import report
 
 SIZES = [4, 6, 8]
 
@@ -52,7 +52,8 @@ def run(sizes=SIZES):
                 metrics.total_bytes, "yes" if correct else "NO",
             ])
             results[(m, variant)] = (metrics.total_messages, metrics.total_bytes, correct)
-    print_table(
+    report(
+        "e5_sptree",
         "E5: shortest-path-tree construction cost",
         ["grid", "variant", "messages", "bytes", "correct"],
         rows,

@@ -18,7 +18,7 @@ import pytest
 import repro
 from repro.dist.gpa import GPAEngine
 from repro.workloads import BattlefieldWorkload
-from harness import print_table
+from harness import report
 
 COVER = 3.0
 PROGRAM = f"""
@@ -63,7 +63,8 @@ def run(m=8, epoch_list=(2, 4, 6)):
             rows.append([epochs, label, updates, alerts, msgs,
                          "yes" if correct else "NO"])
             results[(epochs, withdraw)] = (correct, msgs, updates)
-    print_table(
+    report(
+        "e6_negation",
         f"E6: uncovered-vehicle query on a {m}x{m} grid",
         ["epochs", "mode", "updates", "alerts", "messages", "matches-oracle"],
         rows,

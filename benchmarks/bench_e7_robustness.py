@@ -15,7 +15,7 @@ as the loss rate rises.
 
 import pytest
 
-from harness import print_table, run_join_workload
+from harness import report, run_join_workload
 
 LOSS_RATES = [0.0, 0.05, 0.10, 0.20, 0.30]
 M = 8
@@ -45,7 +45,8 @@ def run(loss_rates=LOSS_RATES, m=M, tuples=TUPLES):
         central = completeness("centralized", loss, m, tuples)
         rows.append([f"{loss:.0%}", pa, central])
         results[loss] = (pa, central)
-    print_table(
+    report(
+        "e7_robustness",
         f"E7: join-result completeness vs. loss rate ({m}x{m} grid, "
         f"avg of {REPS} runs)",
         ["loss", "PA completeness", "centralized completeness"],

@@ -21,7 +21,7 @@ from repro.core.eval import Database, evaluate
 from repro.core.parser import parse_program
 from repro.dist.gpa import GPAEngine
 from repro.dist.regions import PerpendicularRegions, SpatialClip
-from harness import print_table
+from harness import report
 
 M = 10
 TUPLES = 10
@@ -69,7 +69,8 @@ def run(m=M, tuples=TUPLES, radii=(1.5, 2.5, 4.0)):
             "yes" if (ok_plain and ok_clip) else "NO",
         ])
         results[radius] = (msgs_plain, msgs_clip, ok_plain and ok_clip)
-    print_table(
+    report(
+        "e8_spatial",
         f"E8: proximity join on a {m}x{m} grid, with/without region clipping",
         ["constraint radius", "PA msgs", "clipped msgs", "saving", "correct"],
         rows,

@@ -20,7 +20,7 @@ from repro.core.incremental import (
     IncrementalEvaluator,
 )
 from repro.core.parser import parse_program
-from harness import print_table
+from harness import report
 
 TC = "t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z)."
 
@@ -60,7 +60,8 @@ def run(chain=8, shortcut_levels=(2, 4, 6)):
             dred["facts_rederived"],
         ])
         results[shortcuts] = (sod, dred)
-    print_table(
+    report(
+        "e9_maintenance",
         f"E9: work per deletion, transitive closure over a {chain}-chain "
         "with shortcut edges",
         ["shortcuts", "SoD firings", "SoD deletes",

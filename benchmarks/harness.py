@@ -14,10 +14,13 @@ import random
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import repro
+from repro import obs
 from repro.core.eval import Database, evaluate
 from repro.core.parser import parse_program
 from repro.dist.gpa import GPAEngine
 from repro.net.network import GridNetwork
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
@@ -40,21 +43,51 @@ def _fmt(value) -> str:
     return str(value)
 
 
+def report(name: str, title: str, headers: Sequence[str],
+           rows: Iterable[Sequence]) -> str:
+    """Print a bench table *and* persist it (plus telemetry artifacts
+    when enabled) under ``benchmarks/results/<name>.json`` — the one
+    call every bench's ``run()`` funnels its table through."""
+    rows = [list(r) for r in rows]
+    print_table(title, headers, rows)
+    return record_results(name, headers, rows)
+
+
 def record_results(name: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
     """Persist a bench table as JSON under ``benchmarks/results/`` so
     EXPERIMENTS.md numbers are reproducible artifacts.  Returns the
-    written path."""
-    out_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
-    os.makedirs(out_dir, exist_ok=True)
-    path = os.path.join(out_dir, f"{name}.json")
+    written path.  When telemetry is enabled, the run's trace/metrics/
+    manifest artifacts land next to the results JSON (see
+    :func:`telemetry_report`)."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
     payload = {
         "experiment": name,
         "headers": list(headers),
         "rows": [list(r) for r in rows],
     }
     with open(path, "w") as f:
-        json.dump(payload, f, indent=2)
+        json.dump(payload, f, indent=2, default=repr)
+    telemetry_report(name)
     return path
+
+
+def telemetry_report(name: str, **manifest_extra) -> Optional[Dict[str, str]]:
+    """Dump the telemetry collected so far for one bench run.
+
+    Writes ``<name>.trace.jsonl`` (spans + events),
+    ``<name>.metrics.prom`` (Prometheus-style registry snapshot) and
+    ``<name>.manifest.json`` (interpreter/git/seed envelope) next to the
+    bench's results JSON.  A no-op returning None when telemetry is off,
+    so every bench can call it unconditionally."""
+    if not obs.enabled():
+        return None
+    paths = obs.write_run_artifacts(
+        RESULTS_DIR, name, manifest_extra=manifest_extra
+    )
+    print(f"[telemetry] trace={paths['trace']} metrics={paths['metrics']} "
+          f"manifest={paths['manifest']}")
+    return paths
 
 
 def run_join_workload(

@@ -38,6 +38,7 @@ Enter rules/facts ending with '.', queries as '?- goal.', or commands:
   :classify         show the program's recursion/negation class
   :explain          show the evaluation plan (safety, strata, join order)
   :load FILE        load rules from a file
+  :metrics [on|off|reset]  telemetry snapshot / toggle / zero counters
   :reset            drop program and facts
   :help             this text
   :quit             leave the shell"""
@@ -107,12 +108,33 @@ class Shell:
                 self.db.assert_atom(fact)
             self._evaluated = False
             return f"loaded {len(loaded.rules)} rules, {len(loaded.facts)} facts"
+        if cmd == ":metrics":
+            return self._metrics(arg.strip())
         if cmd == ":reset":
             self.program = Program()
             self.db = Database(self.registry)
             self._evaluated = False
             return "reset."
         return f"unknown command {cmd!r} (try :help)"
+
+    def _metrics(self, arg: str) -> str:
+        from . import obs
+
+        if arg == "on":
+            obs.enable()
+            return "telemetry enabled."
+        if arg == "off":
+            obs.disable()
+            return "telemetry disabled."
+        if arg == "reset":
+            obs.reset()
+            return "telemetry reset."
+        if arg:
+            return "usage: :metrics [on|off|reset]"
+        if not obs.enabled():
+            return "telemetry is off (:metrics on, or set REPRO_TELEMETRY=1)"
+        snapshot = obs.prometheus_snapshot().rstrip()
+        return snapshot if snapshot else "(no metrics recorded yet)"
 
     def _statement(self, line: str) -> str:
         if not line.endswith("."):

@@ -24,6 +24,9 @@ from typing import (
 
 import networkx as nx
 
+from ..obs import instrument as _inst
+from ..obs import state as _obs
+from ..obs.spans import span as _span
 from .ast import (
     Atom,
     BuiltinLiteral,
@@ -191,6 +194,17 @@ def _freeze_value(value):
     if isinstance(value, list):
         return tuple(_freeze_value(v) for v in value)
     return value
+
+
+def _rule_label(rule: Rule) -> str:
+    """Stable telemetry label for a rule: head predicate plus id."""
+    if rule.rule_id is not None:
+        return f"{rule.head.predicate}#r{rule.rule_id}"
+    return rule.head.predicate
+
+
+def _total_probes(db: Database) -> int:
+    return sum(rel.probes for rel in db._relations.values())
 
 
 # ---------------------------------------------------------------------------
@@ -453,10 +467,23 @@ class SemiNaiveEvaluator:
     def evaluate(self, db: Database) -> Database:
         """Evaluate the program to fixpoint over ``db`` (mutated in place,
         also returned for chaining)."""
-        for fact in self.program.facts:
-            db.assert_atom(fact)
-        for stratum in self.analysis.strata:
-            self._evaluate_stratum(db, stratum)
+        if not _obs.enabled:
+            for fact in self.program.facts:
+                db.assert_atom(fact)
+            for stratum in self.analysis.strata:
+                self._evaluate_stratum(db, stratum)
+            return db
+        probes_before = _total_probes(db)
+        with _span("eval.fixpoint", evaluator="semi-naive",
+                   rules=len(self.program.rules)) as sp:
+            for fact in self.program.facts:
+                db.assert_atom(fact)
+            for stratum in self.analysis.strata:
+                with _span("eval.stratum", predicates=sorted(stratum)):
+                    self._evaluate_stratum(db, stratum)
+            probes = _total_probes(db) - probes_before
+            _inst.join_probes.inc(probes)
+            sp.set(join_probes=probes)
         return db
 
     def _evaluate_stratum(self, db: Database, stratum: Set[str]) -> None:
@@ -477,13 +504,24 @@ class SemiNaiveEvaluator:
 
         # Initial round: full naive evaluation of this stratum's rules.
         deltas: Dict[str, Set[ArgsTuple]] = {}
+        rounds = 1
         for rule in rules:
             rel = db.relation(rule.head.predicate)
+            fired = added = 0
             for head, derivation in list(fire_rule(rule, db, self.registry)):
+                fired += 1
                 if self.record_derivations:
                     db.derivations.add((rule.head.predicate, head), derivation)
                 if rel.add(head):
+                    added += 1
                     deltas.setdefault(rule.head.predicate, set()).add(head)
+            if _obs.enabled and fired:
+                label = _rule_label(rule)
+                _inst.rule_firings.labels(rule=label).inc(fired)
+                _inst.rule_derived.labels(rule=label).inc(added)
+        if _obs.enabled:
+            for pred, delta in deltas.items():
+                _inst.delta_size.labels(predicate=pred).observe(len(delta))
 
         # Semi-naive rounds: every occurrence of a predicate that grew in
         # the previous round ranges over that growth (the delta).  This
@@ -501,8 +539,10 @@ class SemiNaiveEvaluator:
                         "symbols?)"
                     )
             new_deltas: Dict[str, Set[ArgsTuple]] = {}
+            rounds += 1
             for rule in rules:
                 rel = db.relation(rule.head.predicate)
+                fired = added = 0
                 for pred, delta in deltas.items():
                     n_occ = sum(
                         1 for lit in rule.positive_literals() if lit.predicate == pred
@@ -516,15 +556,26 @@ class SemiNaiveEvaluator:
                             delta_tuples=delta,
                             delta_occurrence=occ,
                         )):
+                            fired += 1
                             if self.record_derivations:
                                 db.derivations.add(
                                     (rule.head.predicate, head), derivation
                                 )
                             if rel.add(head):
+                                added += 1
                                 new_deltas.setdefault(
                                     rule.head.predicate, set()
                                 ).add(head)
+                if _obs.enabled and fired:
+                    label = _rule_label(rule)
+                    _inst.rule_firings.labels(rule=label).inc(fired)
+                    _inst.rule_derived.labels(rule=label).inc(added)
+            if _obs.enabled:
+                for pred, delta in new_deltas.items():
+                    _inst.delta_size.labels(predicate=pred).observe(len(delta))
             deltas = new_deltas
+        if _obs.enabled:
+            _inst.fixpoint_iterations.labels(evaluator="semi-naive").observe(rounds)
 
 
 class XYEvaluator:
@@ -560,7 +611,18 @@ class XYEvaluator:
             db.assert_atom(fact)
         if self.xy is None:
             return SemiNaiveEvaluator(self.program, self.registry).evaluate(db)
+        if not _obs.enabled:
+            return self._evaluate_xy(db)
+        probes_before = _total_probes(db)
+        with _span("eval.fixpoint", evaluator="xy",
+                   rules=len(self.program.rules)) as sp:
+            self._evaluate_xy(db)
+            probes = _total_probes(db) - probes_before
+            _inst.join_probes.inc(probes)
+            sp.set(join_probes=probes)
+        return db
 
+    def _evaluate_xy(self, db: Database) -> Database:
         graph = dependency_graph(self.program)
         components = [
             comp for comp in recursive_components(self.program)
@@ -607,10 +669,17 @@ class XYEvaluator:
             for rule in rules:
                 if rule.has_aggregates:
                     continue
+                fired = added = 0
                 for head, derivation in list(fire_rule(rule, db, self.registry)):
+                    fired += 1
                     db.derivations.add((predicate, head), derivation)
                     if rel.add(head):
+                        added += 1
                         changed = True
+                if _obs.enabled and fired:
+                    label = _rule_label(rule)
+                    _inst.rule_firings.labels(rule=label).inc(fired)
+                    _inst.rule_derived.labels(rule=label).inc(added)
 
     def _stage_value(self, pred: str, args: ArgsTuple) -> object:
         pos = self.xy.stage_position[pred]
@@ -647,6 +716,8 @@ class XYEvaluator:
                     "(non-terminating program?)"
                 )
             self._saturate_stage(db, comp, preds, rules, stage, pending_stages, processed)
+        if _obs.enabled:
+            _inst.fixpoint_iterations.labels(evaluator="xy").observe(stages_done)
 
     def _saturate_stage(
         self,
@@ -666,14 +737,21 @@ class XYEvaluator:
                 for rule in rules:
                     if rule.head.predicate != pred:
                         continue
+                    fired = added = 0
                     for head, derivation in list(fire_rule(rule, db, self.registry)):
+                        fired += 1
                         head_stage = self._stage_value(pred, head)
                         if head_stage == stage:
                             db.derivations.add((pred, head), derivation)
                             if rel.add(head):
+                                added += 1
                                 changed = True
                         elif head_stage > stage and head_stage not in processed:
                             pending_stages.add(head_stage)
+                    if _obs.enabled and fired:
+                        label = _rule_label(rule)
+                        _inst.rule_firings.labels(rule=label).inc(fired)
+                        _inst.rule_derived.labels(rule=label).inc(added)
 
 
 def evaluate(

@@ -40,6 +40,9 @@ from ..core.terms import Substitution, Term, term_size, to_term
 from ..core.unify import match_sequences
 from ..net.messages import Message
 from ..net.network import SensorNetwork
+from ..obs import instrument as _inst
+from ..obs import state as _obs
+from ..obs.spans import span as _span
 from ..net.node import Node
 from ..streams.tuples import ArgsTuple, StreamTuple, TupleID
 from ..streams.windows import SlidingWindow, WindowParams
@@ -304,8 +307,10 @@ class GPAEngine:
         self.network = network
         if isinstance(strategy, RegionStrategy):
             self.strategy = strategy
+            self.strategy_name = type(strategy).__name__
         else:
             self.strategy = make_strategy(strategy, network, **strategy_kwargs)
+            self.strategy_name = strategy
         hop = network.radio.max_hop_delay
         tau_s = self.strategy.storage_hops_bound() * hop * 1.25 + hop
         # Negation rules traverse the join region out and back (x2);
@@ -330,13 +335,21 @@ class GPAEngine:
         the system architecture, Fig. 2)."""
         if self._installed:
             return self
+        handlers = [
+            ("gpa_store", "storage", self._on_store),
+            ("gpa_join", "join", self._on_join),
+            ("gpa_result", "result", self._on_result),
+            ("gpa_gather", "gather", self._on_gather),
+        ]
+        wrapped = [
+            (kind, self._with_telemetry(phase, handler))
+            for kind, phase, handler in handlers
+        ]
         for node in self.network.nodes.values():
             runtime = NodeRuntime(self, node)
             self.runtimes[node.id] = runtime
-            node.register_handler("gpa_store", self._on_store)
-            node.register_handler("gpa_join", self._on_join)
-            node.register_handler("gpa_result", self._on_result)
-            node.register_handler("gpa_gather", self._on_gather)
+            for kind, handler in wrapped:
+                node.register_handler(kind, handler)
         self._gather_requests: Dict[int, Set[tuple]] = {}
         self._gather_counter = itertools.count()
         #: (predicate, latency) samples: local time at the hash node
@@ -348,6 +361,31 @@ class GPAEngine:
 
     def runtime(self, node_id: int) -> NodeRuntime:
         return self.runtimes[node_id]
+
+    # -- telemetry ---------------------------------------------------------
+
+    def _with_telemetry(self, phase: str, handler):
+        """Wrap a phase handler with a span + message counter; the
+        disabled path is a single flag check per message."""
+        def dispatch(node: Node, msg: Message) -> None:
+            if not _obs.enabled:
+                handler(node, msg)
+                return
+            _inst.gpa_messages.labels(
+                phase=phase, strategy=self.strategy_name
+            ).inc()
+            with _span(f"gpa.{phase}", sim=self.network.sim, node=node.id):
+                handler(node, msg)
+        return dispatch
+
+    def _observe_phase(self, phase: str, msg: Message) -> None:
+        """Record a completed phase's simulated latency (launch →
+        completion), if the message was stamped at launch."""
+        born = getattr(msg, "_obs_born", None)
+        if born is not None:
+            _inst.phase_latency.labels(
+                phase=phase, strategy=self.strategy_name
+            ).observe(max(0.0, self.network.sim.now - born))
 
     # -- publishing base facts ---------------------------------------------
 
@@ -394,6 +432,8 @@ class GPAEngine:
         node = self.network.node(node_id)
         for path in self.strategy.storage_paths(node_id):
             msg = StoreMsg(op, tup, list(path[1:]), del_ts)
+            if _obs.enabled:
+                msg._obs_born = self.network.sim.now
             node.send_routed(path[0], msg, category="storage")
 
         # Join phase: after tau_s + tau_c (Theorem 3's delay).
@@ -476,6 +516,8 @@ class GPAEngine:
             region=region,
         )
         token.refresh_size()
+        if _obs.enabled:
+            token._obs_born = self.network.sim.now
         node = self.network.node(node_id)
         first = token.path.pop(0)
         if first == node_id:
@@ -502,6 +544,8 @@ class GPAEngine:
         if msg.path:
             nxt = msg.path.pop(0)
             node.send_routed(nxt, msg, category="storage")
+        elif _obs.enabled:
+            self._observe_phase("storage", msg)
 
     def _on_join(self, node: Node, token: JoinToken) -> None:
         rp = self.plan.by_id[token.rule_id]
@@ -546,6 +590,8 @@ class GPAEngine:
                 self._emit_result(node, rp, cand, token.update_ts)
             token.candidates = []
             token.partials = []
+            if _obs.enabled:
+                self._observe_phase("join", token)
 
     def _visible(self, runtime: NodeRuntime, pred: str, token: JoinToken) -> List[StreamTuple]:
         win = runtime.windows.get(pred)
@@ -714,6 +760,8 @@ class GPAEngine:
         pred = rp.head.predicate
         home = self.network.ght.node_for_fact(pred, head_args)
         msg = ResultMsg(pred, head_args, derivation, op, ts)
+        if _obs.enabled:
+            msg._obs_born = self.network.sim.now
         if home == node.id:
             node.local_deliver(msg)
         else:
@@ -722,6 +770,8 @@ class GPAEngine:
     # -- derived table management ------------------------------------------------
 
     def _on_result(self, node: Node, msg: ResultMsg) -> None:
+        if _obs.enabled:
+            self._observe_phase("result", msg)
         runtime = self.runtimes[node.id]
         key = (msg.pred, msg.args)
         fact = runtime.derived.get(key)
@@ -736,9 +786,10 @@ class GPAEngine:
             if not fact.visible:
                 fact.visible = True
                 fact.tuple_id = TupleID(node.id, node.clock.now(), node.next_seq())
-                self.latency_samples.append(
-                    (msg.pred, max(0.0, node.clock.now() - msg.ts))
-                )
+                latency = max(0.0, node.clock.now() - msg.ts)
+                self.latency_samples.append((msg.pred, latency))
+                if _obs.enabled:
+                    _inst.result_latency.labels(predicate=msg.pred).observe(latency)
                 self._publish_derived(node, msg.pred, msg.args, fact, op="ins")
         else:
             if ident not in fact.derivations:
@@ -768,6 +819,11 @@ class GPAEngine:
         rows received at the sink after the network drains.
         """
         self._require_installed()
+        with _span("gpa.gather_all", sim=self.network.sim, pred=pred,
+                   sink=sink):
+            return self._gather(pred, sink)
+
+    def _gather(self, pred: str, sink: int) -> Set[tuple]:
         request_id = next(self._gather_counter)
         self._gather_requests[request_id] = set()
         sink_node = self.network.node(sink)
@@ -776,6 +832,8 @@ class GPAEngine:
                 if p != pred or not fact.visible:
                     continue
                 msg = GatherMsg(p, args, request_id)
+                if _obs.enabled:
+                    msg._obs_born = self.network.sim.now
                 source = self.network.node(runtime.node.id)
                 if source.id == sink:
                     source.local_deliver(msg)
@@ -785,6 +843,8 @@ class GPAEngine:
         return self._gather_requests.pop(request_id)
 
     def _on_gather(self, node: Node, msg: GatherMsg) -> None:
+        if _obs.enabled:
+            self._observe_phase("gather", msg)
         rows = self._gather_requests.get(msg.request_id)
         if rows is None:
             return  # stale report from an earlier request
@@ -846,4 +906,6 @@ class GPAEngine:
 
     def settle(self, max_events: int = 10_000_000) -> None:
         """Drain all pending phases."""
-        self.network.run_all(max_events)
+        with _span("gpa.settle", sim=self.network.sim,
+                   strategy=self.strategy_name):
+            self.network.run_all(max_events)

@@ -44,6 +44,9 @@ from ..core.unify import match_sequences
 from ..net.messages import Message
 from ..net.network import SensorNetwork
 from ..net.node import Node
+from ..obs import instrument as _inst
+from ..obs import state as _obs
+from ..obs.spans import span as _span
 from ..streams.tuples import ArgsTuple
 from .gpa import WireDerivation, FactRef
 from .plans import DistributedPlan, RulePlan
@@ -187,12 +190,26 @@ class LocalizedEngine:
     def install(self) -> "LocalizedEngine":
         if self._installed:
             return self
+        on_result = self._with_telemetry("loc_result", self._on_result)
+        on_replica = self._with_telemetry("loc_replica", self._on_replica)
         for node in self.network.nodes.values():
             self.runtimes[node.id] = LocalRuntime()
-            node.register_handler("loc_result", self._on_result)
-            node.register_handler("loc_replica", self._on_replica)
+            node.register_handler("loc_result", on_result)
+            node.register_handler("loc_replica", on_replica)
         self._installed = True
         return self
+
+    def _with_telemetry(self, kind: str, handler):
+        """Count and span each handled message (single flag check when
+        telemetry is off)."""
+        def dispatch(node: Node, msg: Message) -> None:
+            if not _obs.enabled:
+                handler(node, msg)
+                return
+            _inst.localized_messages.labels(kind=kind).inc()
+            with _span(kind, sim=self.network.sim, node=node.id):
+                handler(node, msg)
+        return dispatch
 
     # -- seeding / external inserts -------------------------------------------
 

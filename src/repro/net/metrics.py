@@ -25,13 +25,23 @@ class MetricsCollector:
         self.reset()
 
     def reset(self) -> None:
-        self.tx_count: Dict[int, int] = defaultdict(int)
-        self.rx_count: Dict[int, int] = defaultdict(int)
-        self.tx_bytes: Dict[int, int] = defaultdict(int)
-        self.rx_bytes: Dict[int, int] = defaultdict(int)
-        self.category_tx: Dict[str, int] = defaultdict(int)
-        self.category_bytes: Dict[str, int] = defaultdict(int)
-        self.energy: Dict[int, float] = defaultdict(float)
+        if not hasattr(self, "tx_count"):
+            self.tx_count: Dict[int, int] = defaultdict(int)
+            self.rx_count: Dict[int, int] = defaultdict(int)
+            self.tx_bytes: Dict[int, int] = defaultdict(int)
+            self.rx_bytes: Dict[int, int] = defaultdict(int)
+            self.category_tx: Dict[str, int] = defaultdict(int)
+            self.category_bytes: Dict[str, int] = defaultdict(int)
+            self.energy: Dict[int, float] = defaultdict(float)
+        else:
+            # Clear in place (not reassign) so code holding a direct
+            # reference to a map — including the category maps — sees
+            # the reset rather than a stale snapshot.
+            for counts in (
+                self.tx_count, self.rx_count, self.tx_bytes, self.rx_bytes,
+                self.category_tx, self.category_bytes, self.energy,
+            ):
+                counts.clear()
         self.dropped = 0
 
     # -- recording ------------------------------------------------------
@@ -76,13 +86,23 @@ class MetricsCollector:
     def load_distribution(self) -> List[int]:
         return sorted(self.tx_count.values(), reverse=True)
 
-    def load_imbalance(self) -> float:
-        """max/mean transmission load (1.0 = perfectly balanced)."""
-        loads = list(self.tx_count.values())
+    def load_imbalance(self, n_nodes: Optional[int] = None) -> float:
+        """max/mean transmission load (1.0 = perfectly balanced).
+
+        By default the mean is over nodes that transmitted at least
+        once; pass ``n_nodes`` (the network size) to average over the
+        whole network, which exposes hotspots that the
+        transmitters-only mean hides (one busy node out of a hundred
+        idle ones is *not* balanced).  An idle network — no
+        transmissions at all, or explicitly-zeroed entries only — is
+        trivially balanced and reports 1.0.
+        """
+        loads = [n for n in self.tx_count.values() if n > 0]
         if not loads:
-            return 0.0
-        mean = sum(loads) / len(loads)
-        return max(loads) / mean if mean else 0.0
+            return 1.0
+        denominator = len(loads) if n_nodes is None else max(n_nodes, len(loads))
+        mean = sum(loads) / denominator
+        return max(loads) / mean
 
     def summary(self) -> Dict[str, float]:
         return {

@@ -13,6 +13,8 @@ from __future__ import annotations
 from typing import Callable, Optional, TYPE_CHECKING
 
 from ..core.errors import NetworkError
+from ..obs import instrument as _inst
+from ..obs import state as _obs
 from .messages import Message
 from .metrics import MetricsCollector
 from .sim import Simulator
@@ -108,15 +110,15 @@ class Radio:
         if not self.is_alive(src_id):
             return  # dead nodes transmit nothing
         self.metrics.record_tx(src_id, message.size_bytes, category)
+        if _obs.enabled:
+            _inst.radio_tx.labels(category=category).inc()
         self._notify("tx", src_id, dst_id, message, category)
         self._check_battery(src_id)
         if not self.is_alive(dst_id):
-            self.metrics.record_drop()
-            self._notify("drop", src_id, dst_id, message, category)
+            self._drop(src_id, dst_id, message, category)
             return  # nobody listening
         if self.loss_rate and self.sim.rng.random() < self.loss_rate:
-            self.metrics.record_drop()
-            self._notify("drop", src_id, dst_id, message, category)
+            self._drop(src_id, dst_id, message, category)
             return
         delay = self.delay_base + self.sim.rng.uniform(0, self.delay_jitter)
         arrival = self.sim.now + delay
@@ -132,22 +134,31 @@ class Radio:
             prev = self._channel.get(dst_id)
             if prev is not None and prev[1] != src_id and start < prev[0]:
                 self.collision_count += 1
-                self.metrics.record_drop()
-                self._notify("drop", src_id, dst_id, message, category)
+                if _obs.enabled:
+                    _inst.radio_collisions.inc()
+                self._drop(src_id, dst_id, message, category)
                 return
             self._channel[dst_id] = (arrival, src_id)
 
         def arrive() -> None:
             if not self.is_alive(dst_id):
-                self.metrics.record_drop()
-                self._notify("drop", src_id, dst_id, message, category)
+                self._drop(src_id, dst_id, message, category)
                 return  # died while the frame was in the air
             self.metrics.record_rx(dst_id, size)
+            if _obs.enabled:
+                _inst.radio_rx.inc()
             self._notify("rx", src_id, dst_id, message, category)
             self._check_battery(dst_id)
             deliver(message)
 
         self.sim.schedule_at(arrival, arrive)
+
+    def _drop(self, src: int, dst: int, message: Message, category: str) -> None:
+        """One lost message: metrics, listeners, telemetry."""
+        self.metrics.record_drop()
+        if _obs.enabled:
+            _inst.radio_drops.inc()
+        self._notify("drop", src, dst, message, category)
 
     def _notify(self, event: str, src: int, dst: int, message: Message, category: str) -> None:
         for listener in self.listeners:

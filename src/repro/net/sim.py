@@ -13,6 +13,9 @@ import heapq
 import random
 from typing import Callable, List, Optional, Tuple
 
+from ..obs import instrument as _inst
+from ..obs import state as _obs
+
 
 class Simulator:
     """A minimal deterministic discrete-event scheduler."""
@@ -23,6 +26,9 @@ class Simulator:
         self._now = 0.0
         self.rng = random.Random(seed)
         self.events_processed = 0
+        #: Deepest the event queue has ever been (telemetry + a cheap
+        #: proxy for peak simulation memory).
+        self.queue_hwm = 0
 
     @property
     def now(self) -> float:
@@ -41,6 +47,8 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past ({when} < {self._now})")
         self._seq += 1
         heapq.heappush(self._queue, (when, self._seq, callback))
+        if len(self._queue) > self.queue_hwm:
+            self.queue_hwm = len(self._queue)
 
     def run(
         self,
@@ -68,6 +76,9 @@ class Simulator:
         if until is not None and self._now < until:
             self._now = until
         self.events_processed += processed
+        if _obs.enabled and processed:
+            _inst.sim_events.inc(processed)
+            _inst.sim_queue_hwm.set_max(self.queue_hwm)
         return processed
 
     def run_all(self, max_events: int = 10_000_000) -> int:

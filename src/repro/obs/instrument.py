@@ -1,0 +1,100 @@
+"""The shared metric families the instrumented layers feed.
+
+Declared once here (registration is idempotent anyway) so that the
+evaluator, simulator, radio and distributed engines agree on names and
+label schemas, and so instrumentation call sites stay one-liners:
+
+    from ..obs import state as _obs
+    from ..obs import instrument as _inst
+    ...
+    if _obs.enabled:
+        _inst.rule_firings.labels(rule=label).inc()
+
+This module must stay import-cheap and free of repro dependencies —
+it is pulled in by ``repro.core`` and ``repro.net`` at import time.
+"""
+
+from __future__ import annotations
+
+from .registry import COUNT_BUCKETS, REGISTRY
+
+# -- core.eval --------------------------------------------------------------
+
+rule_firings = REGISTRY.counter(
+    "repro_rule_firings_total",
+    "Head tuples produced by rule bodies (before dedup), by rule",
+    labelnames=("rule",),
+)
+rule_derived = REGISTRY.counter(
+    "repro_rule_derived_total",
+    "New tuples actually added by each rule (after dedup)",
+    labelnames=("rule",),
+)
+fixpoint_iterations = REGISTRY.histogram(
+    "repro_fixpoint_iterations",
+    "Semi-naive rounds until a stratum reaches fixpoint",
+    labelnames=("evaluator",),
+    buckets=COUNT_BUCKETS,
+)
+delta_size = REGISTRY.histogram(
+    "repro_delta_tuples",
+    "Per-round delta sizes (new tuples per predicate per round)",
+    labelnames=("predicate",),
+    buckets=COUNT_BUCKETS,
+)
+join_probes = REGISTRY.counter(
+    "repro_join_probes_total",
+    "Relation.candidates() probes performed during evaluation",
+)
+
+# -- net.sim / net.radio ----------------------------------------------------
+
+sim_events = REGISTRY.counter(
+    "repro_sim_events_total",
+    "Discrete events processed by the simulator",
+)
+sim_queue_hwm = REGISTRY.gauge(
+    "repro_sim_queue_depth_hwm",
+    "High-water mark of the simulator event-queue depth",
+)
+radio_tx = REGISTRY.counter(
+    "repro_radio_tx_total",
+    "Radio transmissions, by phase category",
+    labelnames=("category",),
+)
+radio_rx = REGISTRY.counter(
+    "repro_radio_rx_total",
+    "Radio receptions",
+)
+radio_drops = REGISTRY.counter(
+    "repro_radio_drops_total",
+    "Messages lost (loss, dead endpoint, collision)",
+)
+radio_collisions = REGISTRY.counter(
+    "repro_radio_collisions_total",
+    "Frames lost to channel contention specifically",
+)
+
+# -- dist.gpa / dist.localized ---------------------------------------------
+
+gpa_messages = REGISTRY.counter(
+    "repro_gpa_phase_messages_total",
+    "GPA messages handled, by phase and join strategy",
+    labelnames=("phase", "strategy"),
+)
+phase_latency = REGISTRY.histogram(
+    "repro_phase_latency_seconds",
+    "Simulated time from a phase's launch to its completion, by phase "
+    "and join strategy",
+    labelnames=("phase", "strategy"),
+)
+result_latency = REGISTRY.histogram(
+    "repro_result_latency_seconds",
+    "Simulated update-to-first-derivation latency, by head predicate",
+    labelnames=("predicate",),
+)
+localized_messages = REGISTRY.counter(
+    "repro_localized_messages_total",
+    "LocalizedEngine messages handled, by kind",
+    labelnames=("kind",),
+)

@@ -1,0 +1,14 @@
+"""The telemetry master switch.
+
+One module-level boolean, checked by every instrumentation site before
+any allocation happens.  It lives in its own dependency-free module so
+hot paths can do ``from ..obs import state`` once at import time and
+then pay a single attribute read per check — mutating
+``state.enabled`` through :func:`repro.obs.enable` is visible to every
+importer immediately (modules share the attribute, unlike a
+``from ... import enabled`` value snapshot).
+"""
+
+#: Global telemetry switch.  Off by default; flipped by
+#: ``REPRO_TELEMETRY=1`` at import or ``repro.obs.enable()`` at runtime.
+enabled = False

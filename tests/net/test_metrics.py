@@ -1,0 +1,118 @@
+"""Direct unit tests for the MetricsCollector (E1/E3's instrument)."""
+
+import pytest
+
+from repro.net.energy import EnergyModel
+from repro.net.metrics import MetricsCollector
+
+
+class TestRecording:
+    def test_tx_updates_all_maps(self):
+        m = MetricsCollector()
+        m.record_tx(1, 100, "storage")
+        m.record_tx(1, 50, "join")
+        assert m.tx_count[1] == 2
+        assert m.tx_bytes[1] == 150
+        assert m.category_tx == {"storage": 1, "join": 1}
+        assert m.category_bytes == {"storage": 100, "join": 50}
+        assert m.energy[1] > 0
+
+    def test_rx_and_drop(self):
+        m = MetricsCollector()
+        m.record_rx(2, 80)
+        m.record_drop()
+        assert m.rx_count[2] == 1 and m.rx_bytes[2] == 80
+        assert m.dropped == 1
+
+    def test_totals(self):
+        m = MetricsCollector()
+        m.record_tx(1, 10, "a")
+        m.record_tx(2, 20, "b")
+        assert m.total_messages == 2
+        assert m.total_bytes == 30
+        assert m.total_energy == pytest.approx(
+            EnergyModel().tx_cost(10) + EnergyModel().tx_cost(20)
+        )
+
+
+class TestLoadImbalance:
+    def test_empty_collector_is_balanced(self):
+        assert MetricsCollector().load_imbalance() == 1.0
+
+    def test_zero_entries_do_not_skew_the_mean(self):
+        # Reading tx_count[n] (a defaultdict) inserts a zero; those
+        # phantom entries must not drag the transmitters-only mean down.
+        m = MetricsCollector()
+        m.record_tx(1, 10, "x")
+        m.record_tx(1, 10, "x")
+        _ = m.tx_count[7]
+        _ = m.tx_count[8]
+        assert m.load_imbalance() == 1.0
+
+    def test_all_zero_loads_is_balanced(self):
+        m = MetricsCollector()
+        _ = m.tx_count[3]
+        assert m.load_imbalance() == 1.0
+
+    def test_max_over_mean(self):
+        m = MetricsCollector()
+        m.record_tx(1, 10, "x")
+        m.record_tx(1, 10, "x")
+        m.record_tx(2, 10, "x")
+        assert m.load_imbalance() == pytest.approx(2 / 1.5)
+
+    def test_n_nodes_exposes_hotspot(self):
+        # One node does all the talking in a 100-node network: the
+        # transmitters-only ratio says "balanced", the network-wide
+        # ratio says "hotspot".
+        m = MetricsCollector()
+        for _ in range(10):
+            m.record_tx(0, 10, "x")
+        assert m.load_imbalance() == 1.0
+        assert m.load_imbalance(n_nodes=100) == pytest.approx(100.0)
+
+    def test_n_nodes_smaller_than_transmitters_is_clamped(self):
+        m = MetricsCollector()
+        m.record_tx(1, 10, "x")
+        m.record_tx(2, 10, "x")
+        assert m.load_imbalance(n_nodes=1) == m.load_imbalance()
+
+
+class TestSummaryAndReset:
+    def test_summary_on_empty_collector(self):
+        summary = MetricsCollector().summary()
+        assert summary["messages"] == 0
+        assert summary["bytes"] == 0
+        assert summary["max_node_load"] == 0
+        assert summary["load_imbalance"] == 1.0
+        assert summary["dropped"] == 0
+
+    def test_summary_includes_categories(self):
+        m = MetricsCollector()
+        m.record_tx(1, 10, "storage")
+        summary = m.summary()
+        assert summary["msgs[storage]"] == 1
+
+    def test_reset_clears_everything(self):
+        m = MetricsCollector()
+        m.record_tx(1, 10, "x")
+        m.record_rx(2, 10)
+        m.record_drop()
+        m.reset()
+        assert m.total_messages == 0
+        assert m.total_bytes == 0
+        assert m.total_energy == 0
+        assert m.dropped == 0
+        assert not m.category_tx and not m.category_bytes
+
+    def test_reset_clears_category_maps_in_place(self):
+        # Defensive reset: aliases taken before reset() must observe it.
+        m = MetricsCollector()
+        category_alias = m.category_tx
+        tx_alias = m.tx_count
+        m.record_tx(1, 10, "storage")
+        m.reset()
+        assert category_alias == {}
+        assert tx_alias == {}
+        m.record_tx(2, 10, "join")
+        assert category_alias == {"join": 1}

@@ -104,3 +104,66 @@ class TestQueries:
         net = simple_net()
         tracer = Tracer(net).attach()
         assert tracer.timeline() == "(no events)"
+
+    def test_filter_by_msg_kind(self):
+        net = simple_net()
+        net.node(1).register_handler("pong", lambda n, m: None)
+        tracer = Tracer(net).attach()
+        net.node(0).send(1, Message("ping"))
+        net.node(0).send(1, Message("pong"))
+        net.node(0).send(1, Message("ping"))
+        net.run_all()
+        pings = tracer.filter(msg_kind="ping")
+        assert pings
+        assert all(e.msg_kind == "ping" for e in pings)
+        assert len(tracer.filter(msg_kind="ping", event="tx")) == 2
+        assert len(tracer.filter(msg_kind="pong", event="tx")) == 1
+        assert tracer.filter(msg_kind="no_such_kind") == []
+
+    def test_filter_since_cuts_earlier_events(self):
+        tracer = self.engine_trace()
+        times = sorted({e.time for e in tracer.events})
+        assert len(times) >= 2
+        cutoff = times[len(times) // 2]
+        late = tracer.filter(since=cutoff)
+        assert late
+        assert all(e.time >= cutoff for e in late)
+        assert len(late) < len(tracer.events)
+        assert tracer.filter(since=times[-1] + 1.0) == []
+
+    def test_filters_compose_conjunctively(self):
+        tracer = self.engine_trace()
+        some_tx = next(e for e in tracer.events if e.event == "tx")
+        both = tracer.filter(event="tx", msg_kind=some_tx.msg_kind)
+        assert some_tx in both
+        assert all(
+            e.event == "tx" and e.msg_kind == some_tx.msg_kind for e in both
+        )
+        # A matching kind with a non-matching event yields nothing.
+        assert tracer.filter(event="bogus", msg_kind=some_tx.msg_kind) == []
+
+    def test_summary_by_kind_counts_only_tx(self):
+        net = simple_net()
+        tracer = Tracer(net).attach()
+        net.node(0).send(1, Message("ping"))
+        net.node(0).send(1, Message("ping"))
+        net.run_all()
+        summary = tracer.summary()
+        # rx events don't inflate the per-kind tx breakdown
+        assert summary["by_kind"] == {"ping": 2}
+        assert summary["truncated"] is False
+
+    def test_summary_reports_truncation(self):
+        net = simple_net()
+        tracer = Tracer(net, capacity=1).attach()
+        for _ in range(3):
+            net.node(0).send(1, Message("ping"))
+        net.run_all()
+        assert tracer.summary()["truncated"] is True
+
+    def test_timeline_limit_elides_overflow(self):
+        tracer = self.engine_trace()
+        total = len(tracer.events)
+        assert total > 2
+        text = tracer.timeline(limit=2)
+        assert f"... {total - 2} more" in text

@@ -1,0 +1,181 @@
+"""Spans, the JSONL sink, Prometheus exposition, and manifests."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import EventSink, prometheus_snapshot, read_jsonl
+from repro.obs.registry import Registry
+
+
+@pytest.fixture
+def telemetry():
+    """Enabled telemetry with clean state, restored afterwards."""
+    was = obs.enabled()
+    obs.enable()
+    obs.reset()
+    yield
+    obs.reset()
+    if not was:
+        obs.disable()
+
+
+class TestSpans:
+    def test_disabled_span_is_noop(self):
+        obs.disable()
+        obs.SINK.clear()
+        with obs.span("nothing", rule="r") as sp:
+            assert sp is None
+        assert len(obs.SINK) == 0
+
+    def test_span_records_wall_time_and_attrs(self, telemetry):
+        with obs.span("work", rule="r1") as sp:
+            sp.set(extra=7)
+        [record] = [r for r in obs.SINK.records if r["type"] == "span"]
+        assert record["name"] == "work"
+        assert record["wall_s"] >= 0
+        assert record["attrs"] == {"rule": "r1", "extra": 7}
+
+    def test_nesting_links_parent_ids(self, telemetry):
+        with obs.span("outer") as outer:
+            assert obs.current_span() is outer
+            with obs.span("inner") as inner:
+                assert obs.current_span() is inner
+                assert inner.parent_id == outer.span_id
+        assert obs.current_span() is None
+        by_name = {r["name"]: r for r in obs.SINK.records}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["outer"]["parent_id"] is None
+
+    def test_sim_time_recorded(self, telemetry):
+        class FakeSim:
+            now = 5.0
+        sim = FakeSim()
+        with obs.span("phase", sim=sim):
+            sim.now = 8.5
+        [record] = obs.SINK.records
+        assert record["sim_s"] == pytest.approx(3.5)
+        assert record["sim_start"] == pytest.approx(5.0)
+
+    def test_exception_is_recorded_and_propagates(self, telemetry):
+        with pytest.raises(RuntimeError):
+            with obs.span("boom"):
+                raise RuntimeError("x")
+        [record] = obs.SINK.records
+        assert record["error"] == "RuntimeError"
+
+    def test_span_feeds_duration_histogram(self, telemetry):
+        with obs.span("timed"):
+            pass
+        fam = obs.REGISTRY.get("repro_span_seconds")
+        assert fam.labels(name="timed").count == 1
+
+
+class TestSinkAndJsonl:
+    def test_event_helper_respects_flag(self, telemetry):
+        obs.event("e1", n=1)
+        obs.disable()
+        obs.event("e2", n=2)
+        obs.enable()
+        names = [r["name"] for r in obs.SINK.records]
+        assert names == ["e1"]
+
+    def test_capacity_truncates(self):
+        sink = EventSink(capacity=2)
+        for i in range(5):
+            sink.emit({"i": i})
+        assert len(sink) == 2 and sink.truncated
+        sink.clear()
+        assert len(sink) == 0 and not sink.truncated
+
+    def test_jsonl_round_trip(self, tmp_path):
+        sink = EventSink()
+        sink.emit({"type": "event", "name": "a", "n": 1})
+        sink.emit({"type": "span", "name": "b", "wall_s": 0.25,
+                   "attrs": {"k": "v"}})
+        path = str(tmp_path / "trace.jsonl")
+        assert sink.write_jsonl(path) == 2
+        back = read_jsonl(path)
+        assert back == sink.records
+
+    def test_jsonl_degrades_unserializable_values_to_repr(self, tmp_path):
+        sink = EventSink()
+        sink.emit({"obj": {1, 2}})  # a set: not JSON
+        path = str(tmp_path / "trace.jsonl")
+        sink.write_jsonl(path)
+        [record] = read_jsonl(path)
+        assert record["obj"] == repr({1, 2})
+
+
+class TestPrometheusSnapshot:
+    def test_counter_gauge_rendering(self):
+        reg = Registry()
+        reg.counter("c_total", "the help", labelnames=("l",)).labels(l="x").inc(3)
+        reg.gauge("g", "").set(2.5)
+        text = prometheus_snapshot(reg)
+        assert "# HELP c_total the help" in text
+        assert "# TYPE c_total counter" in text
+        assert 'c_total{l="x"} 3' in text
+        assert "\ng 2.5" in text
+
+    def test_histogram_rendering_cumulative(self):
+        reg = Registry()
+        h = reg.histogram("lat_seconds", "", buckets=(1.0, 10.0))
+        for v in (0.5, 0.6, 5, 50):
+            h.observe(v)
+        text = prometheus_snapshot(reg)
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="10"} 3' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 4' in text
+        assert "lat_seconds_sum 56.1" in text
+        assert "lat_seconds_count 4" in text
+
+    def test_label_escaping(self):
+        reg = Registry()
+        reg.counter("e_total", "", labelnames=("p",)).labels(p='a"b\n').inc()
+        text = prometheus_snapshot(reg)
+        assert r'e_total{p="a\"b\n"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_snapshot(Registry()) == ""
+
+
+class TestManifestAndArtifacts:
+    def test_manifest_fields(self):
+        manifest = obs.run_manifest(seed=7, program_hash="abc")
+        for key in ("wall_time", "python", "platform", "argv"):
+            assert key in manifest
+        assert manifest["seed"] == 7
+        assert manifest["program_hash"] == "abc"
+
+    def test_program_hash_stable(self):
+        assert obs.program_hash("p(X).") == obs.program_hash("p(X).")
+        assert obs.program_hash("p(X).") != obs.program_hash("q(X).")
+
+    def test_write_run_artifacts(self, tmp_path, telemetry):
+        obs.REGISTRY.counter("art_total", "").inc()
+        with obs.span("s"):
+            pass
+        paths = obs.write_run_artifacts(str(tmp_path), "myrun",
+                                        manifest_extra={"seed": 3})
+        trace = read_jsonl(paths["trace"])
+        assert any(r.get("name") == "s" for r in trace)
+        text = open(paths["metrics"]).read()
+        assert "art_total 1" in text
+        manifest = json.load(open(paths["manifest"]))
+        assert manifest["experiment"] == "myrun"
+        assert manifest["seed"] == 3
+        assert manifest["trace_records"] == len(trace)
+
+
+class TestEnableDisable:
+    def test_enable_disable_reset(self):
+        was = obs.enabled()
+        try:
+            obs.enable()
+            assert obs.enabled()
+            obs.disable()
+            assert not obs.enabled()
+        finally:
+            (obs.enable if was else obs.disable)()
