@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""E17 — evaluator throughput: compiled rule plans vs. the seed engine.
+
+Runs the same centralized workloads through both engines (the compiled
+plan executor and the original recursive enumerator, reachable via
+``repro.core.plan.seed_engine``) and reports wall time, derived facts
+per second, index probes and full scans:
+
+* ``tc`` — transitive closure of a random graph (the classic recursive
+  join workload; the compiled executor's per-execution probe memoization
+  is the headline ≥3x probe reduction here);
+* ``sptree`` — the E5 shortest-path-tree (logicH) program on a grid
+  graph, exercising the XY stage evaluator, negation and arithmetic.
+
+``--smoke`` shrinks both workloads for CI; ``--check`` additionally
+compares derived-facts/sec against the committed ``BENCH_e17.json``
+baseline and exits non-zero on a >2x regression.
+"""
+
+import json
+import os
+import random
+import sys
+import time
+
+import pytest
+
+from harness import report
+
+from repro.core.eval import Database, evaluate
+from repro.core.parser import parse_program
+from repro.core.plan import GLOBAL_PLAN_CACHE, seed_engine
+
+TC_PROGRAM = """
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- e(X, Y), tc(Y, Z).
+"""
+
+#: The E5 logicH shortest-path-tree program (Example 3 / Section IV-C).
+SPTREE_PROGRAM = """
+    h(a, a, 0).
+    h(a, X, 1) :- g(a, X).
+    hp(Y, D + 1) :- h(_, Y, Dp), D + 1 > Dp, h(_, X, D), g(X, Y).
+    h(X, Y, D + 1) :- g(X, Y), h(_, X, D), not hp(Y, D + 1).
+"""
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_e17.json"
+)
+
+
+def tc_facts(n_nodes, out_degree, seed=17):
+    rng = random.Random(seed)
+    facts = set()
+    for u in range(n_nodes):
+        while len([f for f in facts if f[1][0] == u]) < out_degree:
+            facts.add(("e", (u, rng.randrange(n_nodes))))
+    return sorted(facts)
+
+
+def sptree_facts(m):
+    """A bidirectional m x m grid graph rooted at node ``a``."""
+
+    def name(x, y):
+        return "a" if (x, y) == (0, 0) else f"n{x}_{y}"
+
+    facts = []
+    for x in range(m):
+        for y in range(m):
+            for dx, dy in ((1, 0), (0, 1)):
+                nx, ny = x + dx, y + dy
+                if nx < m and ny < m:
+                    facts.append(("g", (name(x, y), name(nx, ny))))
+                    facts.append(("g", (name(nx, ny), name(x, y))))
+    return facts
+
+
+WORKLOADS = {
+    "tc": {
+        "program": TC_PROGRAM,
+        "idb": ["tc"],
+        "full": lambda: tc_facts(60, 4),
+        "smoke": lambda: tc_facts(30, 4),
+    },
+    "sptree": {
+        "program": SPTREE_PROGRAM,
+        "idb": ["h", "hp"],
+        "full": lambda: sptree_facts(12),
+        "smoke": lambda: sptree_facts(6),
+    },
+}
+
+
+def run_once(program_text, facts, idb_preds):
+    db = Database()
+    for pred, args in facts:
+        db.assert_fact(pred, args)
+    program = parse_program(program_text)
+    start = time.perf_counter()
+    evaluate(program, db)
+    secs = time.perf_counter() - start
+    derived = sum(db.count(p) for p in idb_preds)
+    return {
+        "rows": {p: db.rows(p) for p in idb_preds},
+        "secs": secs,
+        "derived": derived,
+        "facts_per_sec": derived / secs if secs > 0 else float("inf"),
+        "probes": sum(db.relation(p).probes for p in db.predicates()),
+        "scans": sum(db.relation(p).scans for p in db.predicates()),
+    }
+
+
+def run(smoke=False):
+    scale = "smoke" if smoke else "full"
+    rows = []
+    results = {}
+    for name, spec in WORKLOADS.items():
+        facts = spec[scale]()
+        with seed_engine():
+            base = run_once(spec["program"], facts, spec["idb"])
+        GLOBAL_PLAN_CACHE.clear()  # charge compilation to the timed run
+        comp = run_once(spec["program"], facts, spec["idb"])
+        identical = base["rows"] == comp["rows"]
+        probe_ratio = (
+            base["probes"] / comp["probes"] if comp["probes"] else float("inf")
+        )
+        speedup = base["secs"] / comp["secs"] if comp["secs"] > 0 else 0.0
+        for engine, res in (("seed", base), ("compiled", comp)):
+            rows.append([
+                name, scale, engine, f"{res['secs'] * 1e3:.1f}",
+                res["derived"], int(res["facts_per_sec"]),
+                res["probes"], res["scans"],
+                "yes" if identical else "NO",
+            ])
+        rows.append([
+            name, scale, "ratio", f"{speedup:.2f}x", "", "",
+            f"{probe_ratio:.1f}x", "", "",
+        ])
+        results[name] = {
+            "identical": identical,
+            "probe_ratio": probe_ratio,
+            "speedup": speedup,
+            "facts_per_sec": comp["facts_per_sec"],
+        }
+    report(
+        "e17_eval_throughput",
+        f"E17: evaluator throughput, compiled plans vs seed engine ({scale})",
+        ["workload", "scale", "engine", "wall-ms", "derived",
+         "facts/s", "probes", "scans", "identical"],
+        rows,
+    )
+    return results
+
+
+def check_baseline(results):
+    """Exit non-zero when derived-facts/sec regressed >2x vs the
+    committed baseline (the CI perf gate)."""
+    with open(BASELINE_PATH) as f:
+        baseline = json.load(f)
+    failed = False
+    for name, entry in baseline["workloads"].items():
+        floor = entry["facts_per_sec"] / 2.0
+        got = results.get(name, {}).get("facts_per_sec", 0.0)
+        status = "ok" if got >= floor else "REGRESSED"
+        print(f"[baseline] {name}: {got:.0f} facts/s "
+              f"(floor {floor:.0f}) {status}")
+        if got < floor:
+            failed = True
+    if failed:
+        sys.exit(1)
+
+
+def test_e17_shape(benchmark):
+    results = benchmark.pedantic(run, kwargs={"smoke": True},
+                                 rounds=1, iterations=1)
+    for name, res in results.items():
+        assert res["identical"], f"{name}: engines disagree"
+    # The acceptance criterion: ≥3x fewer index probes on transitive
+    # closure, identical results.
+    assert results["tc"]["probe_ratio"] >= 3.0
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    results = run(smoke=smoke)
+    for name, res in results.items():
+        if not res["identical"]:
+            print(f"ERROR: {name}: engines disagree")
+            sys.exit(2)
+    if "--check" in sys.argv:
+        check_baseline(results)

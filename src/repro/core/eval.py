@@ -45,6 +45,16 @@ from .builtins import (
 )
 from .derivations import Derivation, DerivationStore, FactKey
 from .errors import EvaluationError, ProgramError
+from .plan import (
+    GLOBAL_PLAN_CACHE,
+    CompiledPlan,
+    PlanCache,
+    compile_rule,
+    order_body,
+    rule_label,
+    seed_engine,
+    seed_mode,
+)
 from .safety import check_program_safety
 from .stratify import (
     Analysis,
@@ -62,15 +72,23 @@ ArgsTuple = Tuple[Term, ...]
 class Relation:
     """A set of ground argument tuples with lazy per-position hash
     indexes (built the first time a position is probed with a bound
-    pattern argument)."""
+    pattern argument).
+
+    Probes are *selectivity-aware*: when a pattern has several ground
+    positions and more than one of them already has an index, the
+    smallest bucket wins (an empty bucket short-circuits to no
+    candidates at all)."""
 
     def __init__(self, name: str):
         self.name = name
         self._tuples: Set[ArgsTuple] = set()
         self._indexes: Dict[int, Dict[Term, Set[ArgsTuple]]] = {}
-        #: Number of candidate-set probes — a cheap work metric for the
+        #: Number of index probes — a cheap work metric for the
         #: join-ordering experiments.
         self.probes = 0
+        #: Number of full-relation scans (patterns with no ground
+        #: position; counted separately from index probes).
+        self.scans = 0
 
     def __len__(self) -> int:
         return len(self._tuples)
@@ -116,14 +134,50 @@ class Relation:
         return index
 
     def candidates(self, pattern: Sequence[Term], subst: Substitution) -> Iterable[ArgsTuple]:
-        """Tuples that could match ``pattern`` under ``subst`` — probes an
-        index on the first position whose pattern argument is ground."""
+        """Tuples that could match ``pattern`` under ``subst`` — probes
+        the smallest index bucket among the ground pattern positions
+        (falling back to a full scan when none is ground)."""
         self.probes += 1
+        bound: List[Tuple[int, Term]] = []
         for pos, arg in enumerate(pattern):
-            bound = arg.substitute(subst)
-            if bound.is_ground():
-                return self._index_for(pos).get(bound, ())
-        return self._tuples
+            term = arg.substitute(subst)
+            if term.is_ground():
+                bound.append((pos, term))
+        if not bound:
+            return self._tuples
+        return self._select_bucket(bound)
+
+    def lookup(self, bound: Sequence[Tuple[int, Term]]) -> Iterable[ArgsTuple]:
+        """Candidates for a probe with known ground positions
+        ``[(position, ground term), ...]`` (must be non-empty).  Counts
+        one index probe and picks the smallest bucket across built
+        indexes."""
+        self.probes += 1
+        return self._select_bucket(bound)
+
+    def scan(self) -> Tuple[ArgsTuple, ...]:
+        """A snapshot of the full relation (safe to iterate while the
+        relation grows).  Counts a scan, not an index probe."""
+        self.scans += 1
+        return tuple(self._tuples)
+
+    def _select_bucket(self, bound: Sequence[Tuple[int, Term]]) -> Iterable[ArgsTuple]:
+        best = None
+        for pos, term in bound:
+            index = self._indexes.get(pos)
+            if index is None:
+                continue
+            bucket = index.get(term)
+            if bucket is None:
+                # An index exists and has no entry for this value: the
+                # relation cannot match, whatever the other positions say.
+                return ()
+            if best is None or len(bucket) < len(best):
+                best = bucket
+        if best is not None:
+            return best
+        pos, term = bound[0]
+        return self._index_for(pos).get(term, ())
 
 
 class Database:
@@ -196,75 +250,25 @@ def _freeze_value(value):
     return value
 
 
-def _rule_label(rule: Rule) -> str:
-    """Stable telemetry label for a rule: head predicate plus id."""
-    if rule.rule_id is not None:
-        return f"{rule.head.predicate}#r{rule.rule_id}"
-    return rule.head.predicate
+#: Telemetry label helper (shared with the plan layer).
+_rule_label = rule_label
 
 
 def _total_probes(db: Database) -> int:
     return sum(rel.probes for rel in db._relations.values())
 
 
+def _total_scans(db: Database) -> int:
+    return sum(rel.scans for rel in db._relations.values())
+
+
 # ---------------------------------------------------------------------------
-# Body planning and rule enumeration
+# Rule enumeration
 # ---------------------------------------------------------------------------
-
-
-def order_body(rule: Rule) -> List[Literal]:
-    """Order subgoals for left-to-right evaluation.
-
-    Greedy: at each step emit any built-in or negated subgoal whose
-    variables are already bound (built-ins as early as possible — they
-    are cheap local filters), otherwise the next positive relational
-    subgoal in textual order.
-    """
-    pending = list(rule.body)
-    ordered: List[Literal] = []
-    bound: Set[Variable] = set()
-
-    def ready(lit: Literal) -> bool:
-        if isinstance(lit, BuiltinLiteral):
-            if lit.name == "=" and not lit.negated and len(lit.args) == 2:
-                left, right = lit.args
-                left_vars = set(left.variables())
-                right_vars = set(right.variables())
-                if left_vars <= bound and right_vars <= bound:
-                    return True  # pure test
-                # Assignment: the unbound side must be a bare variable
-                # (arithmetic is not inverted — T1 = T + 1 cannot run
-                # until T is bound, even if T1 already is).
-                if isinstance(left, Variable) and right_vars <= bound:
-                    return True
-                if isinstance(right, Variable) and left_vars <= bound:
-                    return True
-                return False
-            return all(v in bound for v in lit.variables())
-        if isinstance(lit, RelLiteral) and lit.negated:
-            return all(v in bound or v.is_anonymous for v in lit.variables())
-        return False
-
-    while pending:
-        for lit in pending:
-            if ready(lit):
-                ordered.append(lit)
-                pending.remove(lit)
-                bound.update(v for v in lit.variables())
-                break
-        else:
-            for lit in pending:
-                if isinstance(lit, RelLiteral) and not lit.negated:
-                    ordered.append(lit)
-                    pending.remove(lit)
-                    bound.update(lit.variables())
-                    break
-            else:
-                raise ProgramError(
-                    f"cannot order body of rule {rule!r}: unbound built-in "
-                    "or negated subgoal (rule is unsafe?)"
-                )
-    return ordered
+#
+# ``order_body`` lives in :mod:`repro.core.plan` now (re-exported above):
+# the compiled-plan layer computes each rule's ordering exactly once and
+# the evaluators reach it through :data:`GLOBAL_PLAN_CACHE`.
 
 
 def enumerate_rule(
@@ -282,7 +286,39 @@ def enumerate_rule(
     occurrence of that predicate ranges over ``delta_tuples`` instead of
     the stored relation (the semi-naive rewriting).  Yields the
     substitution and the list of positive facts used (the derivation).
+
+    Evaluation normally runs through the compiled plan of the rule
+    (cached in :data:`GLOBAL_PLAN_CACHE`); inside a
+    :func:`repro.core.plan.seed_engine` block the original recursive
+    enumerator below is used instead.
     """
+    if seed_mode():
+        return enumerate_rule_recursive(
+            rule, db, registry, delta_pred, delta_tuples,
+            delta_occurrence, initial_subst,
+        )
+    return GLOBAL_PLAN_CACHE.get(rule).execute(
+        db, registry,
+        delta_pred=delta_pred,
+        delta_tuples=delta_tuples,
+        delta_occurrence=delta_occurrence,
+        initial_subst=initial_subst,
+    )
+
+
+def enumerate_rule_recursive(
+    rule: Rule,
+    db: Database,
+    registry: BuiltinRegistry,
+    delta_pred: Optional[str] = None,
+    delta_tuples: Optional[Set[ArgsTuple]] = None,
+    delta_occurrence: Optional[int] = None,
+    initial_subst: Optional[Substitution] = None,
+) -> Iterator[Tuple[Substitution, List[FactKey]]]:
+    """The seed recursive enumerator: re-derives the body ordering per
+    call and probes through :meth:`Relation.candidates`.  Kept as the
+    reference implementation for differential tests and benchmark
+    baselines (see :func:`repro.core.plan.seed_engine`)."""
     ordered = order_body(rule)
     occurrence_counter = itertools.count()
     occurrence_of: Dict[int, int] = {}
@@ -474,6 +510,7 @@ class SemiNaiveEvaluator:
                 self._evaluate_stratum(db, stratum)
             return db
         probes_before = _total_probes(db)
+        scans_before = _total_scans(db)
         with _span("eval.fixpoint", evaluator="semi-naive",
                    rules=len(self.program.rules)) as sp:
             for fact in self.program.facts:
@@ -482,8 +519,10 @@ class SemiNaiveEvaluator:
                 with _span("eval.stratum", predicates=sorted(stratum)):
                     self._evaluate_stratum(db, stratum)
             probes = _total_probes(db) - probes_before
+            scans = _total_scans(db) - scans_before
             _inst.join_probes.inc(probes)
-            sp.set(join_probes=probes)
+            _inst.relation_scans.inc(scans)
+            sp.set(join_probes=probes, relation_scans=scans)
         return db
 
     def _evaluate_stratum(self, db: Database, stratum: Set[str]) -> None:
@@ -502,13 +541,25 @@ class SemiNaiveEvaluator:
             for head in evaluate_aggregate_rule(rule, db, self.registry):
                 rel.add(head)
 
+        # With compiled plans, firings stream straight out of the
+        # executor (which snapshots its row sources, so the relations
+        # may grow mid-enumeration); the seed engine needs the eager
+        # materialization it shipped with.
+        eager = seed_mode()
+        plans: Optional[List[CompiledPlan]] = (
+            None if eager else [GLOBAL_PLAN_CACHE.get(r) for r in rules]
+        )
+
         # Initial round: full naive evaluation of this stratum's rules.
         deltas: Dict[str, Set[ArgsTuple]] = {}
         rounds = 1
         for rule in rules:
             rel = db.relation(rule.head.predicate)
             fired = added = 0
-            for head, derivation in list(fire_rule(rule, db, self.registry)):
+            firings = fire_rule(rule, db, self.registry)
+            if eager:
+                firings = iter(list(firings))
+            for head, derivation in firings:
                 fired += 1
                 if self.record_derivations:
                     db.derivations.add((rule.head.predicate, head), derivation)
@@ -523,39 +574,65 @@ class SemiNaiveEvaluator:
             for pred, delta in deltas.items():
                 _inst.delta_size.labels(predicate=pred).observe(len(delta))
 
+        # The max_facts guard accumulates additions incrementally rather
+        # than re-summing every IDB relation each round.
+        idb_total = None
+        if self.max_facts is not None:
+            idb_total = sum(db.count(p) for p in self.program.idb_predicates())
+
         # Semi-naive rounds: every occurrence of a predicate that grew in
         # the previous round ranges over that growth (the delta).  This
         # covers both recursion and same-stratum chains such as
         # traj -> completetraj -> parallel.
         while deltas:
-            if self.max_facts is not None:
-                total = sum(
-                    db.count(p) for p in self.program.idb_predicates()
+            if idb_total is not None and idb_total > self.max_facts:
+                raise EvaluationError(
+                    f"fixpoint exceeded max_facts={self.max_facts} "
+                    "(non-terminating recursion through function "
+                    "symbols?)"
                 )
-                if total > self.max_facts:
-                    raise EvaluationError(
-                        f"fixpoint exceeded max_facts={self.max_facts} "
-                        "(non-terminating recursion through function "
-                        "symbols?)"
-                    )
             new_deltas: Dict[str, Set[ArgsTuple]] = {}
             rounds += 1
-            for rule in rules:
+            round_added = 0
+            for i, rule in enumerate(rules):
+                if plans is not None:
+                    # Skip (rule, delta_pred) pairs outright when the
+                    # plan says the rule never reads the delta predicate.
+                    occurrences = plans[i].occurrences
+                    pairs = [
+                        (pred, delta, len(occurrences[pred]))
+                        for pred, delta in deltas.items()
+                        if pred in occurrences
+                    ]
+                    if not pairs:
+                        continue
+                else:
+                    pairs = [
+                        (
+                            pred,
+                            delta,
+                            sum(
+                                1 for lit in rule.positive_literals()
+                                if lit.predicate == pred
+                            ),
+                        )
+                        for pred, delta in deltas.items()
+                    ]
                 rel = db.relation(rule.head.predicate)
                 fired = added = 0
-                for pred, delta in deltas.items():
-                    n_occ = sum(
-                        1 for lit in rule.positive_literals() if lit.predicate == pred
-                    )
+                for pred, delta, n_occ in pairs:
                     for occ in range(n_occ):
-                        for head, derivation in list(fire_rule(
+                        firings = fire_rule(
                             rule,
                             db,
                             self.registry,
                             delta_pred=pred,
                             delta_tuples=delta,
                             delta_occurrence=occ,
-                        )):
+                        )
+                        if eager:
+                            firings = iter(list(firings))
+                        for head, derivation in firings:
                             fired += 1
                             if self.record_derivations:
                                 db.derivations.add(
@@ -566,6 +643,7 @@ class SemiNaiveEvaluator:
                                 new_deltas.setdefault(
                                     rule.head.predicate, set()
                                 ).add(head)
+                round_added += added
                 if _obs.enabled and fired:
                     label = _rule_label(rule)
                     _inst.rule_firings.labels(rule=label).inc(fired)
@@ -573,6 +651,8 @@ class SemiNaiveEvaluator:
             if _obs.enabled:
                 for pred, delta in new_deltas.items():
                     _inst.delta_size.labels(predicate=pred).observe(len(delta))
+            if idb_total is not None:
+                idb_total += round_added
             deltas = new_deltas
         if _obs.enabled:
             _inst.fixpoint_iterations.labels(evaluator="semi-naive").observe(rounds)
@@ -614,12 +694,15 @@ class XYEvaluator:
         if not _obs.enabled:
             return self._evaluate_xy(db)
         probes_before = _total_probes(db)
+        scans_before = _total_scans(db)
         with _span("eval.fixpoint", evaluator="xy",
                    rules=len(self.program.rules)) as sp:
             self._evaluate_xy(db)
             probes = _total_probes(db) - probes_before
+            scans = _total_scans(db) - scans_before
             _inst.join_probes.inc(probes)
-            sp.set(join_probes=probes)
+            _inst.relation_scans.inc(scans)
+            sp.set(join_probes=probes, relation_scans=scans)
         return db
 
     def _evaluate_xy(self, db: Database) -> Database:
@@ -670,7 +753,10 @@ class XYEvaluator:
                 if rule.has_aggregates:
                     continue
                 fired = added = 0
-                for head, derivation in list(fire_rule(rule, db, self.registry)):
+                firings = fire_rule(rule, db, self.registry)
+                if seed_mode():
+                    firings = iter(list(firings))
+                for head, derivation in firings:
                     fired += 1
                     db.derivations.add((predicate, head), derivation)
                     if rel.add(head):
@@ -696,7 +782,7 @@ class XYEvaluator:
         pending_stages: Set[object] = set()
         for rule in rules:
             try:
-                for head, _d in list(fire_rule(rule, db, self.registry)):
+                for head, _d in fire_rule(rule, db, self.registry):
                     pending_stages.add(self._stage_value(rule.head.predicate, head))
             except EvaluationError:
                 continue
@@ -738,7 +824,10 @@ class XYEvaluator:
                     if rule.head.predicate != pred:
                         continue
                     fired = added = 0
-                    for head, derivation in list(fire_rule(rule, db, self.registry)):
+                    firings = fire_rule(rule, db, self.registry)
+                    if seed_mode():
+                        firings = iter(list(firings))
+                    for head, derivation in firings:
                         fired += 1
                         head_stage = self._stage_value(pred, head)
                         if head_stage == stage:

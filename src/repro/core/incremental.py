@@ -25,7 +25,7 @@ from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from .ast import Program, RelLiteral, Rule
-from .builtins import BuiltinRegistry, DEFAULT_REGISTRY
+from .builtins import BuiltinRegistry, DEFAULT_REGISTRY, normalize_partial
 from .derivations import Derivation, FactKey, is_locally_nonrecursive
 from .errors import EvaluationError, ProgramError
 from .eval import ArgsTuple, Database, enumerate_rule, fire_rule, ground_head
@@ -150,15 +150,15 @@ class IncrementalEvaluator:
                 1 for lit in rule.positive_literals() if lit.predicate == pred
             )
             for occ in range(n_occ):
-                for head, derivation in list(
-                    fire_rule(
-                        rule,
-                        self.db,
-                        self.registry,
-                        delta_pred=pred,
-                        delta_tuples={args},
-                        delta_occurrence=occ,
-                    )
+                # Streamed: firings only queue follow-up work, they never
+                # mutate the relations the executor is reading.
+                for head, derivation in fire_rule(
+                    rule,
+                    self.db,
+                    self.registry,
+                    delta_pred=pred,
+                    delta_tuples={args},
+                    delta_occurrence=occ,
                 ):
                     self.stats.rule_firings += 1
                     self._add_derived(rule.head.predicate, head, derivation)
@@ -202,10 +202,22 @@ class IncrementalEvaluator:
                 lit for i, lit in enumerate(rule.body) if i != lit_index
             )
             reduced = Rule(rule.head, remaining, (), rule.rule_id)
+            if not subtract:
+                # Keep only bindings for variables the reduced rule
+                # shares with the negated subgoal: variables local to
+                # the subgoal (e.g. wildcards) must stay free so the
+                # re-check below sees every still-standing blocker, not
+                # just the tuple that was deleted.
+                shared = reduced.variables()
+                seed = Substitution(
+                    {v: t for v, t in seed.items() if v in shared}
+                )
             for subst, used in enumerate_rule(
                 reduced, self.db, self.registry, initial_subst=seed
             ):
                 self.stats.rule_firings += 1
+                if not subtract and self._blocked(neg_lit, subst):
+                    continue
                 head = ground_head(reduced, subst, self.registry)
                 derivation = Derivation(
                     rule.rule_id if rule.rule_id is not None else -1, used
@@ -217,6 +229,20 @@ class IncrementalEvaluator:
                         self._queue.append(("delete", rule.head.predicate, head))
                 else:
                     self._add_derived(rule.head.predicate, head, derivation)
+
+    def _blocked(self, neg_lit: RelLiteral, subst: Substitution) -> bool:
+        """True when some stored tuple still satisfies the negated
+        subgoal under ``subst`` (evaluated post-update)."""
+        rel = self.db.relation(neg_lit.predicate)
+        pattern = tuple(
+            normalize_partial(arg.substitute(subst), self.registry)
+            for arg in neg_lit.atom.args
+        )
+        empty = Substitution()
+        return any(
+            match_sequences(pattern, row, empty) is not None
+            for row in rel.candidates(pattern, empty)
+        )
 
 
 class CountingEvaluator:
@@ -295,11 +321,11 @@ class CountingEvaluator:
         for rule in self._positive_rules.get(pred, ()):
             n_occ = sum(1 for lit in rule.positive_literals() if lit.predicate == pred)
             for occ in range(n_occ):
-                for head, _deriv in list(
-                    fire_rule(
-                        rule, self.db, self.registry,
-                        delta_pred=pred, delta_tuples={args}, delta_occurrence=occ,
-                    )
+                # Streamed: _bump only queues transitions, the relations
+                # the executor reads stay fixed until the queue drains.
+                for head, _deriv in fire_rule(
+                    rule, self.db, self.registry,
+                    delta_pred=pred, delta_tuples={args}, delta_occurrence=occ,
                 ):
                     self.stats.rule_firings += 1
                     self._bump(rule.head.predicate, head, sign)

@@ -36,7 +36,7 @@ from ..core.builtins import (
 from ..core.errors import EvaluationError, NetworkError, PlanError
 from ..core.eval import _freeze_value, ground_head
 from ..core.parser import parse_program
-from ..core.terms import Substitution, Term, term_size, to_term
+from ..core.terms import Substitution, Term, Variable, term_size, to_term
 from ..core.unify import match_sequences
 from ..net.messages import Message
 from ..net.network import SensorNetwork
@@ -473,6 +473,22 @@ class GPAEngine:
         if seed is None:
             return  # the update does not even match the subgoal pattern
         if negated:
+            # Keep only bindings for variables the rest of the rule
+            # shares with the triggering negated subgoal: variables
+            # local to it (e.g. wildcards) must stay free so blocker
+            # re-checks range over every live tuple of the stream, not
+            # just the one that triggered.
+            shared: Set[Variable] = set(rp.head.variables())
+            for other in rp.positive:
+                shared.update(other.variables())
+            for other in rp.builtins:
+                shared.update(other.variables())
+            for i, other in enumerate(rp.negative):
+                if i != occurrence:
+                    shared.update(other.variables())
+            seed = Substitution(
+                {v: t for v, t in seed.items() if v in shared}
+            )
             partial = Partial(seed, (), frozenset())
         else:
             partial = Partial(seed, (trigger,), frozenset([occurrence]))

@@ -46,6 +46,29 @@ join_probes = REGISTRY.counter(
     "repro_join_probes_total",
     "Relation.candidates() probes performed during evaluation",
 )
+relation_scans = REGISTRY.counter(
+    "repro_relation_scans_total",
+    "Full relation scans (unindexed Relation.scan() calls) during "
+    "evaluation",
+)
+
+# -- core.plan ---------------------------------------------------------------
+
+plan_cache_hits = REGISTRY.counter(
+    "repro_plan_cache_hits_total",
+    "Compiled-plan cache hits",
+)
+plan_cache_misses = REGISTRY.counter(
+    "repro_plan_cache_misses_total",
+    "Compiled-plan cache misses (rule compilations)",
+)
+join_selectivity = REGISTRY.histogram(
+    "repro_join_selectivity",
+    "Per-execution join selectivity (matched / scanned candidate "
+    "tuples), by rule",
+    labelnames=("rule",),
+    buckets=(0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
+)
 
 # -- net.sim / net.radio ----------------------------------------------------
 

@@ -1,0 +1,444 @@
+"""Compiled rule plans (repro.core.plan).
+
+Two kinds of coverage:
+
+* **Differential tests** — the compiled-plan executor must produce a
+  fixpoint identical to the seed recursive enumerator (facts *and*
+  recorded derivations) on every program shape the engine supports:
+  transitive closure, negation, aggregation, same-stratum chains,
+  XY-stratified stage programs, function-symbol workloads, and the
+  incremental evaluator under insertions and deletions.
+* **Unit tests** — selectivity-aware ``Relation`` probing, plan
+  structure (ordering, argument templates, delta occurrences), and the
+  plan cache (hits/misses, eviction, invalidation).
+"""
+
+import random
+
+import pytest
+
+from repro.core.derivations import Derivation
+from repro.core.eval import (
+    Database,
+    Relation,
+    SemiNaiveEvaluator,
+    XYEvaluator,
+    enumerate_rule,
+    evaluate,
+)
+from repro.core.incremental import IncrementalEvaluator
+from repro.core.parser import parse_program
+from repro.core.plan import (
+    GLOBAL_PLAN_CACHE,
+    PlanCache,
+    compile_rule,
+    seed_engine,
+    seed_mode,
+)
+from repro.core.terms import Constant, Substitution, Variable
+from repro.workloads.trajectories import TRAJECTORY_PROGRAM, trajectory_registry
+
+LOGICH = """
+    h(a, a, 0).
+    h(a, X, 1) :- g(a, X).
+    hp(Y, D + 1) :- h(_, Y, Dp), D + 1 > Dp, h(_, X, D), g(X, Y).
+    h(X, Y, D + 1) :- g(X, Y), h(_, X, D), not hp(Y, D + 1).
+"""
+
+
+def snapshot(db):
+    """Everything the evaluator computed: rows per predicate plus the
+    full derivation store."""
+    rows = {p: db.rows(p) for p in db.predicates()}
+    derivs = {
+        fact: set(ds) for fact, ds in db.derivations._derivations.items() if ds
+    }
+    return rows, derivs
+
+
+def run_both(program_text, facts, registry=None, evaluator=None):
+    """Evaluate the same program with the compiled engine and with the
+    seed engine; return both snapshots."""
+    program = (
+        parse_program(program_text, registry)
+        if registry is not None
+        else parse_program(program_text)
+    )
+
+    def fresh_db():
+        db = Database(registry) if registry is not None else Database()
+        for pred, args in facts:
+            db.assert_fact(pred, args)
+        return db
+
+    def run(db):
+        if evaluator is not None:
+            evaluator(program, db.registry).evaluate(db)
+        elif registry is not None:
+            evaluate(program, db, registry)
+        else:
+            evaluate(program, db)
+        return db
+
+    compiled = snapshot(run(fresh_db()))
+    with seed_engine():
+        seed = snapshot(run(fresh_db()))
+    return compiled, seed
+
+
+def chain_facts(n):
+    return [("e", (i, i + 1)) for i in range(n)]
+
+
+def random_graph_facts(n_nodes, n_edges, seed=7):
+    rng = random.Random(seed)
+    return [
+        ("e", (rng.randrange(n_nodes), rng.randrange(n_nodes)))
+        for _ in range(n_edges)
+    ]
+
+
+class TestDifferentialFixpoints:
+    """Compiled executor == seed enumerator, facts and derivations."""
+
+    def test_transitive_closure_chain(self):
+        compiled, seed = run_both(
+            "tc(X, Y) :- e(X, Y). tc(X, Z) :- e(X, Y), tc(Y, Z).",
+            chain_facts(12),
+        )
+        assert compiled == seed
+
+    def test_transitive_closure_random_graph(self):
+        compiled, seed = run_both(
+            "tc(X, Y) :- e(X, Y). tc(X, Z) :- e(X, Y), tc(Y, Z).",
+            random_graph_facts(12, 30),
+        )
+        assert compiled == seed
+
+    def test_nonlinear_recursion(self):
+        compiled, seed = run_both(
+            "tc(X, Y) :- e(X, Y). tc(X, Z) :- tc(X, Y), tc(Y, Z).",
+            random_graph_facts(10, 20, seed=3),
+        )
+        assert compiled == seed
+
+    def test_stratified_negation(self):
+        compiled, seed = run_both(
+            """
+            reach(X) :- source(X).
+            reach(Y) :- reach(X), e(X, Y).
+            unreached(X) :- node(X), not reach(X).
+            """,
+            [("source", (0,)), ("node", (0,)), ("node", (1,)),
+             ("node", (2,)), ("node", (3,)),
+             ("e", (0, 1)), ("e", (1, 2))],
+        )
+        assert compiled == seed
+        assert compiled[0]["unreached"] == {(3,)}
+
+    def test_aggregates_feeding_rules(self):
+        compiled, seed = run_both(
+            """
+            m(S, max(V)) :- obs(S, V).
+            alarm(S) :- m(S, V), V >= 3.
+            """,
+            [("obs", ("a", 1)), ("obs", ("a", 2)), ("obs", ("b", 5))],
+        )
+        assert compiled == seed
+        assert compiled[0]["alarm"] == {("b",)}
+
+    def test_same_stratum_chain(self):
+        # a -> b -> c inside one stratum: the delta of b must reach c's
+        # rule in the following round.
+        compiled, seed = run_both(
+            """
+            a(X) :- base(X).
+            b(X + 1) :- a(X), bound(B), X < B.
+            c(X) :- b(X).
+            a(X) :- c(X).
+            """,
+            [("base", (0,)), ("bound", (5,))],
+        )
+        assert compiled == seed
+
+    def test_builtin_and_constant_args(self):
+        compiled, seed = run_both(
+            """
+            out(X, k) :- e(X, Y), Y > 1, marked(Y, k).
+            """,
+            [("e", (1, 2)), ("e", (2, 3)), ("e", (3, 1)),
+             ("marked", (2, "k")), ("marked", (3, "other"))],
+        )
+        assert compiled == seed
+        assert compiled[0]["out"] == {(1, "k")}
+
+    def test_xy_stratified_logich(self):
+        for edges in (
+            [("a", "b"), ("b", "c"), ("c", "d")],
+            [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+            [("a", "b"), ("b", "c"), ("c", "a")],
+        ):
+            compiled, seed = run_both(
+                LOGICH,
+                [("g", edge) for edge in edges],
+                evaluator=lambda program, registry: XYEvaluator(program),
+            )
+            assert compiled == seed
+
+    def test_trajectories_function_symbols(self):
+        registry = trajectory_registry()
+        reports = [(0, 0, 0), (1, 1, 1), (2, 2, 2),
+                   (0, 3, 0), (1, 4, 1), (2, 5, 2)]
+        compiled, seed = run_both(
+            TRAJECTORY_PROGRAM,
+            [("report", (r,)) for r in reports],
+            registry=registry,
+        )
+        assert compiled == seed
+        assert compiled[0]["parallel"]
+
+    def test_incremental_insert_delete(self):
+        program = parse_program(
+            """
+            tc(X, Y) :- e(X, Y).
+            tc(X, Z) :- e(X, Y), tc(Y, Z).
+            blocked(X) :- node(X), not tc(0, X).
+            """
+        )
+        ops = [
+            ("ins", "node", (0,)), ("ins", "node", (1,)),
+            ("ins", "node", (2,)), ("ins", "node", (3,)),
+            ("ins", "e", (0, 1)), ("ins", "e", (1, 2)),
+            ("ins", "e", (2, 3)), ("del", "e", (1, 2)),
+            ("ins", "e", (1, 3)), ("ins", "e", (3, 2)),
+            ("del", "e", (0, 1)),
+        ]
+
+        def drive():
+            ev = IncrementalEvaluator(program)
+            for op, pred, args in ops:
+                if op == "ins":
+                    ev.insert(pred, args)
+                else:
+                    ev.delete(pred, args)
+            return snapshot(ev.db)
+
+        compiled = drive()
+        with seed_engine():
+            seed = drive()
+        assert compiled == seed
+
+    def test_incremental_matches_from_scratch(self):
+        program_text = """
+            tc(X, Y) :- e(X, Y).
+            tc(X, Z) :- e(X, Y), tc(Y, Z).
+        """
+        ev = IncrementalEvaluator(parse_program(program_text))
+        for u, v in [(0, 1), (1, 2), (2, 0), (1, 3)]:
+            ev.insert("e", (u, v))
+        ev.delete("e", (2, 0))
+        oracle = Database()
+        for u, v in [(0, 1), (1, 2), (1, 3)]:
+            oracle.assert_fact("e", (u, v))
+        evaluate(parse_program(program_text), oracle)
+        assert ev.db.rows("tc") == oracle.rows("tc")
+
+
+class TestSelectivityAwareRelation:
+    def pattern(self, *values):
+        return tuple(
+            Constant(v) if not isinstance(v, str) or not v.isupper()
+            else Variable(v)
+            for v in values
+        )
+
+    def test_picks_smallest_bucket(self):
+        rel = Relation("r")
+        # Column 0 is low-selectivity (all tuples share key 0); column 1
+        # is high-selectivity (distinct values).
+        for i in range(50):
+            rel.add((Constant(0), Constant(i)))
+        # Build both indexes.
+        assert len(set(rel.lookup([(0, Constant(0))]))) == 50
+        assert len(set(rel.lookup([(1, Constant(7))]))) == 1
+        # Both positions ground: the probe must come back with the
+        # 1-element bucket, not the 50-element one.
+        result = list(rel.lookup([(0, Constant(0)), (1, Constant(7))]))
+        assert result == [(Constant(0), Constant(7))]
+
+    def test_empty_bucket_short_circuits(self):
+        rel = Relation("r")
+        for i in range(10):
+            rel.add((Constant(i), Constant(i % 2)))
+        assert set(rel.lookup([(1, Constant(0))]))  # builds index on 1
+        # Key absent from a built index: no candidates, regardless of
+        # the other bound position.
+        assert list(rel.lookup([(0, Constant(3)), (1, Constant(99))])) == []
+
+    def test_candidates_counts_probes_scan_counts_scans(self):
+        rel = Relation("r")
+        rel.add((Constant(1), Constant(2)))
+        before_probes, before_scans = rel.probes, rel.scans
+        list(rel.candidates((Variable("X"), Variable("Y")), Substitution()))
+        assert rel.probes == before_probes + 1  # full scans still probe
+        rel.scan()
+        assert rel.scans == before_scans + 1
+
+    def test_candidates_superset_and_filtering(self):
+        rel = Relation("r")
+        for i in range(5):
+            rel.add((Constant(i), Constant(i * 10)))
+        pattern = (Constant(3), Variable("Y"))
+        cands = set(rel.candidates(pattern, Substitution()))
+        assert (Constant(3), Constant(30)) in cands
+        assert all(row[0] == Constant(3) for row in cands)
+
+
+class TestCompiledPlanStructure:
+    def test_occurrence_counts(self):
+        rule = parse_program("tc(X, Z) :- e(X, Y), tc(Y, Z).").rules[0]
+        plan = compile_rule(rule)
+        assert plan.occurrence_count("e") == 1
+        assert plan.occurrence_count("tc") == 1
+        assert plan.occurrence_count("absent") == 0
+
+    def test_double_occurrence(self):
+        rule = parse_program("p(X, Z) :- e(X, Y), e(Y, Z).").rules[0]
+        plan = compile_rule(rule)
+        assert plan.occurrence_count("e") == 2
+
+    def test_delta_occurrences_partition_matches(self):
+        # Summing matches over each delta occurrence must reproduce the
+        # full enumeration when the delta is the whole relation.
+        program = parse_program("p(X, Z) :- e(X, Y), e(Y, Z).")
+        rule = program.rules[0]
+        db = Database()
+        rows = [(0, 1), (1, 2), (2, 3), (1, 4)]
+        for u, v in rows:
+            db.assert_fact("e", (u, v))
+        full = list(enumerate_rule(rule, db, db.registry))
+        delta = set(db.relation("e"))
+        per_occ = []
+        for occ in range(2):
+            per_occ.extend(
+                enumerate_rule(
+                    rule, db, db.registry,
+                    delta_pred="e", delta_tuples=delta, delta_occurrence=occ,
+                )
+            )
+        # Each full match appears once per occurrence when delta == rel.
+        assert len(per_occ) == 2 * len(full)
+
+    def test_initial_subst_restricts_enumeration(self):
+        rule = parse_program("p(X, Y) :- e(X, Y).").rules[0]
+        db = Database()
+        for u, v in [(0, 1), (1, 2)]:
+            db.assert_fact("e", (u, v))
+        seed = Substitution({Variable("X"): Constant(1)})
+        matches = list(
+            enumerate_rule(rule, db, db.registry, initial_subst=seed)
+        )
+        assert len(matches) == 1
+        subst, used = matches[0]
+        assert used == [("e", (Constant(1), Constant(2)))]
+
+
+class TestPlanCache:
+    def test_hit_miss_accounting(self):
+        cache = PlanCache()
+        rule = parse_program("p(X) :- q(X).").rules[0]
+        plan1 = cache.get(rule)
+        plan2 = cache.get(rule)
+        assert plan1 is plan2
+        assert cache.misses == 1 and cache.hits == 1
+        assert len(cache) == 1
+
+    def test_distinct_rule_ids_get_distinct_entries(self):
+        cache = PlanCache()
+        r1 = parse_program("p(X) :- q(X).").rules[0]
+        r2 = parse_program("p(X) :- q(X).").rules[0]
+        cache.get(r1)
+        cache.get(r2)
+        if r1.rule_id == r2.rule_id:
+            assert len(cache) == 1
+        else:
+            assert len(cache) == 2
+
+    def test_invalidate_single_rule(self):
+        cache = PlanCache()
+        program = parse_program("p(X) :- q(X). r(X) :- s(X).")
+        a, b = program.rules
+        cache.get(a)
+        cache.get(b)
+        cache.invalidate(a)
+        assert len(cache) == 1
+        cache.get(a)
+        assert cache.misses == 3  # recompiled after invalidation
+
+    def test_invalidate_all_and_clear(self):
+        cache = PlanCache()
+        rule = parse_program("p(X) :- q(X).").rules[0]
+        cache.get(rule)
+        cache.invalidate()
+        assert len(cache) == 0
+        cache.get(rule)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_fifo_eviction(self):
+        cache = PlanCache(max_size=2)
+        rules = parse_program(
+            "a(X) :- q(X). b(X) :- q(X). c(X) :- q(X)."
+        ).rules
+        for r in rules:
+            cache.get(r)
+        assert len(cache) == 2  # oldest evicted
+        cache.get(rules[0])     # misses again
+        assert cache.misses == 4
+
+    def test_global_cache_used_by_evaluator(self):
+        GLOBAL_PLAN_CACHE.clear()
+        db = Database()
+        db.assert_fact("e", (1, 2))
+        program = parse_program("tc(X, Y) :- e(X, Y).")
+        evaluate(program, db)
+        misses_after_first = GLOBAL_PLAN_CACHE.misses
+        assert misses_after_first >= 1
+        db2 = Database()
+        db2.assert_fact("e", (3, 4))
+        evaluate(program, db2)
+        assert GLOBAL_PLAN_CACHE.misses == misses_after_first
+        assert GLOBAL_PLAN_CACHE.hits >= 1
+
+
+class TestSeedEngineToggle:
+    def test_seed_engine_restores_flag(self):
+        assert not seed_mode()
+        with seed_engine():
+            assert seed_mode()
+            with seed_engine():
+                assert seed_mode()
+            assert seed_mode()
+        assert not seed_mode()
+
+    def test_probe_reduction_on_transitive_closure(self):
+        """The headline property: the compiled executor's memoized
+        probing does strictly less index work than the seed engine on
+        the same workload, with identical results."""
+        program_text = "tc(X, Y) :- e(X, Y). tc(X, Z) :- e(X, Y), tc(Y, Z)."
+        facts = random_graph_facts(20, 80, seed=11)
+
+        def probes_of():
+            db = Database()
+            for pred, args in facts:
+                db.assert_fact(pred, args)
+            evaluate(parse_program(program_text), db)
+            return db.rows("tc"), sum(
+                db.relation(p).probes for p in db.predicates()
+            )
+
+        compiled_rows, compiled_probes = probes_of()
+        with seed_engine():
+            seed_rows, seed_probes = probes_of()
+        assert compiled_rows == seed_rows
+        assert compiled_probes * 3 <= seed_probes
