@@ -100,14 +100,20 @@ def run_join_workload(
     seed: int = 0,
     loss_rate: float = 0.0,
     window: float = 1e9,
+    reliable: bool = False,
+    **net_kwargs,
 ):
     """Run a uniform multi-stream join on an m x m grid; returns
-    (engine, network, expected_rows)."""
+    (engine, network, expected_rows).  ``reliable=True`` turns on the
+    per-hop ack/retransmit transport (E18); extra keyword arguments go
+    to the network constructor."""
     if program is None:
         head_vars = ", ".join(f"V{i}" for i in range(len(streams)))
         body = ", ".join(f"{s}(K, V{i})" for i, s in enumerate(streams))
         program = f"j(K, {head_vars}) :- {body}."
-    net = GridNetwork(m, seed=seed, loss_rate=loss_rate)
+    net = GridNetwork(
+        m, seed=seed, loss_rate=loss_rate, reliable=reliable, **net_kwargs
+    )
     engine = GPAEngine(
         parse_program(program), net, strategy=strategy, window=window
     ).install()

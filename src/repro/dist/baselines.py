@@ -19,7 +19,7 @@ from ..net.node import Node
 
 class _DistMsg(Message):
     def __init__(self, dist: int):
-        super().__init__("bfs_dist", payload_symbols=2)
+        super().__init__("bfs_dist", payload_symbols=2, category="bfs")
         self.dist = dist
 
 
@@ -55,7 +55,7 @@ class ProceduralBFS:
         self.dist[self.root] = 0
         root_node = self.network.node(self.root)
         for nbr in root_node.neighbors:
-            root_node.send(nbr, _DistMsg(0), category="bfs")
+            root_node.send(nbr, _DistMsg(0))
 
     def _on_dist(self, node: Node, msg: _DistMsg) -> None:
         candidate = msg.dist + 1
@@ -64,7 +64,7 @@ class ProceduralBFS:
             return
         self.dist[node.id] = candidate
         for nbr in node.neighbors:
-            node.send(nbr, _DistMsg(candidate), category="bfs")
+            node.send(nbr, _DistMsg(candidate))
 
     def depths(self) -> Dict[int, Optional[int]]:
         return dict(self.dist)

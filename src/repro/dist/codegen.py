@@ -192,7 +192,7 @@ class _ImageMsg(Message):
         from ..net.messages import BYTES_PER_SYMBOL
 
         symbols = max(1, len(payload.encode("utf-8")) // BYTES_PER_SYMBOL)
-        super().__init__("deploy_image", payload_symbols=symbols)
+        super().__init__("deploy_image", payload_symbols=symbols, category="deploy")
         self.payload = payload
 
 
@@ -230,7 +230,7 @@ class Deployment:
             return  # already programmed
         self.received[node.id] = msg.payload
         for child in self.children[node.id]:
-            node.send(child, _ImageMsg(msg.payload), category="deploy")
+            node.send(child, _ImageMsg(msg.payload))
 
     @property
     def complete(self) -> bool:

@@ -153,6 +153,7 @@ class GatherMsg(Message):
         super().__init__(
             "gpa_gather",
             payload_symbols=1 + sum(term_size(a) for a in args),
+            category="gather",
         )
         self.pred = pred
         self.args = args
@@ -164,7 +165,7 @@ class StoreMsg(Message):
     the remainder of ``path``."""
 
     def __init__(self, op: str, tup: StreamTuple, path: List[int], del_ts: Optional[float]):
-        super().__init__("gpa_store", payload_symbols=tup.size())
+        super().__init__("gpa_store", payload_symbols=tup.size(), category="storage")
         self.op = op          # 'ins' | 'del'
         self.tup = tup
         self.path = path
@@ -189,7 +190,7 @@ class JoinToken(Message):
         pass_indexes: Optional[List[int]] = None,
         region: Optional[List[int]] = None,
     ):
-        super().__init__("gpa_join", payload_symbols=1)
+        super().__init__("gpa_join", payload_symbols=1, category="join")
         self.rule_id = rule_id
         self.op = op                  # 'ins' | 'del' (the triggering update)
         self.update_ts = update_ts
@@ -223,7 +224,7 @@ class ResultMsg(Message):
 
     def __init__(self, pred: str, args: ArgsTuple, derivation: WireDerivation, op: str, ts: float):
         size = 1 + sum(term_size(a) for a in args) + derivation.size()
-        super().__init__("gpa_result", payload_symbols=size)
+        super().__init__("gpa_result", payload_symbols=size, category="result")
         self.pred = pred
         self.args = args
         self.derivation = derivation
@@ -356,8 +357,23 @@ class GPAEngine:
         #: minus the triggering update's timestamp, for every first
         #: derivation — the result-freshness metric.
         self.latency_samples: List[Tuple[str, float]] = []
+        #: Delivery outcomes of this engine's routed phase messages:
+        #: 'delivered' fires when a routed message reaches its
+        #: destination node (any mode); 'gave_up' when a hop exhausts
+        #: its retry budget (reliable mode only) — the signal that
+        #: results may be incomplete despite reliability.
+        self.delivery_status: Dict[str, int] = {"delivered": 0, "gave_up": 0}
         self._installed = True
         return self
+
+    def _track_delivery(self, status: str) -> None:
+        self.delivery_status[status] = self.delivery_status.get(status, 0) + 1
+
+    def delivery_report(self) -> Dict[str, int]:
+        """Counts of 'delivered'/'gave_up' outcomes for this engine's
+        routed phase traffic.  'gave_up' is only ever non-zero with the
+        reliable transport on — unreliable drops vanish silently."""
+        return dict(self.delivery_status)
 
     def runtime(self, node_id: int) -> NodeRuntime:
         return self.runtimes[node_id]
@@ -434,7 +450,7 @@ class GPAEngine:
             msg = StoreMsg(op, tup, list(path[1:]), del_ts)
             if _obs.enabled:
                 msg._obs_born = self.network.sim.now
-            node.send_routed(path[0], msg, category="storage")
+            node.send_routed(path[0], msg, on_status=self._track_delivery)
 
         # Join phase: after tau_s + tau_c (Theorem 3's delay).
         if not self.plan.consumed(tup.predicate):
@@ -539,7 +555,7 @@ class GPAEngine:
         if first == node_id:
             node.local_deliver(token)
         else:
-            node.send_routed(first, token, category="join")
+            node.send_routed(first, token, on_status=self._track_delivery)
 
     # -- handlers --------------------------------------------------------------
 
@@ -559,7 +575,7 @@ class GPAEngine:
         window.expire(node.clock.now())
         if msg.path:
             nxt = msg.path.pop(0)
-            node.send_routed(nxt, msg, category="storage")
+            node.send_routed(nxt, msg, on_status=self._track_delivery)
         elif _obs.enabled:
             self._observe_phase("storage", msg)
 
@@ -598,7 +614,7 @@ class GPAEngine:
         if token.path:
             token.refresh_size()
             nxt = token.path.pop(0)
-            node.send_routed(nxt, token, category="join")
+            node.send_routed(nxt, token, on_status=self._track_delivery)
         else:
             # End of the join region: emit surviving candidates, discard
             # the remaining partial results (Section III-A).
@@ -781,7 +797,7 @@ class GPAEngine:
         if home == node.id:
             node.local_deliver(msg)
         else:
-            node.send_routed(home, msg, category="result")
+            node.send_routed(home, msg, on_status=self._track_delivery)
 
     # -- derived table management ------------------------------------------------
 
@@ -854,7 +870,7 @@ class GPAEngine:
                 if source.id == sink:
                     source.local_deliver(msg)
                 else:
-                    source.send_routed(sink, msg, category="gather")
+                    source.send_routed(sink, msg, on_status=self._track_delivery)
         self.network.run_all()
         return self._gather_requests.pop(request_id)
 

@@ -102,7 +102,7 @@ class LocalResultMsg(Message):
             1 + sum(term_size(a) for a in args) + derivation.size()
             + 2 * len(neg_atoms)
         )
-        super().__init__("loc_result", payload_symbols=size)
+        super().__init__("loc_result", payload_symbols=size, category="result")
         self.pred = pred
         self.args = args
         self.derivation = derivation
@@ -115,7 +115,8 @@ class ReplicaMsg(Message):
 
     def __init__(self, pred: str, args: ArgsTuple, op: str):
         super().__init__(
-            "loc_replica", payload_symbols=1 + sum(term_size(a) for a in args)
+            "loc_replica", payload_symbols=1 + sum(term_size(a) for a in args),
+            category="replica",
         )
         self.pred = pred
         self.args = args
@@ -244,7 +245,7 @@ class LocalizedEngine:
         if home == node_id:
             node.local_deliver(msg)
         else:
-            node.send_routed(home, msg, category="result")
+            node.send_routed(home, msg)
 
     def memory_report(self) -> Dict[int, int]:
         """Per-node resident tuples — Section V's claim is that the
@@ -348,7 +349,7 @@ class LocalizedEngine:
                 targets.append(extra)
         for target in targets:
             msg = ReplicaMsg(pred, args, op)
-            node.send_routed(target, msg, category="replica")
+            node.send_routed(target, msg)
 
     def _on_replica(self, node: Node, msg: ReplicaMsg) -> None:
         if msg.op == "ins":
@@ -434,7 +435,7 @@ class LocalizedEngine:
                 if home == node.id:
                     node.local_deliver(msg)
                 else:
-                    node.send_routed(home, msg, category="result")
+                    node.send_routed(home, msg)
 
     def _enumerate_local(
         self, runtime: LocalRuntime, rp: RulePlan, occurrence: int,

@@ -7,6 +7,7 @@ communication/energy metrics.
 
 from .aggregation import TagAggregator, naive_collect_cost
 from .energy import EnergyModel
+from .events import RadioEvent, RadioObserver
 from .ght import GeographicHash, stable_hash
 from .messages import BYTES_PER_SYMBOL, HEADER_BYTES, Message
 from .metrics import MetricsCollector
@@ -15,6 +16,7 @@ from .node import Node, RoutedEnvelope
 from .radio import Radio
 from .routing import Router
 from .sim import LocalClock, Simulator
+from .transport import AckMsg, ReliableTransport, TransportConfig
 from .topology import (
     GridTopology,
     Position,
@@ -32,10 +34,12 @@ from .visual import (
 )
 
 __all__ = [
-    "TagAggregator", "naive_collect_cost", "EnergyModel", "GeographicHash",
+    "TagAggregator", "naive_collect_cost", "EnergyModel", "RadioEvent",
+    "RadioObserver", "GeographicHash",
     "stable_hash", "BYTES_PER_SYMBOL", "HEADER_BYTES", "Message",
     "MetricsCollector", "GridNetwork", "RandomNetwork", "SensorNetwork",
     "Node", "RoutedEnvelope", "Radio", "Router", "LocalClock", "Simulator",
+    "AckMsg", "ReliableTransport", "TransportConfig",
     "GridTopology", "Position", "RandomGeometricTopology", "Topology",
     "topology_from_edges", "TraceEvent", "Tracer", "energy_heatmap",
     "heatmap", "liveness_map", "load_heatmap", "memory_heatmap",

@@ -24,13 +24,13 @@ SUPPORTED = ("count", "sum", "min", "max", "avg")
 
 class _PartialMsg(Message):
     def __init__(self, state: Tuple[float, int], symbols: int = 2):
-        super().__init__("tag_partial", payload_symbols=symbols)
+        super().__init__("tag_partial", payload_symbols=symbols, category="aggregation")
         self.state = state
 
 
 class _QueryMsg(Message):
     def __init__(self, epoch_deadline: float):
-        super().__init__("tag_query", payload_symbols=2)
+        super().__init__("tag_query", payload_symbols=2, category="aggregation")
         self.epoch_deadline = epoch_deadline
 
 
@@ -130,7 +130,7 @@ class TagAggregator:
 
     def _on_query(self, node, message: _QueryMsg) -> None:
         for child in self.children[node.id]:
-            node.send(child, _QueryMsg(message.epoch_deadline), category="aggregation")
+            node.send(child, _QueryMsg(message.epoch_deadline))
         slot = 4 * self.network.radio.max_hop_delay
         # Leaves fire first; each level up fires one slot later.
         my_time = message.epoch_deadline - self.depth[node.id] * slot
@@ -145,7 +145,7 @@ class TagAggregator:
         if state is None:
             return  # nothing to contribute (lost partials also end here)
         node = self.network.node(node_id)
-        node.send(self.parent[node_id], _PartialMsg(state), category="aggregation")
+        node.send(self.parent[node_id], _PartialMsg(state))
 
     def _on_partial(self, node, message: _PartialMsg) -> None:
         mine = self._state[node.id]

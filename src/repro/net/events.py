@@ -1,0 +1,47 @@
+"""The unified radio observer protocol.
+
+Every radio-layer occurrence — physical (``tx``/``rx``/``drop``/
+``collision``) and transport-level (``ack``/``retry``/``dup``/
+``give_up``) — is published as one typed :class:`RadioEvent` to every
+subscribed observer.  The tracer (:mod:`repro.net.trace`) and the
+telemetry bridge (:func:`repro.obs.instrument.observe_radio_event`)
+are both plain observers; new consumers subscribe with
+:meth:`Radio.subscribe` instead of growing yet another hook.
+
+The legacy ``Radio.listeners`` mechanism (bare 5-tuple callbacks, only
+``tx``/``rx``/``drop``) still works but is deprecated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, NamedTuple
+
+from .messages import Message
+
+#: Physical-layer event kinds (also delivered to legacy listeners).
+PHYSICAL_EVENTS = ("tx", "rx", "drop")
+#: Transport/contention event kinds (observer protocol only).
+TRANSPORT_EVENTS = ("collision", "ack", "retry", "dup", "give_up")
+
+
+class RadioEvent(NamedTuple):
+    """One radio-layer occurrence, as published to observers.
+
+    ``attempt`` is the 1-based transmission attempt for reliable
+    transfers (0 when not applicable); ``detail`` carries the drop
+    reason (``"loss"``, ``"dead"``, ``"collision"``) or is empty.
+    """
+
+    time: float
+    event: str            # 'tx'|'rx'|'drop'|'collision'|'ack'|'retry'|'dup'|'give_up'
+    src: int
+    dst: int
+    message: Message
+    category: str
+    size_bytes: int
+    attempt: int = 0
+    detail: str = ""
+
+
+#: An observer is any callable accepting one RadioEvent.
+RadioObserver = Callable[[RadioEvent], None]

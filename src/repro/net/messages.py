@@ -24,13 +24,24 @@ class Message:
 
     ``kind`` selects the receiving handler; ``dst`` is the final
     destination for routed messages (None for single-hop / flood);
-    ``payload_symbols`` drives the byte-cost model.
+    ``payload_symbols`` drives the byte-cost model; ``category`` names
+    the phase the message belongs to ("storage", "join", "result",
+    "control", ...) for metrics/tracing breakdowns.  Category is a
+    property of the message itself — the legacy ``category=`` keyword
+    on ``Node.send``/``Radio.transmit`` is deprecated.
     """
 
-    def __init__(self, kind: str, dst: Optional[int] = None, payload_symbols: int = 0):
+    def __init__(
+        self,
+        kind: str,
+        dst: Optional[int] = None,
+        payload_symbols: int = 0,
+        category: str = "data",
+    ):
         self.kind = kind
         self.dst = dst
         self.payload_symbols = payload_symbols
+        self.category = category
         self.msg_id = next(_msg_counter)
         self.hops = 0
 

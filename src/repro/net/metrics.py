@@ -43,6 +43,11 @@ class MetricsCollector:
             ):
                 counts.clear()
         self.dropped = 0
+        # Reliable-transport counters (all zero in unreliable mode).
+        self.acks = 0
+        self.retries = 0
+        self.dup_suppressed = 0
+        self.retry_exhausted = 0
 
     # -- recording ------------------------------------------------------
 
@@ -60,6 +65,18 @@ class MetricsCollector:
 
     def record_drop(self) -> None:
         self.dropped += 1
+
+    def record_ack(self) -> None:
+        self.acks += 1
+
+    def record_retry(self) -> None:
+        self.retries += 1
+
+    def record_dup(self) -> None:
+        self.dup_suppressed += 1
+
+    def record_retry_exhausted(self) -> None:
+        self.retry_exhausted += 1
 
     # -- summaries ------------------------------------------------------
 
@@ -105,7 +122,7 @@ class MetricsCollector:
         return max(loads) / mean
 
     def summary(self) -> Dict[str, float]:
-        return {
+        out = {
             "messages": self.total_messages,
             "bytes": self.total_bytes,
             "energy_uJ": round(self.total_energy, 1),
@@ -114,6 +131,14 @@ class MetricsCollector:
             "dropped": self.dropped,
             **{f"msgs[{c}]": n for c, n in sorted(self.category_tx.items())},
         }
+        if self.acks or self.retries or self.dup_suppressed or self.retry_exhausted:
+            out.update(
+                acks=self.acks,
+                retries=self.retries,
+                dup_suppressed=self.dup_suppressed,
+                retry_exhausted=self.retry_exhausted,
+            )
+        return out
 
     def __repr__(self) -> str:
         return f"MetricsCollector({self.summary()!r})"

@@ -17,10 +17,17 @@ from .radio import Radio
 from .routing import Router
 from .sim import LocalClock, Simulator
 from .topology import GridTopology, RandomGeometricTopology, Topology
+from .transport import TransportConfig
 
 
 class SensorNetwork:
-    """A simulated multi-hop sensor network."""
+    """A simulated multi-hop sensor network.
+
+    ``reliable=True`` turns on per-hop ack/retransmit/dedup for every
+    transmission (see :mod:`repro.net.transport`); ``transport`` tunes
+    its timeouts/budget.  The default stays fire-and-forget, so all
+    E1-E17 numbers are unchanged unless reliability is requested.
+    """
 
     def __init__(
         self,
@@ -32,6 +39,8 @@ class SensorNetwork:
         clock_skew: float = 0.0,
         battery_capacity: float = None,
         collisions: bool = False,
+        reliable: bool = False,
+        transport: Optional[TransportConfig] = None,
     ):
         self.topology = topology
         self.sim = Simulator(seed)
@@ -39,6 +48,7 @@ class SensorNetwork:
         self.radio = Radio(
             self.sim, self.metrics, delay_base, delay_jitter, loss_rate,
             battery_capacity=battery_capacity, collisions=collisions,
+            reliable=reliable, transport=transport,
         )
         self.router = Router(topology)
         self.ght = GeographicHash(topology)

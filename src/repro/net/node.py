@@ -4,6 +4,15 @@ A node owns a local clock (with bounded skew), a handler table for
 message kinds (the "other layers" of Fig. 2/3 register themselves
 here), and primitives for single-hop sends, routed multi-hop sends, and
 path-following sends (the storage/join-phase traversals of PA).
+
+Sends take an optional ``on_status`` delivery callback and an optional
+``reliable`` override; routed envelopes are forwarded hop-by-hop with
+whatever reliability the radio is configured for, so multi-hop
+storage/join traversals survive lossy links when the reliable
+transport is on.  The delivery-status contract for routed sends:
+``delivered`` fires once when the envelope reaches its destination
+node; ``gave_up`` fires when any hop exhausts its retry budget
+(reliable mode only — unreliable drops vanish silently, as before).
 """
 
 from __future__ import annotations
@@ -12,7 +21,9 @@ from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from ..core.errors import NetworkError
 from .messages import Message
+from .radio import _warn_category_kwarg
 from .sim import LocalClock
+from .transport import StatusCallback
 
 if TYPE_CHECKING:  # pragma: no cover
     from .network import SensorNetwork
@@ -24,12 +35,35 @@ ROUTED = "__routed__"
 
 
 class RoutedEnvelope(Message):
-    """Wraps an inner message for hop-by-hop forwarding to ``dst``."""
+    """Wraps an inner message for hop-by-hop forwarding to ``dst``.
 
-    def __init__(self, inner: Message, dst: int, category: str):
-        super().__init__(ROUTED, dst=dst, payload_symbols=inner.payload_symbols)
+    The envelope's category is the inner message's; the legacy
+    ``category=`` constructor argument is deprecated.
+    """
+
+    def __init__(
+        self,
+        inner: Message,
+        dst: int,
+        category: Optional[str] = None,
+        on_status: Optional[StatusCallback] = None,
+    ):
+        if category is not None:
+            _warn_category_kwarg("RoutedEnvelope")
+        super().__init__(
+            ROUTED,
+            dst=dst,
+            payload_symbols=inner.payload_symbols,
+            category=category if category is not None else inner.category,
+        )
         self.inner = inner
-        self.category = category
+        self.on_status = on_status
+
+    def _hop_status(self, status: str) -> None:
+        """Per-hop transport outcome: only terminal failure propagates
+        (success is reported end-to-end, at the destination node)."""
+        if status == "gave_up" and self.on_status is not None:
+            self.on_status("gave_up")
 
 
 class Node:
@@ -68,12 +102,15 @@ class Node:
         """Entry point for messages arriving over the radio."""
         if isinstance(message, RoutedEnvelope):
             if message.dst == self.id:
+                if message.on_status is not None:
+                    message.on_status("delivered")
                 self.deliver(message.inner)
             else:
                 hop = self.network.router.next_hop(self.id, message.dst)
                 self.network.radio.transmit(
                     self.id, hop, message,
-                    self.network.node(hop).deliver, message.category,
+                    self.network.node(hop).deliver,
+                    on_status=message._hop_status,
                 )
             return
         handler = self._handlers.get(message.kind)
@@ -85,26 +122,49 @@ class Node:
 
     # -- sending ------------------------------------------------------------
 
-    def send(self, neighbor_id: int, message: Message, category: str = "data") -> None:
+    def send(
+        self,
+        neighbor_id: int,
+        message: Message,
+        category: Optional[str] = None,
+        reliable: Optional[bool] = None,
+        on_status: Optional[StatusCallback] = None,
+    ) -> None:
         """Single-hop send to a direct neighbor."""
+        if category is not None:
+            _warn_category_kwarg("Node.send")
+            message.category = category
         if not self.network.topology.are_neighbors(self.id, neighbor_id):
             raise NetworkError(
                 f"node {self.id} cannot reach non-neighbor {neighbor_id}"
             )
         self.network.radio.transmit(
             self.id, neighbor_id, message,
-            self.network.node(neighbor_id).deliver, category,
+            self.network.node(neighbor_id).deliver,
+            reliable=reliable, on_status=on_status,
         )
 
-    def send_routed(self, dst: int, message: Message, category: str = "data") -> None:
+    def send_routed(
+        self,
+        dst: int,
+        message: Message,
+        category: Optional[str] = None,
+        on_status: Optional[StatusCallback] = None,
+    ) -> None:
         """Multi-hop send via the routing layer."""
+        if category is not None:
+            _warn_category_kwarg("Node.send_routed")
+            message.category = category
         if dst == self.id:
+            if on_status is not None:
+                on_status("delivered")
             self.deliver(message)
             return
-        envelope = RoutedEnvelope(message, dst, category)
+        envelope = RoutedEnvelope(message, dst, on_status=on_status)
         hop = self.network.router.next_hop(self.id, dst)
         self.network.radio.transmit(
-            self.id, hop, envelope, self.network.node(hop).deliver, category
+            self.id, hop, envelope, self.network.node(hop).deliver,
+            on_status=envelope._hop_status,
         )
 
     def local_deliver(self, message: Message) -> None:

@@ -6,21 +6,61 @@ guaranteed by construction (delay <= delay_base + jitter).  Loss is the
 fault-injection knob for robustness experiments (E7); the paper's
 theorems assume no losses, and the experiments measure how gracefully
 results degrade when that assumption breaks.
+
+Two delivery modes:
+
+* **unreliable** (default): fire-and-forget frames, exactly the
+  substrate E1-E17 measure;
+* **reliable** (``reliable=True`` or per-call): per-hop ack /
+  retransmit / backoff / dedup via :mod:`repro.net.transport`, which
+  restores bounded delivery on lossy links at a message-cost premium
+  (E18).
+
+All radio-layer occurrences are published as typed
+:class:`~repro.net.events.RadioEvent`\\ s to subscribed observers (the
+tracer and the telemetry bridge are both observers); the legacy
+``listeners`` 5-tuple hook is deprecated.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, TYPE_CHECKING
+import warnings
+from typing import Callable, List, Optional, TYPE_CHECKING
 
 from ..core.errors import NetworkError
 from ..obs import instrument as _inst
-from ..obs import state as _obs
+from .events import PHYSICAL_EVENTS, RadioEvent, RadioObserver
 from .messages import Message
 from .metrics import MetricsCollector
 from .sim import Simulator
+from .transport import ReliableTransport, StatusCallback, TransportConfig
 
 if TYPE_CHECKING:  # pragma: no cover
     from .network import SensorNetwork
+
+
+def _warn_category_kwarg(where: str) -> None:
+    warnings.warn(
+        f"the category= keyword of {where} is deprecated; set "
+        f"Message(..., category=...) on the message instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class _LegacyListenerList(list):
+    """The deprecated ``Radio.listeners`` hook: bare callables invoked
+    with ``(event, src, dst, message, category)`` for physical events
+    only.  Appending warns; use :meth:`Radio.subscribe` instead."""
+
+    def append(self, listener) -> None:
+        warnings.warn(
+            "Radio.listeners is deprecated; use Radio.subscribe(observer) "
+            "with the typed RadioEvent protocol",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().append(listener)
 
 
 class Radio:
@@ -36,6 +76,8 @@ class Radio:
         battery_capacity: Optional[float] = None,
         collisions: bool = False,
         bitrate_bps: float = 250_000.0,
+        reliable: bool = False,
+        transport: Optional[TransportConfig] = None,
     ):
         if not 0.0 <= loss_rate < 1.0:
             raise NetworkError(f"loss rate {loss_rate} out of range")
@@ -54,9 +96,11 @@ class Radio:
         # server").
         self.battery_capacity = battery_capacity
         self.death_time: dict = {}
-        #: Observers called with (event, src, dst, message, category) for
-        #: event in {'tx', 'rx', 'drop'} — the tracing hook.
-        self.listeners: list = []
+        #: RadioEvent observers (the one subscription point for traces,
+        #: telemetry, tests, ...).
+        self.observers: List[RadioObserver] = []
+        #: Deprecated 5-tuple listeners (physical events only).
+        self.listeners: list = _LegacyListenerList()
         # First-order contention model (TOSSIM-ish CSMA behaviour): a
         # frame whose airtime at the receiver overlaps a frame from a
         # *different* sender is lost (the earlier frame captures the
@@ -66,6 +110,50 @@ class Radio:
         self.collision_count = 0
         # dst -> (airtime_end, src) of the last frame heard there
         self._channel: dict = {}
+        #: Default delivery mode for transmissions that don't say.
+        self.reliable = reliable
+        self.transport = ReliableTransport(self, transport or TransportConfig())
+        # The telemetry bridge is an ordinary observer (it early-returns
+        # when telemetry is off).
+        self.subscribe(_inst.observe_radio_event)
+
+    # -- observers --------------------------------------------------------
+
+    def subscribe(self, observer: RadioObserver) -> RadioObserver:
+        """Register an observer for every :class:`RadioEvent`."""
+        self.observers.append(observer)
+        return observer
+
+    def unsubscribe(self, observer: RadioObserver) -> None:
+        self.observers.remove(observer)
+
+    def _emit(
+        self,
+        event: str,
+        src: int,
+        dst: int,
+        message: Message,
+        attempt: int = 0,
+        detail: str = "",
+    ) -> None:
+        ev = RadioEvent(
+            time=self.sim.now,
+            event=event,
+            src=src,
+            dst=dst,
+            message=message,
+            category=message.category,
+            size_bytes=message.size_bytes,
+            attempt=attempt,
+            detail=detail,
+        )
+        for observer in self.observers:
+            observer(ev)
+        if self.listeners and event in PHYSICAL_EVENTS:
+            for listener in self.listeners:
+                listener(event, src, dst, message, message.category)
+
+    # -- liveness ---------------------------------------------------------
 
     def airtime(self, size_bytes: int) -> float:
         return size_bytes * 8.0 / self.bitrate_bps
@@ -93,9 +181,25 @@ class Radio:
         return min(self.death_time.values()) if self.death_time else None
 
     @property
-    def max_hop_delay(self) -> float:
-        """Upper bound on one hop's latency (basis for tau_s / tau_j)."""
+    def max_flight_delay(self) -> float:
+        """Upper bound on a single frame's flight time."""
         return self.delay_base + self.delay_jitter
+
+    @property
+    def max_hop_delay(self) -> float:
+        """Upper bound on one hop's latency (basis for tau_s / tau_j).
+
+        In reliable mode a hop may spend the whole retry horizon before
+        its final attempt flies, so the bound widens accordingly —
+        reliability restores the theorems' bounded-delay assumption
+        with a *larger* bound rather than breaking it.
+        """
+        flight = self.max_flight_delay
+        if not self.reliable:
+            return flight
+        return flight + self.transport.config.retry_horizon(flight)
+
+    # -- transmission ------------------------------------------------------
 
     def transmit(
         self,
@@ -103,22 +207,49 @@ class Radio:
         dst_id: int,
         message: Message,
         deliver: Callable[[Message], None],
-        category: str = "data",
+        category: Optional[str] = None,
+        reliable: Optional[bool] = None,
+        on_status: Optional[StatusCallback] = None,
     ) -> None:
         """Send one hop; the transmission is always paid for, delivery
-        happens only if the message survives loss and both radios live."""
+        happens only if the message survives loss and both radios live.
+
+        ``reliable=None`` uses the radio-wide default; reliable
+        transfers retransmit until acked or the retry budget runs out,
+        reporting ``on_status('delivered'|'gave_up')``.  ``category=``
+        is deprecated — set it on the message.
+        """
+        if category is not None:
+            _warn_category_kwarg("Radio.transmit")
+            message.category = category
+        if reliable is None:
+            reliable = self.reliable
+        if reliable:
+            self.transport.send(src_id, dst_id, message, deliver, on_status)
+        else:
+            self._send_frame(src_id, dst_id, message, deliver)
+
+    def _send_frame(
+        self,
+        src_id: int,
+        dst_id: int,
+        message: Message,
+        deliver: Callable[[Message], None],
+    ) -> None:
+        """One physical frame: energy, loss, FIFO, contention.  The
+        transport layer sends data frames *and* acks through here, so
+        acks pay energy and are lost/collided like any other frame."""
         if not self.is_alive(src_id):
             return  # dead nodes transmit nothing
-        self.metrics.record_tx(src_id, message.size_bytes, category)
-        if _obs.enabled:
-            _inst.radio_tx.labels(category=category).inc()
-        self._notify("tx", src_id, dst_id, message, category)
+        self.metrics.record_tx(src_id, message.size_bytes, message.category)
+        self._emit("tx", src_id, dst_id, message)
         self._check_battery(src_id)
         if not self.is_alive(dst_id):
-            self._drop(src_id, dst_id, message, category)
+            self._drop(src_id, dst_id, message, reason="dead")
             return  # nobody listening
-        if self.loss_rate and self.sim.rng.random() < self.loss_rate:
-            self._drop(src_id, dst_id, message, category)
+        lost = bool(self.loss_rate) and self.sim.rng.random() < self.loss_rate
+        if lost and not self.collisions:
+            self._drop(src_id, dst_id, message, reason="loss")
             return
         delay = self.delay_base + self.sim.rng.uniform(0, self.delay_jitter)
         arrival = self.sim.now + delay
@@ -134,32 +265,30 @@ class Radio:
             prev = self._channel.get(dst_id)
             if prev is not None and prev[1] != src_id and start < prev[0]:
                 self.collision_count += 1
-                if _obs.enabled:
-                    _inst.radio_collisions.inc()
-                self._drop(src_id, dst_id, message, category)
+                self._emit("collision", src_id, dst_id, message)
+                self._drop(src_id, dst_id, message, reason="collision")
                 return
+            # The frame occupies the ether at the receiver whether or
+            # not it decodes — a frame fated to be lost is still noise
+            # a later frame can collide with (real CSMA doesn't know
+            # the frame will be lost).
             self._channel[dst_id] = (arrival, src_id)
+            if lost:
+                self._drop(src_id, dst_id, message, reason="loss")
+                return
 
         def arrive() -> None:
             if not self.is_alive(dst_id):
-                self._drop(src_id, dst_id, message, category)
+                self._drop(src_id, dst_id, message, reason="dead")
                 return  # died while the frame was in the air
             self.metrics.record_rx(dst_id, size)
-            if _obs.enabled:
-                _inst.radio_rx.inc()
-            self._notify("rx", src_id, dst_id, message, category)
+            self._emit("rx", src_id, dst_id, message)
             self._check_battery(dst_id)
             deliver(message)
 
         self.sim.schedule_at(arrival, arrive)
 
-    def _drop(self, src: int, dst: int, message: Message, category: str) -> None:
-        """One lost message: metrics, listeners, telemetry."""
+    def _drop(self, src: int, dst: int, message: Message, reason: str = "") -> None:
+        """One lost message: metrics, observers, telemetry."""
         self.metrics.record_drop()
-        if _obs.enabled:
-            _inst.radio_drops.inc()
-        self._notify("drop", src, dst, message, category)
-
-    def _notify(self, event: str, src: int, dst: int, message: Message, category: str) -> None:
-        for listener in self.listeners:
-            listener(event, src, dst, message, category)
+        self._emit("drop", src, dst, message, detail=reason)

@@ -5,6 +5,10 @@ its timestamp, endpoints, message kind, phase category and size; then
 filter, render a timeline, or summarize.  Used when debugging protocol
 interleavings (the storage/join phase races are invisible in aggregate
 metrics) and by tests asserting on message sequences.
+
+The tracer is an ordinary :class:`~repro.net.events.RadioEvent`
+observer, so it sees transport-level events (``ack``, ``retry``,
+``dup``, ``give_up``) and collisions as well as tx/rx/drop.
 """
 
 from __future__ import annotations
@@ -12,25 +16,40 @@ from __future__ import annotations
 from collections import Counter
 from typing import Callable, Iterable, List, NamedTuple, Optional
 
+from .events import RadioEvent
 from .network import SensorNetwork
+
+_ARROWS = {
+    "tx": "->",
+    "rx": "=>",
+    "drop": "x>",
+    "collision": "*>",
+    "ack": "<a",
+    "retry": "r>",
+    "dup": "d|",
+    "give_up": "x!",
+}
 
 
 class TraceEvent(NamedTuple):
     time: float
-    event: str        # 'tx' | 'rx' | 'drop'
+    event: str        # 'tx'|'rx'|'drop'|'collision'|'ack'|'retry'|'dup'|'give_up'
     src: int
     dst: int
     msg_kind: str
     msg_id: int
     category: str
     size_bytes: int
+    attempt: int = 0
+    detail: str = ""
 
     def render(self) -> str:
-        arrow = {"tx": "->", "rx": "=>", "drop": "x>"}[self.event]
+        arrow = _ARROWS.get(self.event, "??")
+        suffix = f" ({self.detail})" if self.detail else ""
         return (
             f"{self.time:10.4f}  {self.src:>4} {arrow} {self.dst:<4} "
             f"{self.msg_kind:<12} #{self.msg_id:<6} "
-            f"[{self.category}] {self.size_bytes}B"
+            f"[{self.category}] {self.size_bytes}B{suffix}"
         )
 
 
@@ -46,32 +65,34 @@ class Tracer:
 
     def attach(self) -> "Tracer":
         if not self._attached:
-            self.network.radio.listeners.append(self._record)
+            self.network.radio.subscribe(self._record)
             self._attached = True
         return self
 
     def detach(self) -> None:
         if self._attached:
-            self.network.radio.listeners.remove(self._record)
+            self.network.radio.unsubscribe(self._record)
             self._attached = False
 
     def clear(self) -> None:
         self.events.clear()
         self.truncated = False
 
-    def _record(self, event, src, dst, message, category) -> None:
+    def _record(self, ev: RadioEvent) -> None:
         if self.capacity is not None and len(self.events) >= self.capacity:
             self.truncated = True
             return
         self.events.append(TraceEvent(
-            time=self.network.now,
-            event=event,
-            src=src,
-            dst=dst,
-            msg_kind=message.kind,
-            msg_id=message.msg_id,
-            category=category,
-            size_bytes=message.size_bytes,
+            time=ev.time,
+            event=ev.event,
+            src=ev.src,
+            dst=ev.dst,
+            msg_kind=ev.message.kind,
+            msg_id=ev.message.msg_id,
+            category=ev.category,
+            size_bytes=ev.size_bytes,
+            attempt=ev.attempt,
+            detail=ev.detail,
         ))
 
     # -- queries ------------------------------------------------------------

@@ -1,0 +1,219 @@
+"""Reliable per-hop delivery: acks, retransmission, backoff, dedup.
+
+The paper's correctness theorems (Theorems 1-3) assume bounded,
+loss-free delivery; E7 shows join completeness collapsing once the
+radio drops messages.  Real mote stacks (the TinyOS/TOSSIM substrate
+the paper evaluates on) recover exactly this with link-layer
+acknowledgments and retransmission.  This module restores the
+bounded-delivery assumption — with a larger bound — on lossy links:
+
+* every reliable frame is acknowledged by the receiver; the sender
+  retransmits on ack timeout, with exponential backoff plus jitter and
+  a bounded retry budget;
+* the receiver suppresses duplicates keyed on ``(sender, msg_id)``, so
+  a retransmitted tuple can never be delivered — and hence derived —
+  twice (the set-of-derivations argument of Section IV-A assumes
+  at-most-once delivery per hop);
+* ack frames are real traffic: they pay radio energy, are themselves
+  subject to loss and collisions, and respect the FIFO-link model
+  (which is why a lost ack causes a retransmission the dedup layer
+  then absorbs);
+* a transfer that exhausts its retry budget reports ``gave_up``
+  through the delivery-status callback, so upper layers (GPA phases)
+  can observe incompleteness instead of silently missing results.
+
+With reliability on, the worst-case hop latency is the full retry
+horizon (all timeouts elapse, the last attempt flies); the radio's
+``max_hop_delay`` reports that bound so tau_s / tau_j stay sound.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Optional, Set, Tuple, TYPE_CHECKING
+
+from ..core.errors import NetworkError
+from .messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .radio import Radio
+
+#: Delivery-status callback: called once with 'delivered' or 'gave_up'.
+StatusCallback = Callable[[str], None]
+
+#: Message kind of link-layer acknowledgments.
+ACK = "__ack__"
+
+
+class AckMsg(Message):
+    """A link-layer acknowledgment for one received frame.
+
+    Sized at one payload symbol (12 bytes under the cost model —
+    comparable to an 802.15.4 ack frame).
+    """
+
+    def __init__(self, acked_src: int, acked_msg_id: int):
+        super().__init__(ACK, payload_symbols=1, category="ack")
+        self.acked_src = acked_src
+        self.acked_msg_id = acked_msg_id
+
+
+class TransportConfig:
+    """Tuning knobs of the reliable layer.
+
+    ``ack_timeout`` is the initial retransmission timeout; ``None``
+    derives it from the radio's delay model (2.5x the one-hop bound:
+    a round trip plus processing slack).  Each retry multiplies the
+    timeout by ``backoff`` and adds up to ``timeout_jitter`` (a
+    fraction) of random slack to desynchronize competing senders.
+    ``max_retries`` bounds retransmissions per frame (attempts are
+    ``1 + max_retries``).
+    """
+
+    def __init__(
+        self,
+        ack_timeout: Optional[float] = None,
+        max_retries: int = 5,
+        backoff: float = 2.0,
+        timeout_jitter: float = 0.5,
+    ):
+        if max_retries < 0:
+            raise NetworkError(f"max_retries {max_retries} out of range")
+        if backoff < 1.0:
+            raise NetworkError(f"backoff factor {backoff} must be >= 1")
+        if not 0.0 <= timeout_jitter <= 1.0:
+            raise NetworkError(f"timeout jitter {timeout_jitter} out of range")
+        self.ack_timeout = ack_timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.timeout_jitter = timeout_jitter
+
+    def resolve_timeout(self, max_flight: float) -> float:
+        """The initial ack timeout, derived from the one-hop flight
+        bound when not set explicitly."""
+        if self.ack_timeout is not None:
+            return self.ack_timeout
+        return 2.5 * max_flight
+
+    def retry_horizon(self, max_flight: float) -> float:
+        """Worst-case sender-side wait: every timeout (with maximal
+        jitter) elapses before the final attempt's frame flies."""
+        timeout = self.resolve_timeout(max_flight)
+        total = 0.0
+        for _ in range(self.max_retries):
+            total += timeout * (1.0 + self.timeout_jitter)
+            timeout *= self.backoff
+        return total
+
+
+class ReliableTransport:
+    """Per-hop ack/retransmit/dedup engine owned by a :class:`Radio`."""
+
+    def __init__(self, radio: "Radio", config: TransportConfig):
+        self.radio = radio
+        self.config = config
+        #: receiver node -> {(sender, msg_id)} frames already delivered.
+        self._seen: Dict[int, Set[Tuple[int, int]]] = defaultdict(set)
+        #: (src, dst, msg_id) -> in-flight transfer state.
+        self._pending: Dict[Tuple[int, int, int], dict] = {}
+
+    @property
+    def initial_timeout(self) -> float:
+        flight = self.radio.delay_base + self.radio.delay_jitter
+        return self.config.resolve_timeout(flight)
+
+    # -- sender side -----------------------------------------------------
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        message: Message,
+        deliver: Callable[[Message], None],
+        on_status: Optional[StatusCallback] = None,
+    ) -> None:
+        key = (src, dst, message.msg_id)
+        state = {
+            "acked": False,
+            "attempt": 0,
+            "timeout": self.initial_timeout,
+        }
+        self._pending[key] = state
+        self._attempt(key, src, dst, message, deliver, on_status)
+
+    def _attempt(self, key, src, dst, message, deliver, on_status) -> None:
+        state = self._pending[key]
+        state["attempt"] += 1
+        attempt = state["attempt"]
+        if attempt > 1:
+            self.radio.metrics.record_retry()
+            self.radio._emit("retry", src, dst, message, attempt=attempt)
+        self.radio._send_frame(
+            src, dst, message,
+            lambda msg: self._on_data(key, src, dst, msg, deliver, on_status),
+        )
+        # Exponential backoff with jitter: the timeout for the *next*
+        # attempt grows even if this one succeeds (the timer just
+        # no-ops then).
+        timeout = state["timeout"] * (
+            1.0 + self.radio.sim.rng.uniform(0, self.config.timeout_jitter)
+        )
+        state["timeout"] *= self.config.backoff
+        self.radio.sim.schedule(
+            timeout,
+            lambda: self._on_timeout(key, src, dst, message, deliver, on_status),
+        )
+
+    def _on_timeout(self, key, src, dst, message, deliver, on_status) -> None:
+        state = self._pending.get(key)
+        if state is None:
+            return  # already concluded
+        if state["acked"]:
+            del self._pending[key]
+            return
+        if not self.radio.is_alive(src):
+            del self._pending[key]  # a dead sender retries nothing
+            return
+        if state["attempt"] >= 1 + self.config.max_retries:
+            del self._pending[key]
+            self.radio.metrics.record_retry_exhausted()
+            self.radio._emit(
+                "give_up", src, dst, message, attempt=state["attempt"]
+            )
+            if on_status is not None:
+                on_status("gave_up")
+            return
+        self._attempt(key, src, dst, message, deliver, on_status)
+
+    # -- receiver side ---------------------------------------------------
+
+    def _on_data(self, key, src, dst, message, deliver, on_status) -> None:
+        """A reliable frame physically arrived at ``dst``."""
+        dedup_key = (src, message.msg_id)
+        seen = self._seen[dst]
+        fresh = dedup_key not in seen
+        if fresh:
+            seen.add(dedup_key)
+        else:
+            # Retransmission of an already-delivered frame (its ack was
+            # lost): suppress, but re-ack so the sender can stop.
+            self.radio.metrics.record_dup()
+            self.radio._emit("dup", src, dst, message)
+        ack = AckMsg(src, message.msg_id)
+        self.radio._send_frame(
+            dst, src, ack,
+            lambda _ack: self._on_ack(key, src, dst, message, on_status),
+        )
+        if fresh:
+            deliver(message)
+
+    def _on_ack(self, key, src, dst, message, on_status) -> None:
+        """An ack physically arrived back at the original sender."""
+        state = self._pending.get(key)
+        if state is None or state["acked"]:
+            return  # duplicate ack, or transfer already concluded
+        state["acked"] = True
+        self.radio.metrics.record_ack()
+        self.radio._emit("ack", src, dst, message, attempt=state["attempt"])
+        if on_status is not None:
+            on_status("delivered")

@@ -16,6 +16,7 @@ it is pulled in by ``repro.core`` and ``repro.net`` at import time.
 
 from __future__ import annotations
 
+from . import state as _state
 from .registry import COUNT_BUCKETS, REGISTRY
 
 # -- core.eval --------------------------------------------------------------
@@ -97,6 +98,52 @@ radio_collisions = REGISTRY.counter(
     "repro_radio_collisions_total",
     "Frames lost to channel contention specifically",
 )
+
+# -- net.transport (reliable delivery) --------------------------------------
+
+radio_acks = REGISTRY.counter(
+    "repro_radio_acks_total",
+    "Reliable transfers confirmed by a link-layer acknowledgment",
+)
+radio_retries = REGISTRY.counter(
+    "repro_radio_retries_total",
+    "Frame retransmissions after an ack timeout",
+)
+radio_dup_suppressed = REGISTRY.counter(
+    "repro_radio_dup_suppressed_total",
+    "Duplicate frames suppressed by receiver-side (src, msg_id) dedup",
+)
+radio_retry_exhausted = REGISTRY.counter(
+    "repro_radio_retry_exhausted_total",
+    "Reliable transfers abandoned after the retry budget ran out",
+)
+
+
+def observe_radio_event(event) -> None:
+    """The telemetry bridge: an ordinary RadioEvent observer mapping
+    radio-layer events onto the metric families above.  Subscribed by
+    every Radio at construction; a single flag check when telemetry is
+    off.  Takes any object with ``event``/``category`` attributes so
+    this module stays free of repro.net imports."""
+    if not _state.enabled:
+        return
+    kind = event.event
+    if kind == "tx":
+        radio_tx.labels(category=event.category).inc()
+    elif kind == "rx":
+        radio_rx.inc()
+    elif kind == "drop":
+        radio_drops.inc()
+    elif kind == "collision":
+        radio_collisions.inc()
+    elif kind == "ack":
+        radio_acks.inc()
+    elif kind == "retry":
+        radio_retries.inc()
+    elif kind == "dup":
+        radio_dup_suppressed.inc()
+    elif kind == "give_up":
+        radio_retry_exhausted.inc()
 
 # -- dist.gpa / dist.localized ---------------------------------------------
 

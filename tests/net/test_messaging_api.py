@@ -1,0 +1,103 @@
+"""Tests for the redesigned messaging API.
+
+``category`` is a field on :class:`Message`; the old ``category=``
+keyword on the send paths still works but warns.  The typed
+:class:`RadioEvent` observer protocol replaces the legacy
+``Radio.listeners`` 5-tuple hook (which also still works but warns).
+"""
+
+import warnings
+
+import pytest
+
+from repro.net.messages import Message
+from repro.net.network import GridNetwork
+from repro.net.node import RoutedEnvelope
+
+
+def quiet_net(m=3, **kwargs):
+    net = GridNetwork(m, **kwargs)
+    for node in net.nodes.values():
+        node.register_handler("ping", lambda n, msg: None)
+    return net
+
+
+class TestCategoryField:
+    def test_default_category(self):
+        assert Message("ping").category == "data"
+
+    def test_explicit_category_reaches_metrics(self):
+        net = quiet_net()
+        net.node(0).send(1, Message("ping", category="gossip"))
+        net.run_all()
+        assert net.metrics.category_tx["gossip"] == 1
+
+    def test_envelope_inherits_inner_category(self):
+        envelope = RoutedEnvelope(Message("ping", category="storage"), dst=3)
+        assert envelope.category == "storage"
+
+
+class TestDeprecatedCategoryKwarg:
+    def test_radio_transmit_warns_and_applies(self):
+        net = quiet_net()
+        msg = Message("ping")
+        with pytest.warns(DeprecationWarning, match="Radio.transmit"):
+            net.radio.transmit(
+                0, 1, msg, net.node(1).deliver, category="legacy"
+            )
+        net.run_all()
+        assert msg.category == "legacy"
+        assert net.metrics.category_tx["legacy"] == 1
+
+    def test_node_send_warns_and_applies(self):
+        net = quiet_net()
+        with pytest.warns(DeprecationWarning, match="Node.send"):
+            net.node(0).send(1, Message("ping"), category="legacy")
+        net.run_all()
+        assert net.metrics.category_tx["legacy"] == 1
+
+    def test_node_send_routed_warns_and_applies(self):
+        net = quiet_net(4)
+        with pytest.warns(DeprecationWarning, match="Node.send_routed"):
+            net.node(0).send_routed(15, Message("ping"), category="legacy")
+        net.run_all()
+        assert net.metrics.category_tx["legacy"] > 0
+
+    def test_routed_envelope_kwarg_warns_and_overrides(self):
+        with pytest.warns(DeprecationWarning, match="RoutedEnvelope"):
+            envelope = RoutedEnvelope(
+                Message("ping", category="storage"), dst=3, category="legacy"
+            )
+        assert envelope.category == "legacy"
+
+    def test_new_style_calls_do_not_warn(self):
+        net = quiet_net(4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            net.node(0).send(1, Message("ping", category="clean"))
+            net.node(0).send_routed(15, Message("ping", category="clean"))
+            net.run_all()
+
+
+class TestLegacyListeners:
+    def test_append_warns(self):
+        net = quiet_net()
+        with pytest.warns(DeprecationWarning, match="Radio.listeners"):
+            net.radio.listeners.append(lambda *args: None)
+
+    def test_legacy_listener_still_gets_physical_tuples(self):
+        net = quiet_net(2, reliable=True)
+        seen = []
+        with pytest.warns(DeprecationWarning):
+            net.radio.listeners.append(
+                lambda event, src, dst, msg, category:
+                    seen.append((event, src, dst, category))
+            )
+        net.node(0).send(1, Message("ping", category="test"))
+        net.run_all()
+        # Data tx/rx plus the ack's tx/rx — all as plain 5-tuples.
+        assert ("tx", 0, 1, "test") in seen
+        assert ("rx", 0, 1, "test") in seen
+        assert ("tx", 1, 0, "ack") in seen
+        # Transport-level events never reach the legacy hook.
+        assert all(event in ("tx", "rx", "drop") for event, *_ in seen)

@@ -98,7 +98,7 @@ class TestMetrics:
     def test_tx_rx_counts(self):
         net = GridNetwork(3)
         collect(net, 1, "ping")
-        net.node(0).send(1, Message("ping", payload_symbols=4), category="test")
+        net.node(0).send(1, Message("ping", payload_symbols=4, category="test"))
         net.run_all()
         m = net.metrics
         assert m.tx_count[0] == 1 and m.rx_count[1] == 1

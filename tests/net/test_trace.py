@@ -19,7 +19,7 @@ class TestRecording:
     def test_tx_and_rx_recorded(self):
         net = simple_net()
         tracer = Tracer(net).attach()
-        net.node(0).send(1, Message("ping"), category="test")
+        net.node(0).send(1, Message("ping", category="test"))
         net.run_all()
         assert [e.event for e in tracer.events] == ["tx", "rx"]
         assert tracer.events[0].src == 0 and tracer.events[0].dst == 1
