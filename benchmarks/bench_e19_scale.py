@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""E19 — Network-layer scaling: spatial-index topology construction and
+GPA rounds on large random deployments.
+
+The seed implementation built unit-disk edge sets with an all-pairs
+O(n^2) scan and answered every geometric query (nearest node, range
+membership) with a linear sweep; both melt at the deployment sizes the
+paper's asymptotics talk about.  This bench measures the uniform-grid
+spatial index (:mod:`repro.net.spatial`) against the brute-force
+oracle at n in {100, 1k, 5k, 10k}:
+
+* topology construction wall-clock, grid vs. brute, with a hard gate
+  that both produce the *identical* edge set (same seed => same graph);
+* one full GPA round (virtual-grid strategy, a handful of published
+  tuples, run to quiescence) as the end-to-end proxy for everything
+  downstream of the index — region construction, geo-hashing, routing.
+
+``--quick`` shrinks to CI scale; ``--check`` additionally compares
+against the committed ``BENCH_e19.json`` floors/ceilings and exits
+non-zero on regression (the scale-smoke CI job runs both together).
+"""
+
+import random
+import sys
+import time
+
+import pytest
+
+from harness import report
+from repro.core.parser import parse_program
+from repro.dist.gpa import GPAEngine
+from repro.net.network import RandomNetwork
+from repro.net.topology import RandomGeometricTopology
+
+import json
+import os
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_e19.json"
+)
+
+SIZES = [100, 1000, 5000, 10000]
+QUICK_SIZES = [200, 1000]
+#: Largest n the all-pairs oracle is timed at in full mode (it is the
+#: thing being replaced; past this it only proves the point slowly).
+BRUTE_CAP = 5000
+RADIUS = 1.8  # with side = sqrt(n), keeps density (~10 neighbors) flat
+TUPLES = 3
+SEED = 1
+
+
+def build_trial(n, seed=SEED, brute=True):
+    """Time grid-index vs. brute-force topology construction at size n
+    and verify they produce the identical graph."""
+    side = n ** 0.5
+    t0 = time.perf_counter()
+    grid_topo = RandomGeometricTopology(
+        n, radius=RADIUS, side=side, seed=seed, edge_method="grid"
+    )
+    grid_s = time.perf_counter() - t0
+    brute_s = None
+    identical = None
+    if brute:
+        t0 = time.perf_counter()
+        brute_topo = RandomGeometricTopology(
+            n, radius=RADIUS, side=side, seed=seed, edge_method="brute"
+        )
+        brute_s = time.perf_counter() - t0
+        identical = (
+            sorted(grid_topo.graph.edges()) == sorted(brute_topo.graph.edges())
+            and grid_topo.positions == brute_topo.positions
+        )
+    return {
+        "n": n,
+        "grid_s": grid_s,
+        "brute_s": brute_s,
+        "speedup": (brute_s / grid_s) if brute_s is not None else None,
+        "edges": grid_topo.graph.number_of_edges(),
+        "identical": identical,
+    }
+
+
+def gpa_round(n, tuples=TUPLES, seed=SEED):
+    """One end-to-end GPA round on a random deployment of size n:
+    build the network, install a two-stream join, publish, run to
+    quiescence.  Returns (wall_seconds, result_rows)."""
+    net = RandomNetwork(n, radius=RADIUS, side=n ** 0.5, seed=seed)
+    t0 = time.perf_counter()
+    engine = GPAEngine(
+        parse_program("j(K, A, B) :- r(K, A), s(K, B)."),
+        net, strategy="virtual-grid",
+    ).install()
+    rng = random.Random(seed + 1)
+    for i in range(tuples):
+        for stream in ("r", "s"):
+            node = rng.randrange(len(net.topology))
+            engine.publish(node, stream, (rng.randrange(3), f"{stream}{i}"))
+    net.run_all()
+    return time.perf_counter() - t0, len(engine.rows("j"))
+
+
+def run(sizes=SIZES, tuples=TUPLES, brute_cap=BRUTE_CAP):
+    rows = []
+    results = {}
+    for n in sizes:
+        built = build_trial(n, brute=n <= brute_cap)
+        gpa_s, result_rows = gpa_round(n, tuples=tuples)
+        built["gpa_s"] = gpa_s
+        built["rows"] = result_rows
+        results[n] = built
+        rows.append([
+            n,
+            f"{built['grid_s']:.3f}s",
+            f"{built['brute_s']:.3f}s" if built["brute_s"] is not None else "--",
+            f"{built['speedup']:.1f}x" if built["speedup"] is not None else "--",
+            built["edges"],
+            f"{gpa_s:.2f}s",
+            {True: "yes", False: "NO", None: "--"}[built["identical"]],
+        ])
+        if built["identical"] is False:
+            raise AssertionError(
+                f"grid and brute edge sets differ at n={n} — the index "
+                "is supposed to be bit-identical to the oracle"
+            )
+    report(
+        "e19_scale",
+        f"E19: topology build (grid index vs. all-pairs) and GPA round "
+        f"wall-clock, random deployments (r={RADIUS}, side=sqrt(n))",
+        ["n", "grid-build", "brute-build", "speedup", "edges",
+         "gpa-round", "identical"],
+        rows,
+    )
+    return results
+
+
+def check_baseline(results):
+    """Gate measured wall-clocks against the committed floors (CI's
+    scale-smoke job).  Ceilings are deliberately loose — they catch
+    order-of-magnitude regressions (someone reverting to the O(n^2)
+    scan), not scheduler noise."""
+    with open(BASELINE_PATH) as f:
+        baseline = json.load(f)
+    failed = False
+    for n_key, entry in baseline["floors"].items():
+        got = results.get(int(n_key))
+        if got is None:
+            print(f"[baseline] n={n_key}: not measured in this run, skipping")
+            continue
+        checks = []
+        if "speedup_min" in entry:
+            ok = (
+                got["speedup"] is not None
+                and got["speedup"] >= entry["speedup_min"]
+            )
+            shown = "--" if got["speedup"] is None else f"{got['speedup']:.1f}x"
+            checks.append((
+                ok, f"speedup={shown} (floor {entry['speedup_min']}x)",
+            ))
+        if "grid_build_max_s" in entry:
+            checks.append((
+                got["grid_s"] <= entry["grid_build_max_s"],
+                f"grid={got['grid_s']:.3f}s (ceiling {entry['grid_build_max_s']}s)",
+            ))
+        if "gpa_round_max_s" in entry:
+            checks.append((
+                got["gpa_s"] <= entry["gpa_round_max_s"],
+                f"gpa={got['gpa_s']:.2f}s (ceiling {entry['gpa_round_max_s']}s)",
+            ))
+        for ok, desc in checks:
+            print(f"[baseline] n={n_key}: {desc} {'OK' if ok else 'FAIL'}")
+            failed = failed or not ok
+    if failed:
+        sys.exit(1)
+
+
+def test_e19_grid_is_identical_and_faster(benchmark):
+    results = benchmark.pedantic(
+        run, args=(QUICK_SIZES,), rounds=1, iterations=1
+    )
+    for n in QUICK_SIZES:
+        assert results[n]["identical"] is True
+    # At n=1000 the index wins by ~4x on this hardware; 1.2x leaves
+    # room for noisy CI boxes while still catching an O(n^2) revert.
+    assert results[1000]["speedup"] > 1.2
+
+
+if __name__ == "__main__":
+    sizes = QUICK_SIZES if "--quick" in sys.argv else SIZES
+    results = run(sizes=sizes)
+    if "--check" in sys.argv:
+        check_baseline(results)

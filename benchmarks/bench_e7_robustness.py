@@ -11,11 +11,19 @@ loss on it kills all of that tuple's results.
 Expected shape: result completeness (fraction of oracle results
 produced) degrades gently for PA and faster for the centralized server
 as the loss rate rises.
+
+Every (strategy, loss, rep) trial is independent and fully seeded, so
+the table parallelizes across processes: ``--parallel[=N]`` runs the
+trials through :func:`harness.run_trials_parallel` and produces
+row-for-row identical output (``test_e7_parallel_matches_serial``
+asserts this).
 """
+
+import sys
 
 import pytest
 
-from harness import report, run_join_workload
+from harness import report, run_join_workload, run_trials, run_trials_parallel
 
 LOSS_RATES = [0.0, 0.05, 0.10, 0.20, 0.30]
 M = 8
@@ -23,28 +31,76 @@ TUPLES = 10
 REPS = 3
 
 
-def completeness(strategy: str, loss: float, m=M, tuples=TUPLES) -> float:
-    fractions = []
-    for rep in range(REPS):
-        engine, net, expected = run_join_workload(
-            m, strategy, tuples_per_stream=tuples, key_domain=3,
-            seed=100 * rep + 7, loss_rate=loss,
-        )
-        if not expected:
+def trial(strategy: str, loss: float, m: int, tuples: int, rep: int):
+    """One fully-seeded trial: the completeness fraction for one rep
+    (None when the oracle produced no rows).  Module-level and
+    argument-determined, so it runs identically in any process."""
+    engine, net, expected = run_join_workload(
+        m, strategy, tuples_per_stream=tuples, key_domain=3,
+        seed=100 * rep + 7, loss_rate=loss,
+    )
+    if not expected:
+        return None
+    got = engine.rows("j") & expected
+    return len(got) / len(expected)
+
+
+def _trials(loss_rates, m, tuples):
+    """The full trial grid, in deterministic row order."""
+    return [
+        dict(strategy=strategy, loss=loss, m=m, tuples=tuples, rep=rep)
+        for loss in loss_rates
+        for strategy in ("pa", "centralized")
+        for rep in range(REPS)
+    ]
+
+
+def _tabulate(trials, fractions, loss_rates):
+    """Fold per-trial fractions back into the (loss -> pa, centralized)
+    averages the table reports."""
+    by_key = {}
+    for spec, frac in zip(trials, fractions):
+        if frac is None:
             continue
-        got = engine.rows("j") & expected
-        fractions.append(len(got) / len(expected))
+        by_key.setdefault((spec["loss"], spec["strategy"]), []).append(frac)
+    results = {}
+    for loss in loss_rates:
+        pa = by_key.get((loss, "pa"), [])
+        central = by_key.get((loss, "centralized"), [])
+        results[loss] = (
+            sum(pa) / len(pa),
+            sum(central) / len(central),
+        )
+    return results
+
+
+def completeness(strategy: str, loss: float, m=M, tuples=TUPLES) -> float:
+    """Average completeness for one (strategy, loss) cell (kept for
+    direct use; the table path goes through the trial grid)."""
+    fractions = [
+        f for f in run_trials(
+            trial,
+            [dict(strategy=strategy, loss=loss, m=m, tuples=tuples, rep=rep)
+             for rep in range(REPS)],
+        )
+        if f is not None
+    ]
     return sum(fractions) / len(fractions)
 
 
-def run(loss_rates=LOSS_RATES, m=M, tuples=TUPLES):
-    rows = []
-    results = {}
-    for loss in loss_rates:
-        pa = completeness("pa", loss, m, tuples)
-        central = completeness("centralized", loss, m, tuples)
-        rows.append([f"{loss:.0%}", pa, central])
-        results[loss] = (pa, central)
+def run(loss_rates=LOSS_RATES, m=M, tuples=TUPLES, parallel: int = 0):
+    trials = _trials(loss_rates, m, tuples)
+    if parallel:
+        fractions = run_trials_parallel(
+            trial, trials, processes=parallel, telemetry_name="e7_robustness"
+        )
+    else:
+        fractions = run_trials(trial, trials)
+    results = _tabulate(trials, fractions, loss_rates)
+    rows = [
+        [f"{loss:.0%}", results[loss][0], results[loss][1]]
+        for loss in loss_rates
+    ]
     report(
         "e7_robustness",
         f"E7: join-result completeness vs. loss rate ({m}x{m} grid, "
@@ -69,5 +125,21 @@ def test_e7_graceful_degradation(benchmark):
     assert pa15 >= c15 - 0.05
 
 
+def test_e7_parallel_matches_serial():
+    """The parallel trial runner is result-identical to the serial one:
+    same trials, same seeds, same rows."""
+    trials = _trials([0.0, 0.15], 6, 6)
+    serial = run_trials(trial, trials)
+    parallel = run_trials_parallel(trial, trials, processes=2)
+    assert parallel == serial
+
+
 if __name__ == "__main__":
-    run()
+    import os
+
+    parallel = 0  # 0 = serial; --parallel or --parallel=N opts in
+    for arg in sys.argv[1:]:
+        if arg.startswith("--parallel"):
+            _, _, val = arg.partition("=")
+            parallel = int(val) if val else (os.cpu_count() or 1)
+    run(parallel=parallel)

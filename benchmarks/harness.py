@@ -9,9 +9,11 @@ timed smoke-scale run plus shape assertions.
 from __future__ import annotations
 
 import json
+import multiprocessing
+import multiprocessing.util
 import os
 import random
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 import repro
 from repro import obs
@@ -88,6 +90,78 @@ def telemetry_report(name: str, **manifest_extra) -> Optional[Dict[str, str]]:
     print(f"[telemetry] trace={paths['trace']} metrics={paths['metrics']} "
           f"manifest={paths['manifest']}")
     return paths
+
+
+def run_trials(fn: Callable[..., Any], trials: Sequence[Dict]) -> List[Any]:
+    """Run ``fn(**trial)`` for each trial dict, serially, in order.
+    The serial twin of :func:`run_trials_parallel` — benches use one or
+    the other behind a flag, and tests assert the results match."""
+    return [fn(**trial) for trial in trials]
+
+
+def _dump_worker_telemetry(telemetry_name: str, pid: int) -> None:
+    obs.write_run_artifacts(
+        RESULTS_DIR, f"{telemetry_name}.w{pid}",
+        manifest_extra={"worker_pid": pid},
+    )
+
+
+def _worker_init(telemetry_name: Optional[str]) -> None:
+    """Pool initializer: arrange for each worker to dump its own
+    telemetry artifacts (``<name>.w<pid>.{trace,metrics,manifest}``)
+    when it exits, so parallel runs keep per-worker manifests instead
+    of silently dropping telemetry on the floor.  Registered through
+    ``multiprocessing.util.Finalize`` — pool workers leave via
+    ``os._exit`` and never run plain ``atexit`` handlers."""
+    if telemetry_name and obs.enabled():
+        multiprocessing.util.Finalize(
+            None, _dump_worker_telemetry,
+            args=(telemetry_name, os.getpid()), exitpriority=10,
+        )
+
+
+def _run_trial(payload) -> Any:
+    fn, kwargs = payload
+    return fn(**kwargs)
+
+
+def run_trials_parallel(
+    fn: Callable[..., Any],
+    trials: Sequence[Dict],
+    processes: Optional[int] = None,
+    telemetry_name: Optional[str] = None,
+) -> List[Any]:
+    """Run ``fn(**trial)`` for each trial dict across worker processes.
+
+    Results come back in trial order, so a parallel run is
+    row-for-row identical to :func:`run_trials` as long as ``fn`` is
+    deterministic in its arguments (every bench trial seeds its own
+    RNGs, so this holds by construction — asserted by
+    ``bench_e7_robustness``'s serial-vs-parallel test).
+
+    ``fn`` must be picklable (a module-level function).  When
+    telemetry is on and ``telemetry_name`` is given, each worker
+    writes its own trace/metrics/manifest artifacts next to the
+    results JSON at exit; the parent's artifacts (if any) are written
+    by the usual :func:`telemetry_report` path.  One trial, one
+    process, or ``processes=1`` falls back to the serial runner.
+    """
+    if processes is None:
+        processes = min(len(trials), os.cpu_count() or 1)
+    if processes <= 1 or len(trials) <= 1:
+        return run_trials(fn, trials)
+    ctx = multiprocessing.get_context()
+    pool = ctx.Pool(
+        processes, initializer=_worker_init, initargs=(telemetry_name,)
+    )
+    try:
+        results = pool.map(_run_trial, [(fn, dict(t)) for t in trials])
+    finally:
+        # close + join (not terminate) so worker atexit hooks run and
+        # per-worker telemetry artifacts actually land on disk.
+        pool.close()
+        pool.join()
+    return results
 
 
 def run_join_workload(

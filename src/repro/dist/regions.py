@@ -255,9 +255,23 @@ class SpatialClip(RegionStrategy):
         self.inner = inner
         self.radius = radius
         self.name = f"{inner.name}+clip({radius})"
+        # origin -> frozenset of nodes inside its clip disk, computed
+        # through the topology's grid index (one O(area) query instead
+        # of a distance test per region member per publish).
+        self._disk_cache: Dict[int, frozenset] = {}
+
+    def _disk(self, origin: int) -> frozenset:
+        disk = self._disk_cache.get(origin)
+        if disk is None:
+            topo = self.network.topology
+            disk = frozenset(
+                topo.within_radius(topo.position(origin), self.radius)
+            )
+            self._disk_cache[origin] = disk
+        return disk
 
     def _within(self, origin: int, node: int) -> bool:
-        return self.network.topology.euclidean(origin, node) <= self.radius
+        return node in self._disk(origin)
 
     def storage_paths(self, origin: int) -> List[List[int]]:
         out = []

@@ -12,7 +12,7 @@ that position; we do exactly that with a process-independent hash
 from __future__ import annotations
 
 import hashlib
-from typing import Tuple
+from typing import Dict, Tuple
 
 from ..core.terms import Term
 from .topology import Position, Topology
@@ -30,6 +30,11 @@ class GeographicHash:
     def __init__(self, topology: Topology):
         self.topology = topology
         self._bbox = topology.bounding_box()
+        # key -> home node.  GPA re-hashes the same fact keys on every
+        # store/join/result pass; topologies are immutable, so the
+        # mapping never changes and the md5 + nearest-node work is paid
+        # once per distinct key.
+        self._home_cache: Dict[str, int] = {}
 
     def position_for(self, key: str) -> Position:
         """Map a key to a position inside the deployment bounding box."""
@@ -40,8 +45,14 @@ class GeographicHash:
         return (x0 + fx * (x1 - x0), y0 + fy * (y1 - y0))
 
     def node_for_key(self, key: str) -> int:
-        """The home node for a key: nearest node to the hashed position."""
-        return self.topology.nearest_node(self.position_for(key))
+        """The home node for a key: nearest node to the hashed position
+        (memoized — the spatial index makes a miss O(1) expected, the
+        cache makes a repeat free)."""
+        home = self._home_cache.get(key)
+        if home is None:
+            home = self.topology.nearest_node(self.position_for(key))
+            self._home_cache[key] = home
+        return home
 
     def node_for_fact(self, predicate: str, args: Tuple[Term, ...]) -> int:
         """Home node for a derived fact (predicate + ground arguments)."""

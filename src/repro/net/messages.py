@@ -29,7 +29,16 @@ class Message:
     "control", ...) for metrics/tracing breakdowns.  Category is a
     property of the message itself — the legacy ``category=`` keyword
     on ``Node.send``/``Radio.transmit`` is deprecated.
+
+    Slotted: large simulations hold hundreds of thousands of live
+    message records, so the six hot fields live in ``__slots__``.
+    ``__dict__`` stays in the slot list as a lazy escape hatch — ad-hoc
+    attributes (test tags, telemetry timestamps) still work and only
+    instances that actually use them allocate a dict.
     """
+
+    __slots__ = ("kind", "dst", "payload_symbols", "category", "msg_id",
+                 "hops", "__dict__")
 
     def __init__(
         self,

@@ -70,6 +70,20 @@ class SensorNetwork:
         return len(self.nodes)
 
     @property
+    def spatial(self):
+        """The topology's uniform-grid spatial index (geometric queries
+        at network level go through here)."""
+        return self.topology.spatial
+
+    def nearest_node(self, point) -> int:
+        """Node closest to a geographic point (O(1) expected)."""
+        return self.topology.nearest_node(point)
+
+    def nodes_within(self, point, radius: float):
+        """Node ids within Euclidean ``radius`` of ``point``."""
+        return self.topology.within_radius(point, radius)
+
+    @property
     def tau_c(self) -> float:
         """Bound on the clock difference between any two nodes."""
         return self.clock_skew

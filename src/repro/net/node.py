@@ -17,7 +17,7 @@ node; ``gave_up`` fires when any hop exhausts its retry budget
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, Optional, Sequence, TYPE_CHECKING
 
 from ..core.errors import NetworkError
 from .messages import Message
@@ -40,6 +40,8 @@ class RoutedEnvelope(Message):
     The envelope's category is the inner message's; the legacy
     ``category=`` constructor argument is deprecated.
     """
+
+    __slots__ = ("inner", "on_status")
 
     def __init__(
         self,
@@ -75,6 +77,7 @@ class Node:
         self.clock = clock
         self._handlers: Dict[str, Handler] = {}
         self._seq = 0
+        self._neighbors: Optional[Sequence[int]] = None
 
     # -- identity ---------------------------------------------------------
 
@@ -83,8 +86,11 @@ class Node:
         return self.network.topology.position(self.id)
 
     @property
-    def neighbors(self) -> List[int]:
-        return self.network.topology.neighbors(self.id)
+    def neighbors(self) -> Sequence[int]:
+        """Sorted neighbor ids (cached — the topology never changes)."""
+        if self._neighbors is None:
+            self._neighbors = self.network.topology.neighbors(self.id)
+        return self._neighbors
 
     def next_seq(self) -> int:
         """Per-node sequence counter (disambiguates same-instant tuples)."""

@@ -29,6 +29,7 @@ from typing import Callable, List, Optional, TYPE_CHECKING
 
 from ..core.errors import NetworkError
 from ..obs import instrument as _inst
+from ..obs import state as _obs
 from .events import PHYSICAL_EVENTS, RadioEvent, RadioObserver
 from .messages import Message
 from .metrics import MetricsCollector
@@ -106,7 +107,7 @@ class Radio:
         # *different* sender is lost (the earlier frame captures the
         # channel).  Same-sender frames are FIFO-queued, never colliding.
         self.collisions = collisions
-        self.bitrate_bps = bitrate_bps
+        self.bitrate_bps = bitrate_bps  # property: also caches airtime factor
         self.collision_count = 0
         # dst -> (airtime_end, src) of the last frame heard there
         self._channel: dict = {}
@@ -136,6 +137,18 @@ class Radio:
         attempt: int = 0,
         detail: str = "",
     ) -> None:
+        # Fast path: when telemetry is off and the only observer is the
+        # auto-subscribed telemetry bridge (which would no-op anyway),
+        # skip building the RadioEvent entirely — this runs for every
+        # frame of every simulation.
+        observers = self.observers
+        if (
+            not _obs.enabled
+            and not self.listeners
+            and len(observers) == 1
+            and observers[0] is _inst.observe_radio_event
+        ):
+            return
         ev = RadioEvent(
             time=self.sim.now,
             event=event,
@@ -155,8 +168,19 @@ class Radio:
 
     # -- liveness ---------------------------------------------------------
 
+    @property
+    def bitrate_bps(self) -> float:
+        return self._bitrate_bps
+
+    @bitrate_bps.setter
+    def bitrate_bps(self, value: float) -> None:
+        # Cache the per-byte airtime factor so the contention model
+        # pays one multiply per frame instead of a division.
+        self._bitrate_bps = value
+        self._airtime_per_byte = 8.0 / value
+
     def airtime(self, size_bytes: int) -> float:
-        return size_bytes * 8.0 / self.bitrate_bps
+        return size_bytes * self._airtime_per_byte
 
     def is_alive(self, node_id: int) -> bool:
         return node_id not in self.death_time
@@ -241,25 +265,26 @@ class Radio:
         acks pay energy and are lost/collided like any other frame."""
         if not self.is_alive(src_id):
             return  # dead nodes transmit nothing
-        self.metrics.record_tx(src_id, message.size_bytes, message.category)
+        sim = self.sim
+        size = message.size_bytes
+        self.metrics.record_tx(src_id, size, message.category)
         self._emit("tx", src_id, dst_id, message)
         self._check_battery(src_id)
         if not self.is_alive(dst_id):
             self._drop(src_id, dst_id, message, reason="dead")
             return  # nobody listening
-        lost = bool(self.loss_rate) and self.sim.rng.random() < self.loss_rate
+        lost = bool(self.loss_rate) and sim.rng.random() < self.loss_rate
         if lost and not self.collisions:
             self._drop(src_id, dst_id, message, reason="loss")
             return
-        delay = self.delay_base + self.sim.rng.uniform(0, self.delay_jitter)
-        arrival = self.sim.now + delay
+        delay = self.delay_base + sim.rng.uniform(0, self.delay_jitter)
+        arrival = sim.now + delay
         link = (src_id, dst_id)
         previous = self._last_arrival.get(link)
         if previous is not None and arrival <= previous:
             arrival = previous + 1e-9  # FIFO: queue behind the last frame
         self._last_arrival[link] = arrival
         message.hops += 1
-        size = message.size_bytes
         if self.collisions:
             start = arrival - self.airtime(size)
             prev = self._channel.get(dst_id)

@@ -76,9 +76,13 @@ class Simulator:
         if until is not None and self._now < until:
             self._now = until
         self.events_processed += processed
-        if _obs.enabled and processed:
-            _inst.sim_events.inc(processed)
-            _inst.sim_queue_hwm.set_max(self.queue_hwm)
+        if _obs.enabled:
+            if processed:
+                _inst.sim_events.inc(processed)
+                _inst.sim_queue_hwm.set_max(self.queue_hwm)
+            # Radio-event counts buffer during the hot loop; drain them
+            # whenever the simulation hands control back.
+            _inst.flush_counters()
         return processed
 
     def run_all(self, max_events: int = 10_000_000) -> int:

@@ -5,6 +5,14 @@ node at every integer coordinate) and generalizes to arbitrary
 topologies; we provide grids, random geometric (unit-disk) graphs, and
 arbitrary user graphs.  All expose positions — geographic hashing and
 the region constructions need them.
+
+Geometric queries (``nearest_node``, ``within_radius``) and unit-disk
+edge construction route through a uniform-grid spatial index
+(:mod:`repro.net.spatial`), so they are O(1)/O(n) expected instead of
+the linear/quadratic scans the seed shipped with; the answers are
+bit-identical to those scans.  Topologies are immutable after
+construction, so derived products (sorted neighbor tuples, the node-id
+list, the spatial index) are computed once and cached.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 import networkx as nx
 
 from ..core.errors import NetworkError
+from .spatial import GridIndex, heuristic_cell
 
 Position = Tuple[float, float]
 
@@ -33,16 +42,29 @@ class Topology:
         self.graph = graph
         self.positions = dict(positions)
         self._diameter: Optional[int] = None
+        self._node_ids: Optional[List[int]] = None
+        self._neighbor_cache: Dict[int, Tuple[int, ...]] = {}
+        self._bbox: Optional[Tuple[float, float, float, float]] = None
+        self._spatial: Optional[GridIndex] = None
 
     @property
     def node_ids(self) -> List[int]:
-        return sorted(self.graph.nodes)
+        if self._node_ids is None:
+            self._node_ids = sorted(self.graph.nodes)
+        return self._node_ids
 
     def __len__(self) -> int:
         return len(self.graph)
 
-    def neighbors(self, node_id: int) -> List[int]:
-        return sorted(self.graph.neighbors(node_id))
+    def neighbors(self, node_id: int) -> Sequence[int]:
+        """Sorted neighbor ids, memoized per node (topologies never
+        change after construction, and this sits inside every
+        transmit/flood hot loop)."""
+        cached = self._neighbor_cache.get(node_id)
+        if cached is None:
+            cached = tuple(sorted(self.graph.neighbors(node_id)))
+            self._neighbor_cache[node_id] = cached
+        return cached
 
     def position(self, node_id: int) -> Position:
         return self.positions[node_id]
@@ -53,20 +75,76 @@ class Topology:
     @property
     def diameter(self) -> int:
         if self._diameter is None:
-            self._diameter = nx.diameter(self.graph)
+            self._diameter = self._compute_diameter()
         return self._diameter
 
+    def _compute_diameter(self) -> int:
+        """Exact graph diameter via the iFUB scheme (two-sweep lower
+        bound, then eccentricities of BFS levels from the top down with
+        the 2*(i-1) cut).  Equals ``nx.diameter`` everywhere but runs a
+        handful of BFS traversals instead of n of them on the sparse,
+        long-diameter graphs sensor deployments produce."""
+        graph = self.graph
+        if len(graph) == 1:
+            return 0
+        # Double sweep: max-degree start -> farthest node a -> farthest
+        # node b.  ecc(a) is the classic lower bound and the a->b path
+        # is (near-)diametral.
+        s = max(graph.nodes, key=lambda n: (graph.degree(n), -n))
+        dist_s = nx.single_source_shortest_path_length(graph, s)
+        a = max(dist_s, key=lambda n: (dist_s[n], -n))
+        paths_a = nx.single_source_shortest_path(graph, a)
+        b = max(paths_a, key=lambda n: (len(paths_a[n]), -n))
+        lb = len(paths_a[b]) - 1
+        # Decompose levels from the *midpoint* of the a->b path: its
+        # eccentricity is ~lb/2, so the 2*(i-1) cut usually closes after
+        # touching only the outermost (sparse) levels.
+        u = paths_a[b][lb // 2]
+        dist_u = nx.single_source_shortest_path_length(graph, u)
+        lb = max(lb, max(dist_u.values()))
+        # iFUB: after processing every level > i, any remaining pair
+        # lies within distance 2*i of each other via u, so stop as soon
+        # as lb >= 2*i.
+        levels: Dict[int, List[int]] = {}
+        for node, d in dist_u.items():
+            levels.setdefault(d, []).append(node)
+        for i in sorted(levels, reverse=True):
+            if lb >= 2 * i:
+                break
+            for node in levels[i]:
+                ecc = max(
+                    nx.single_source_shortest_path_length(graph, node).values()
+                )
+                if ecc > lb:
+                    lb = ecc
+        return lb
+
+    @property
+    def spatial(self) -> GridIndex:
+        """The uniform-grid index over node positions (lazily built;
+        cell size = the radio range when the topology knows one, else
+        ~1 node per cell)."""
+        if self._spatial is None:
+            self._spatial = GridIndex(self.positions, self._spatial_cell())
+        return self._spatial
+
+    def _spatial_cell(self) -> float:
+        return heuristic_cell(self.positions)
+
     def bounding_box(self) -> Tuple[float, float, float, float]:
-        xs = [p[0] for p in self.positions.values()]
-        ys = [p[1] for p in self.positions.values()]
-        return min(xs), min(ys), max(xs), max(ys)
+        if self._bbox is None:
+            xs = [p[0] for p in self.positions.values()]
+            ys = [p[1] for p in self.positions.values()]
+            self._bbox = (min(xs), min(ys), max(xs), max(ys))
+        return self._bbox
 
     def nearest_node(self, point: Position) -> int:
         """Node closest to a geographic point (ties: lowest id)."""
-        return min(
-            self.node_ids,
-            key=lambda n: (_dist(self.positions[n], point), n),
-        )
+        return self.spatial.nearest(point)
+
+    def within_radius(self, point: Position, radius: float) -> List[int]:
+        """Node ids within Euclidean ``radius`` of ``point`` (ascending)."""
+        return self.spatial.within(point, radius)
 
     def euclidean(self, a: int, b: int) -> float:
         return _dist(self.positions[a], self.positions[b])
@@ -102,6 +180,13 @@ class GridTopology(Topology):
                     graph.add_edge(node, node - m)
         super().__init__(graph, positions)
 
+    def _spatial_cell(self) -> float:
+        return 1.0  # unit transmission radius
+
+    def _compute_diameter(self) -> int:
+        # Manhattan corner-to-corner; no BFS needed on a 4-neighbor grid.
+        return (self.m - 1) + (self.n - 1)
+
     def node_at(self, x: int, y: int) -> int:
         if not (0 <= x < self.m and 0 <= y < self.n):
             raise NetworkError(f"({x}, {y}) outside {self.m}x{self.n} grid")
@@ -122,12 +207,38 @@ class GridTopology(Topology):
         return f"GridTopology({self.m}x{self.n})"
 
 
+def unit_disk_edges_brute(
+    positions: Dict[int, Position], radius: float
+) -> List[Tuple[int, int]]:
+    """The all-pairs O(n^2) unit-disk edge set — kept as the
+    differential oracle for the grid-index construction (tests and
+    bench_e19 compare against it)."""
+    edges: List[Tuple[int, int]] = []
+    ids = sorted(positions)
+    for i_idx, i in enumerate(ids):
+        for j in ids[i_idx + 1:]:
+            if _dist(positions[i], positions[j]) <= radius:
+                edges.append((i, j))
+    return edges
+
+
 class RandomGeometricTopology(Topology):
     """Unit-disk graph over uniformly random points in a square.
 
-    Retries seeds until the graph is connected (or takes the giant
-    component after ``max_tries``), mimicking a realistic random sensor
-    deployment.
+    Retries deployments until the graph is connected (or takes the
+    giant component of the last attempt after ``max_tries``),
+    mimicking a realistic random sensor deployment.
+
+    Determinism: attempt 0 draws its points from ``Random(seed)``
+    (bit-identical to the seed implementation's first attempt); every
+    retry ``k`` draws from ``Random(f"{seed}:{k}")``, so any attempt is
+    reproducible in isolation — parallel benchmark workers rebuild the
+    same topology without replaying the attempts before it.
+
+    ``edge_method`` selects the edge construction: ``"grid"`` (the
+    O(n)-expected spatial index, default) or ``"brute"`` (the
+    all-pairs oracle).  Both produce the same edge set; the knob
+    exists so tests and bench_e19 can measure one against the other.
     """
 
     def __init__(
@@ -137,31 +248,44 @@ class RandomGeometricTopology(Topology):
         side: float = 10.0,
         seed: int = 0,
         max_tries: int = 25,
+        edge_method: str = "grid",
     ):
-        rng = random.Random(seed)
-        graph: Optional[nx.Graph] = None
-        positions: Dict[int, Position] = {}
-        for _ in range(max_tries):
+        if edge_method not in ("grid", "brute"):
+            raise NetworkError(f"unknown edge_method {edge_method!r}")
+        chosen: Optional[Tuple["nx.Graph", Dict[int, Position]]] = None
+        last: Optional[Tuple["nx.Graph", Dict[int, Position]]] = None
+        for attempt in range(max_tries):
+            rng = random.Random(seed) if attempt == 0 else random.Random(f"{seed}:{attempt}")
             pts = {i: (rng.uniform(0, side), rng.uniform(0, side)) for i in range(n)}
             g = nx.Graph()
-            g.add_nodes_from(pts)
-            ids = sorted(pts)
-            for i_idx, i in enumerate(ids):
-                for j in ids[i_idx + 1:]:
-                    if _dist(pts[i], pts[j]) <= radius:
-                        g.add_edge(i, j)
+            g.add_nodes_from(range(n))
+            if edge_method == "grid":
+                edges = GridIndex(pts, cell=radius).disk_edges(radius)
+            else:
+                edges = unit_disk_edges_brute(pts, radius)
+            g.add_edges_from(edges)
+            last = (g, pts)
             if nx.is_connected(g):
-                graph, positions = g, pts
+                chosen = last
                 break
-        if graph is None:
-            # Fall back to the giant component, relabeled contiguously.
+        if chosen is None:
+            # No attempt connected: take the giant component of the
+            # *last* attempt, relabeled contiguously.  Explicit — the
+            # seed implementation leaked the loop variables here.
+            assert last is not None
+            g, pts = last
             component = max(nx.connected_components(g), key=len)
             mapping = {old: new for new, old in enumerate(sorted(component))}
             graph = nx.relabel_nodes(g.subgraph(component).copy(), mapping)
             positions = {mapping[old]: pts[old] for old in component}
+        else:
+            graph, positions = chosen
         self.side = side
         self.radius = radius
         super().__init__(graph, positions)
+
+    def _spatial_cell(self) -> float:
+        return self.radius  # one cell per radio range
 
     def __repr__(self) -> str:
         return f"RandomGeometricTopology(n={len(self)}, r={self.radius})"

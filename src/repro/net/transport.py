@@ -52,10 +52,23 @@ class AckMsg(Message):
     comparable to an 802.15.4 ack frame).
     """
 
+    __slots__ = ("acked_src", "acked_msg_id")
+
     def __init__(self, acked_src: int, acked_msg_id: int):
         super().__init__(ACK, payload_symbols=1, category="ack")
         self.acked_src = acked_src
         self.acked_msg_id = acked_msg_id
+
+
+class _Transfer:
+    """In-flight reliable transfer state (one per un-acked frame)."""
+
+    __slots__ = ("acked", "attempt", "timeout")
+
+    def __init__(self, timeout: float):
+        self.acked = False
+        self.attempt = 0
+        self.timeout = timeout
 
 
 class TransportConfig:
@@ -115,7 +128,7 @@ class ReliableTransport:
         #: receiver node -> {(sender, msg_id)} frames already delivered.
         self._seen: Dict[int, Set[Tuple[int, int]]] = defaultdict(set)
         #: (src, dst, msg_id) -> in-flight transfer state.
-        self._pending: Dict[Tuple[int, int, int], dict] = {}
+        self._pending: Dict[Tuple[int, int, int], _Transfer] = {}
 
     @property
     def initial_timeout(self) -> float:
@@ -133,18 +146,13 @@ class ReliableTransport:
         on_status: Optional[StatusCallback] = None,
     ) -> None:
         key = (src, dst, message.msg_id)
-        state = {
-            "acked": False,
-            "attempt": 0,
-            "timeout": self.initial_timeout,
-        }
-        self._pending[key] = state
+        self._pending[key] = _Transfer(self.initial_timeout)
         self._attempt(key, src, dst, message, deliver, on_status)
 
     def _attempt(self, key, src, dst, message, deliver, on_status) -> None:
         state = self._pending[key]
-        state["attempt"] += 1
-        attempt = state["attempt"]
+        state.attempt += 1
+        attempt = state.attempt
         if attempt > 1:
             self.radio.metrics.record_retry()
             self.radio._emit("retry", src, dst, message, attempt=attempt)
@@ -155,10 +163,10 @@ class ReliableTransport:
         # Exponential backoff with jitter: the timeout for the *next*
         # attempt grows even if this one succeeds (the timer just
         # no-ops then).
-        timeout = state["timeout"] * (
+        timeout = state.timeout * (
             1.0 + self.radio.sim.rng.uniform(0, self.config.timeout_jitter)
         )
-        state["timeout"] *= self.config.backoff
+        state.timeout *= self.config.backoff
         self.radio.sim.schedule(
             timeout,
             lambda: self._on_timeout(key, src, dst, message, deliver, on_status),
@@ -168,17 +176,17 @@ class ReliableTransport:
         state = self._pending.get(key)
         if state is None:
             return  # already concluded
-        if state["acked"]:
+        if state.acked:
             del self._pending[key]
             return
         if not self.radio.is_alive(src):
             del self._pending[key]  # a dead sender retries nothing
             return
-        if state["attempt"] >= 1 + self.config.max_retries:
+        if state.attempt >= 1 + self.config.max_retries:
             del self._pending[key]
             self.radio.metrics.record_retry_exhausted()
             self.radio._emit(
-                "give_up", src, dst, message, attempt=state["attempt"]
+                "give_up", src, dst, message, attempt=state.attempt
             )
             if on_status is not None:
                 on_status("gave_up")
@@ -210,10 +218,10 @@ class ReliableTransport:
     def _on_ack(self, key, src, dst, message, on_status) -> None:
         """An ack physically arrived back at the original sender."""
         state = self._pending.get(key)
-        if state is None or state["acked"]:
+        if state is None or state.acked:
             return  # duplicate ack, or transfer already concluded
-        state["acked"] = True
+        state.acked = True
         self.radio.metrics.record_ack()
-        self.radio._emit("ack", src, dst, message, attempt=state["attempt"])
+        self.radio._emit("ack", src, dst, message, attempt=state.attempt)
         if on_status is not None:
             on_status("delivered")

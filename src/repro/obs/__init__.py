@@ -71,6 +71,9 @@ def enabled() -> bool:
 def reset() -> None:
     """Zero all metrics and drop the collected trace (the flag is
     untouched) — call between runs that share a process."""
+    from . import instrument as _inst
+
+    _inst.discard_buffers()  # pending hot-loop counts die with the run
     REGISTRY.reset()
     SINK.clear()
 

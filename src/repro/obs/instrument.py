@@ -119,31 +119,63 @@ radio_retry_exhausted = REGISTRY.counter(
 )
 
 
+#: Radio event kind -> unlabeled counter family it feeds.
+_RADIO_EVENT_FAMILIES = {
+    "rx": radio_rx,
+    "drop": radio_drops,
+    "collision": radio_collisions,
+    "ack": radio_acks,
+    "retry": radio_retries,
+    "dup": radio_dup_suppressed,
+    "give_up": radio_retry_exhausted,
+}
+
+# Hot-loop buffers: every radio frame produces 2+ events, and going
+# through Family.labels()/Counter.inc() per event measurably drags the
+# simulator when telemetry is on.  Events accumulate in plain dicts and
+# drain into the registry in bulk — at the end of every Simulator.run()
+# and before any registry read (snapshot/export/reset).
+_radio_event_buffer: dict = {}
+_radio_tx_buffer: dict = {}
+
+
 def observe_radio_event(event) -> None:
     """The telemetry bridge: an ordinary RadioEvent observer mapping
     radio-layer events onto the metric families above.  Subscribed by
     every Radio at construction; a single flag check when telemetry is
     off.  Takes any object with ``event``/``category`` attributes so
-    this module stays free of repro.net imports."""
+    this module stays free of repro.net imports.
+
+    Counts are *buffered* (see :func:`flush_counters`); readers going
+    through :mod:`repro.obs.export` never see the buffers, but code
+    peeking at ``REGISTRY`` directly mid-run should flush first.
+    """
     if not _state.enabled:
         return
     kind = event.event
     if kind == "tx":
-        radio_tx.labels(category=event.category).inc()
-    elif kind == "rx":
-        radio_rx.inc()
-    elif kind == "drop":
-        radio_drops.inc()
-    elif kind == "collision":
-        radio_collisions.inc()
-    elif kind == "ack":
-        radio_acks.inc()
-    elif kind == "retry":
-        radio_retries.inc()
-    elif kind == "dup":
-        radio_dup_suppressed.inc()
-    elif kind == "give_up":
-        radio_retry_exhausted.inc()
+        cat = event.category
+        _radio_tx_buffer[cat] = _radio_tx_buffer.get(cat, 0) + 1
+    elif kind in _RADIO_EVENT_FAMILIES:
+        _radio_event_buffer[kind] = _radio_event_buffer.get(kind, 0) + 1
+
+
+def flush_counters() -> None:
+    """Drain the buffered hot-loop counts into their registry families."""
+    if _radio_tx_buffer:
+        for cat, n in _radio_tx_buffer.items():
+            radio_tx.labels(category=cat).inc(n)
+        _radio_tx_buffer.clear()
+    if _radio_event_buffer:
+        for kind, n in _radio_event_buffer.items():
+            _RADIO_EVENT_FAMILIES[kind].inc(n)
+        _radio_event_buffer.clear()
+
+
+def discard_buffers() -> None:
+    """Drop buffered counts without recording them (registry reset)."""
+    _radio_tx_buffer.clear()
+    _radio_event_buffer.clear()
 
 # -- dist.gpa / dist.localized ---------------------------------------------
 

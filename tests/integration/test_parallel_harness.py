@@ -1,0 +1,59 @@
+"""The parallel benchmark trial runner is result-identical to serial.
+
+Every bench trial is a module-level function fully determined by its
+arguments (each seeds its own RNGs), so fanning the grid across worker
+processes must return the exact same list — order, values, Nones and
+all.  This pins the contract ``run_trials_parallel`` documents and the
+benches rely on.
+"""
+
+import os
+import sys
+
+import pytest
+
+BENCH_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "..", "benchmarks"
+)
+sys.path.insert(0, os.path.abspath(BENCH_DIR))
+
+from harness import run_trials, run_trials_parallel  # noqa: E402
+
+
+def square_plus(x, offset):
+    return x * x + offset
+
+
+def maybe_none(x, offset):
+    return None if (x + offset) % 3 == 0 else x + offset
+
+
+TRIALS = [dict(x=x, offset=o) for x in range(6) for o in (0, 1)]
+
+
+def test_serial_runner_order():
+    assert run_trials(square_plus, TRIALS) == [
+        t["x"] * t["x"] + t["offset"] for t in TRIALS
+    ]
+
+
+def test_parallel_matches_serial():
+    assert run_trials_parallel(square_plus, TRIALS, processes=3) == run_trials(
+        square_plus, TRIALS
+    )
+
+
+def test_parallel_preserves_nones_and_order():
+    assert run_trials_parallel(maybe_none, TRIALS, processes=2) == run_trials(
+        maybe_none, TRIALS
+    )
+
+
+def test_single_process_falls_back_to_serial():
+    assert run_trials_parallel(square_plus, TRIALS, processes=1) == run_trials(
+        square_plus, TRIALS
+    )
+
+
+def test_single_trial_falls_back_to_serial():
+    assert run_trials_parallel(square_plus, TRIALS[:1], processes=4) == [0]

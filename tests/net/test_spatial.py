@@ -1,0 +1,191 @@
+"""Differential tests for the uniform-grid spatial index.
+
+The index is a pure accelerator: every query it answers must be
+*bit-identical* to the brute-force scan it replaced (same distance
+comparisons, same lowest-id tie-breaks).  These tests pit it against
+linear/quadratic oracles over hypothesis-generated deployments, and pin
+the construction/fallback semantics of RandomGeometricTopology.
+"""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.ght import GeographicHash
+from repro.net.spatial import GridIndex, heuristic_cell
+from repro.net.topology import (
+    GridTopology,
+    RandomGeometricTopology,
+    Topology,
+    topology_from_edges,
+    unit_disk_edges_brute,
+)
+
+
+def random_positions(seed, n, side=10.0):
+    rng = random.Random(seed)
+    return {i: (rng.uniform(0, side), rng.uniform(0, side)) for i in range(n)}
+
+
+def brute_nearest(positions, point):
+    return min(
+        positions,
+        key=lambda i: (math.hypot(positions[i][0] - point[0],
+                                  positions[i][1] - point[1]), i),
+    )
+
+
+def brute_within(positions, point, radius):
+    return sorted(
+        i for i, (x, y) in positions.items()
+        if math.hypot(x - point[0], y - point[1]) <= radius
+    )
+
+
+class TestGridIndexDifferential:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 60),
+        radius=st.floats(0.3, 6.0),
+        cell=st.floats(0.4, 4.0),
+    )
+    def test_disk_edges_match_brute(self, seed, n, radius, cell):
+        positions = random_positions(seed, n)
+        index = GridIndex(positions, cell)
+        assert index.disk_edges(radius) == unit_disk_edges_brute(
+            positions, radius
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 60),
+        cell=st.floats(0.4, 4.0),
+        qx=st.floats(-2.0, 12.0),
+        qy=st.floats(-2.0, 12.0),
+    )
+    def test_nearest_matches_linear_scan(self, seed, n, cell, qx, qy):
+        positions = random_positions(seed, n)
+        index = GridIndex(positions, cell)
+        assert index.nearest((qx, qy)) == brute_nearest(positions, (qx, qy))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 60),
+        cell=st.floats(0.4, 4.0),
+        qx=st.floats(-2.0, 12.0),
+        qy=st.floats(-2.0, 12.0),
+        radius=st.floats(0.0, 8.0),
+    )
+    def test_within_matches_linear_scan(self, seed, n, cell, qx, qy, radius):
+        positions = random_positions(seed, n)
+        index = GridIndex(positions, cell)
+        assert index.within((qx, qy), radius) == brute_within(
+            positions, (qx, qy), radius
+        )
+
+    def test_nearest_tie_breaks_to_lowest_id(self):
+        # Two nodes equidistant from the query: the scan returned the
+        # lowest id, so the index must too.
+        positions = {7: (1.0, 0.0), 3: (-1.0, 0.0), 9: (0.0, 5.0)}
+        assert GridIndex(positions, 1.0).nearest((0.0, 0.0)) == 3
+
+    def test_heuristic_cell_positive(self):
+        assert heuristic_cell({0: (0.0, 0.0)}) > 0
+        assert heuristic_cell(random_positions(1, 50)) > 0
+
+
+class TestTopologyQueriesDifferential:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500), qx=st.floats(0, 10), qy=st.floats(0, 10))
+    def test_topology_nearest_node(self, seed, qx, qy):
+        topo = RandomGeometricTopology(30, radius=4.0, seed=seed)
+        assert topo.nearest_node((qx, qy)) == brute_nearest(
+            topo.positions, (qx, qy)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500), radius=st.floats(0.5, 6.0))
+    def test_topology_within_radius(self, seed, radius):
+        topo = RandomGeometricTopology(30, radius=4.0, seed=seed)
+        point = topo.position(seed % len(topo))
+        assert topo.within_radius(point, radius) == brute_within(
+            topo.positions, point, radius
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_ght_placements_match_brute_nearest(self, seed):
+        topo = RandomGeometricTopology(25, radius=4.5, seed=seed)
+        ght = GeographicHash(topo)
+        for key in ("temp", "humidity", "j/(3, 'a')", f"k{seed}"):
+            home = ght.node_for_key(key)
+            expected = brute_nearest(topo.positions, ght.position_for(key))
+            assert home == expected
+            # Memoized answer is stable.
+            assert ght.node_for_key(key) == home
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_diameter_matches_networkx(self, seed):
+        topo = RandomGeometricTopology(25, radius=4.0, seed=seed)
+        assert topo.diameter == nx.diameter(topo.graph)
+
+    def test_grid_diameter_analytic(self):
+        for m, n in [(1, 1), (1, 6), (4, 4), (3, 7)]:
+            grid = GridTopology(m, n)
+            assert grid.diameter == nx.diameter(grid.graph)
+
+
+class TestRandomGeometricConstruction:
+    def test_grid_and_brute_methods_build_identical_topologies(self):
+        for seed in (0, 3, 11):
+            a = RandomGeometricTopology(40, radius=3.0, seed=seed,
+                                        edge_method="grid")
+            b = RandomGeometricTopology(40, radius=3.0, seed=seed,
+                                        edge_method="brute")
+            assert a.positions == b.positions
+            assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+    def test_unknown_edge_method_rejected(self):
+        from repro.core.errors import NetworkError
+        with pytest.raises(NetworkError):
+            RandomGeometricTopology(10, radius=3.0, edge_method="quantum")
+
+    def test_giant_component_fallback_is_connected_and_relabeled(self):
+        # Radius too small to ever connect 30 nodes on a 10x10 field:
+        # every attempt fails and the giant component of the *last*
+        # attempt is taken, relabeled to contiguous ids.
+        topo = RandomGeometricTopology(30, radius=0.8, seed=2, max_tries=3)
+        assert len(topo) < 30
+        assert nx.is_connected(topo.graph)
+        assert sorted(topo.graph.nodes) == list(range(len(topo)))
+        assert set(topo.positions) == set(topo.graph.nodes)
+
+    def test_retry_attempts_are_seeded_deterministically(self):
+        # Same constructor args => same topology, even through the
+        # retry path (each attempt k reseeds from f"{seed}:{k}").
+        a = RandomGeometricTopology(30, radius=0.8, seed=2, max_tries=3)
+        b = RandomGeometricTopology(30, radius=0.8, seed=2, max_tries=3)
+        assert a.positions == b.positions
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+
+class TestNeighborMemoization:
+    def test_neighbors_sorted_tuple_and_cached(self):
+        grid = GridTopology(4)
+        center = grid.node_at(1, 1)
+        first = grid.neighbors(center)
+        assert isinstance(first, tuple)
+        assert list(first) == sorted(first)
+        assert grid.neighbors(center) is first  # memoized, not rebuilt
+
+    def test_neighbors_match_graph(self):
+        topo = RandomGeometricTopology(30, radius=4.0, seed=5)
+        for node in topo.node_ids:
+            assert set(topo.neighbors(node)) == set(topo.graph.neighbors(node))
