@@ -23,18 +23,39 @@ import sys
 
 import pytest
 
-from harness import report, run_join_workload, run_trials, run_trials_parallel
+from harness import (
+    report, run_churn_workload, run_join_workload, run_trials,
+    run_trials_parallel,
+)
 
 LOSS_RATES = [0.0, 0.05, 0.10, 0.20, 0.30]
 M = 8
 TUPLES = 10
 REPS = 3
+#: Churn rate for the table's extra PA-under-churn column (E20's fault
+#: model riding along: reliable transport, k=3 replicas, self-repair).
+CHURN_RATE = 0.10
 
 
-def trial(strategy: str, loss: float, m: int, tuples: int, rep: int):
+def trial(strategy: str, loss: float, m: int, tuples: int, rep: int,
+          churn: float = 0.0):
     """One fully-seeded trial: the completeness fraction for one rep
     (None when the oracle produced no rows).  Module-level and
-    argument-determined, so it runs identically in any process."""
+    argument-determined, so it runs identically in any process.
+
+    ``churn=0.0`` (the default) is the pre-E20 trial, bit-for-bit: the
+    fault path is never touched.  ``churn>0`` runs the same workload
+    through :func:`run_churn_workload` (reliable transport, k=3 GHT
+    replicas, self-repair) under a seeded churn schedule."""
+    if churn:
+        engine, net, expected, _injector = run_churn_workload(
+            m, strategy, tuples_per_stream=tuples, key_domain=3,
+            seed=100 * rep + 7, loss_rate=loss, churn_rate=churn,
+        )
+        if not expected:
+            return None
+        got = engine.rows("j", live_only=True) & expected
+        return len(got) / len(expected)
     engine, net, expected = run_join_workload(
         m, strategy, tuples_per_stream=tuples, key_domain=3,
         seed=100 * rep + 7, loss_rate=loss,
@@ -45,33 +66,49 @@ def trial(strategy: str, loss: float, m: int, tuples: int, rep: int):
     return len(got) / len(expected)
 
 
-def _trials(loss_rates, m, tuples):
-    """The full trial grid, in deterministic row order."""
-    return [
+def _trials(loss_rates, m, tuples, churn: float = 0.0):
+    """The full trial grid, in deterministic row order.  Churn trials
+    (when requested) are appended *after* the original grid, so the
+    pre-E20 rows keep their exact trial order and seeds."""
+    grid = [
         dict(strategy=strategy, loss=loss, m=m, tuples=tuples, rep=rep)
         for loss in loss_rates
         for strategy in ("pa", "centralized")
         for rep in range(REPS)
     ]
+    if churn:
+        grid += [
+            dict(strategy="pa", loss=loss, m=m, tuples=tuples, rep=rep,
+                 churn=churn)
+            for loss in loss_rates
+            for rep in range(REPS)
+        ]
+    return grid
 
 
 def _tabulate(trials, fractions, loss_rates):
     """Fold per-trial fractions back into the (loss -> pa, centralized)
-    averages the table reports."""
+    averages the table reports, plus the PA-under-churn column keyed by
+    loss (empty dict when no churn trials ran)."""
     by_key = {}
     for spec, frac in zip(trials, fractions):
         if frac is None:
             continue
-        by_key.setdefault((spec["loss"], spec["strategy"]), []).append(frac)
+        key = (spec["loss"], spec["strategy"], bool(spec.get("churn")))
+        by_key.setdefault(key, []).append(frac)
     results = {}
+    churned = {}
     for loss in loss_rates:
-        pa = by_key.get((loss, "pa"), [])
-        central = by_key.get((loss, "centralized"), [])
+        pa = by_key.get((loss, "pa", False), [])
+        central = by_key.get((loss, "centralized", False), [])
         results[loss] = (
             sum(pa) / len(pa),
             sum(central) / len(central),
         )
-    return results
+        ch = by_key.get((loss, "pa", True), [])
+        if ch:
+            churned[loss] = sum(ch) / len(ch)
+    return results, churned
 
 
 def completeness(strategy: str, loss: float, m=M, tuples=TUPLES) -> float:
@@ -88,24 +125,30 @@ def completeness(strategy: str, loss: float, m=M, tuples=TUPLES) -> float:
     return sum(fractions) / len(fractions)
 
 
-def run(loss_rates=LOSS_RATES, m=M, tuples=TUPLES, parallel: int = 0):
-    trials = _trials(loss_rates, m, tuples)
+def run(loss_rates=LOSS_RATES, m=M, tuples=TUPLES, parallel: int = 0,
+        churn: float = 0.0):
+    trials = _trials(loss_rates, m, tuples, churn)
     if parallel:
         fractions = run_trials_parallel(
             trial, trials, processes=parallel, telemetry_name="e7_robustness"
         )
     else:
         fractions = run_trials(trial, trials)
-    results = _tabulate(trials, fractions, loss_rates)
+    results, churned = _tabulate(trials, fractions, loss_rates)
+    headers = ["loss", "PA completeness", "centralized completeness"]
     rows = [
         [f"{loss:.0%}", results[loss][0], results[loss][1]]
         for loss in loss_rates
     ]
+    if churned:
+        headers.append(f"PA + {churn:.0%} churn (reliable, k=3)")
+        for row, loss in zip(rows, loss_rates):
+            row.append(churned.get(loss, float("nan")))
     report(
         "e7_robustness",
         f"E7: join-result completeness vs. loss rate ({m}x{m} grid, "
         f"avg of {REPS} runs)",
-        ["loss", "PA completeness", "centralized completeness"],
+        headers,
         rows,
     )
     return results
@@ -142,4 +185,4 @@ if __name__ == "__main__":
         if arg.startswith("--parallel"):
             _, _, val = arg.partition("=")
             parallel = int(val) if val else (os.cpu_count() or 1)
-    run(parallel=parallel)
+    run(parallel=parallel, churn=CHURN_RATE)

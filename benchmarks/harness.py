@@ -20,6 +20,7 @@ from repro import obs
 from repro.core.eval import Database, evaluate
 from repro.core.parser import parse_program
 from repro.dist.gpa import GPAEngine
+from repro.net.faults import FaultInjector, FaultSchedule
 from repro.net.network import GridNetwork
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
@@ -205,3 +206,83 @@ def run_join_workload(
         db.assert_fact(pred, args)
     evaluate(parse_program(program), db)
     return engine, net, db.rows("j")
+
+
+def run_churn_workload(
+    m: int,
+    strategy: str,
+    tuples_per_stream: int = 10,
+    streams: Sequence[str] = ("r", "s"),
+    key_domain: int = 4,
+    program: Optional[str] = None,
+    seed: int = 0,
+    churn_rate: float = 0.0,
+    slots: int = 4,
+    replicas: int = 3,
+    epoch: float = 0.5,
+    loss_rate: float = 0.0,
+    reliable: bool = True,
+    repair: bool = True,
+    window: float = 1e9,
+    **net_kwargs,
+):
+    """The E20 workload: a uniform multi-stream join on an m x m grid
+    under seeded node churn.  Returns (engine, network, expected_rows,
+    injector).
+
+    Publishes are *staggered* across simulated time — batch ``i`` (one
+    tuple per stream) fires at ``(i + 0.37) * epoch`` — while a
+    :meth:`FaultSchedule.random_churn` schedule keeps ~``churn_rate``
+    of the nodes down over the whole horizon, rotating membership every
+    slot.  A publish whose origin is dead at publish time is skipped
+    AND excluded from the oracle (a dead sensor senses nothing): both
+    sides of the comparison are pure functions of the seed, because the
+    schedule is built before the simulation and never touches the sim
+    RNG.  ``replicas`` sets the GHT replica-set size; ``repair=True``
+    arms routing self-repair and the engine's recovery hooks
+    (anti-entropy on recover, soft-state refresh on heal).
+    """
+    if program is None:
+        head_vars = ", ".join(f"V{i}" for i in range(len(streams)))
+        body = ", ".join(f"{s}(K, V{i})" for i, s in enumerate(streams))
+        program = f"j(K, {head_vars}) :- {body}."
+    net = GridNetwork(
+        m, seed=seed, loss_rate=loss_rate, reliable=reliable,
+        ght_replicas=replicas, **net_kwargs
+    )
+    engine = GPAEngine(
+        parse_program(program), net, strategy=strategy, window=window,
+        fault_tolerant=True,
+    ).install()
+    # The churn horizon must cover the whole activity window, not just
+    # the publish window: with the reliable transport on, join phases
+    # launch a full (retry-horizon-widened) tau_s after their publish,
+    # and result routing trails the joins — churn that ends with the
+    # publishes would never overlap the phases it is supposed to shake.
+    last_publish = (tuples_per_stream - 1 + 0.37) * epoch
+    horizon = (last_publish + engine.window_params.join_delay) * 1.2
+    schedule = FaultSchedule.random_churn(
+        net.topology.node_ids, churn_rate, horizon, seed, slots=slots
+    )
+    injector = FaultInjector(net, schedule, repair=repair).arm()
+    engine.attach_faults(injector)
+    rng = random.Random(seed + 1)
+    facts = []
+    for i in range(tuples_per_stream):
+        when = (i + 0.37) * epoch  # strictly inside a churn slot
+        for stream in streams:
+            node = rng.randrange(m * m)
+            args = (rng.randrange(key_domain), f"{stream}{i}")
+            if schedule.down_at(node, when):
+                continue  # a dead sensor senses nothing
+            net.sim.schedule_at(
+                when,
+                lambda n=node, s=stream, a=args: engine.publish(n, s, a),
+            )
+            facts.append((stream, args))
+    net.run_all()
+    db = Database()
+    for pred, args in facts:
+        db.assert_fact(pred, args)
+    evaluate(parse_program(program), db)
+    return engine, net, db.rows("j"), injector

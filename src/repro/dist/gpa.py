@@ -220,16 +220,35 @@ class JoinToken(Message):
 
 
 class ResultMsg(Message):
-    """A complete result routed to its hash node."""
+    """A complete result routed to its hash node (or, in
+    fault-tolerant mode, to every live member of its replica set).
 
-    def __init__(self, pred: str, args: ArgsTuple, derivation: WireDerivation, op: str, ts: float):
+    ``resync=True`` marks anti-entropy repair traffic: the receiver
+    stores the derivation but never re-publishes downstream or records
+    latency — the result already went through its first derivation
+    when it was originally computed.
+    """
+
+    def __init__(
+        self,
+        pred: str,
+        args: ArgsTuple,
+        derivation: WireDerivation,
+        op: str,
+        ts: float,
+        resync: bool = False,
+    ):
         size = 1 + sum(term_size(a) for a in args) + derivation.size()
-        super().__init__("gpa_result", payload_symbols=size, category="result")
+        super().__init__(
+            "gpa_result", payload_symbols=size,
+            category="repair" if resync else "result",
+        )
         self.pred = pred
         self.args = args
         self.derivation = derivation
         self.op = op  # 'add' | 'sub'
         self.ts = ts
+        self.resync = resync
 
 
 # ---------------------------------------------------------------------------
@@ -296,11 +315,23 @@ class GPAEngine:
         registry: Optional[BuiltinRegistry] = None,
         allow_local_nonrecursive: bool = False,
         scheme: str = "one-pass",
+        fault_tolerant: bool = False,
         **strategy_kwargs,
     ):
         if scheme not in ("one-pass", "multi-pass"):
             raise PlanError(f"unknown join scheme {scheme!r}")
         self.scheme = scheme
+        #: Fault-tolerant mode (E20): phase paths skip dead members,
+        #: dead join members are substituted by live storage-region
+        #: mates, results fan out to the GHT replica set, and the
+        #: recovery hooks (anti-entropy, soft-state refresh) are live.
+        #: Off by default — the default paths are byte-identical to the
+        #: pre-fault engine.
+        self.fault_tolerant = fault_tolerant
+        #: Recovery counters (fault-tolerant mode only).
+        self.ght_failovers = 0
+        self.region_repairs = 0
+        self.resyncs = 0
         if isinstance(program, str):
             program = parse_program(program, registry) if registry else parse_program(program)
         self.plan = DistributedPlan(program, registry, allow_local_nonrecursive)
@@ -363,17 +394,44 @@ class GPAEngine:
         #: its retry budget (reliable mode only) — the signal that
         #: results may be incomplete despite reliability.
         self.delivery_status: Dict[str, int] = {"delivered": 0, "gave_up": 0}
+        #: Why give-ups happened: 'dead' (next hop down when the retry
+        #: budget ran out), 'budget' (link just too lossy), 'no_route'
+        #: (no live path at all).
+        self.give_up_reasons: Dict[str, int] = {}
         self._installed = True
         return self
 
-    def _track_delivery(self, status: str) -> None:
-        self.delivery_status[status] = self.delivery_status.get(status, 0) + 1
+    def attach_faults(self, injector) -> "GPAEngine":
+        """Subscribe the engine's recovery mechanisms to a
+        :class:`~repro.net.faults.FaultInjector`: node recoveries
+        trigger anti-entropy re-sync of the recovered replica holder,
+        partition heals trigger a soft-state refresh of storage
+        regions."""
+        self._require_installed()
+        injector.subscribe(self._on_fault)
+        return self
 
-    def delivery_report(self) -> Dict[str, int]:
+    def _on_fault(self, event) -> None:
+        if event.kind == "recover":
+            self._anti_entropy(event.node)
+        elif event.kind == "heal":
+            self.refresh_soft_state()
+
+    def _track_delivery(self, status: str, reason: str = "") -> None:
+        self.delivery_status[status] = self.delivery_status.get(status, 0) + 1
+        if status == "gave_up" and reason:
+            self.give_up_reasons[reason] = self.give_up_reasons.get(reason, 0) + 1
+
+    def delivery_report(self) -> Dict[str, object]:
         """Counts of 'delivered'/'gave_up' outcomes for this engine's
-        routed phase traffic.  'gave_up' is only ever non-zero with the
-        reliable transport on — unreliable drops vanish silently."""
-        return dict(self.delivery_status)
+        routed phase traffic, plus a ``reason`` breakdown of the
+        give-ups ('dead' next hop vs. 'budget' exhaustion on a live but
+        lossy link vs. 'no_route').  'gave_up' is only ever non-zero
+        with the reliable transport on — unreliable drops vanish
+        silently."""
+        report: Dict[str, object] = dict(self.delivery_status)
+        report["reason"] = dict(self.give_up_reasons)
+        return report
 
     def runtime(self, node_id: int) -> NodeRuntime:
         return self.runtimes[node_id]
@@ -433,6 +491,107 @@ class GPAEngine:
 
     # -- phase orchestration -------------------------------------------------
 
+    def _pop_storage_hop(self, path: List[int]) -> Optional[int]:
+        """Next storage-path member to visit.  In fault-tolerant mode
+        dead members are skipped — replicas continue past a dead node
+        to the rest of the region (its copy is just unreachable until
+        it recovers and re-syncs).  Default mode is exactly
+        ``path.pop(0)``."""
+        if not self.fault_tolerant:
+            return path.pop(0)
+        radio = self.network.radio
+        while path:
+            nxt = path.pop(0)
+            if radio.is_alive(nxt):
+                return nxt
+        return None
+
+    def _pop_join_hop(self, path: List[int]) -> Optional[int]:
+        """Next join-path member to visit.  In fault-tolerant mode a
+        dead member is *substituted* by its nearest live storage-region
+        mate (which holds the same replicas — PA's intersection
+        invariant survives the swap); with no live mate it is skipped.
+        Default mode is exactly ``path.pop(0)``."""
+        if not self.fault_tolerant:
+            return path.pop(0)
+        radio = self.network.radio
+        while path:
+            nxt = path.pop(0)
+            if radio.is_alive(nxt):
+                return nxt
+            for alt in self.strategy.join_alternates(nxt):
+                if radio.is_alive(alt):
+                    self.region_repairs += 1
+                    if _obs.enabled:
+                        _inst.tree_repairs.labels(kind="join").inc()
+                    return alt
+        return None
+
+    def _send_store(self, node: Node, msg: StoreMsg, nxt: int) -> None:
+        """Forward a storage message to its next region member.  In
+        fault-tolerant mode the delivery callback is a failure
+        detector: a hop that terminally fails (the member died with
+        the message in flight, or no live route remains) re-targets
+        from the sending member — the dead member goes back on the
+        path so the next pop skips it and replication continues past
+        the gap, instead of silently truncating the region."""
+        if not self.fault_tolerant:
+            node.send_routed(nxt, msg, on_status=self._track_delivery)
+            return
+
+        def outcome(status: str, reason: str = "") -> None:
+            self._track_delivery(status, reason)
+            if status != "gave_up":
+                return
+            msg.retargets = getattr(msg, "retargets", 0) + 1
+            if msg.retargets > 2 * (len(msg.path) + 2):
+                return  # stranded: repeated re-targets keep failing
+            msg.path.insert(0, nxt)
+            follow = self._pop_storage_hop(msg.path)
+            if follow is not None:
+                self._send_store(node, msg, follow)
+
+        node.send_routed(nxt, msg, on_status=outcome)
+
+    def _send_token(self, node: Node, token: JoinToken, nxt: int) -> None:
+        """Forward a join token to its next member, with the same
+        in-flight failure recovery as :meth:`_send_store`: a terminal
+        hop failure puts the member back on the path and re-targets
+        from the sender, so a member that died mid-flight is
+        substituted by a live storage-region mate on the next pop and
+        the token — with every partial result it carries — survives."""
+        if not self.fault_tolerant:
+            node.send_routed(nxt, token, on_status=self._track_delivery)
+            return
+
+        def outcome(status: str, reason: str = "") -> None:
+            self._track_delivery(status, reason)
+            if status != "gave_up":
+                return
+            token.retargets = getattr(token, "retargets", 0) + 1
+            if token.retargets > 2 * max(1, len(token.region)):
+                return  # stranded (e.g. the sender is isolated)
+            token.path.insert(0, nxt)
+            self._continue_token(node, token)
+
+        node.send_routed(nxt, token, on_status=outcome)
+
+    def _continue_token(self, node: Node, token: JoinToken) -> None:
+        """Move a join token to its next (live) member, or finish the
+        traversal at ``node`` when the path is exhausted."""
+        rp = self.plan.by_id[token.rule_id]
+        nxt = self._pop_join_hop(token.path) if token.path else None
+        if nxt is not None:
+            token.refresh_size()
+            self._send_token(node, token, nxt)
+            return
+        for cand in token.candidates:
+            self._emit_result(node, rp, cand, token.update_ts)
+        token.candidates = []
+        token.partials = []
+        if _obs.enabled:
+            self._observe_phase("join", token)
+
     def _start_phases(
         self, node_id: int, tup: StreamTuple, op: str, del_ts: Optional[float]
     ) -> None:
@@ -447,10 +606,14 @@ class GPAEngine:
         # Storage phase: replicate / deletion-mark along the region.
         node = self.network.node(node_id)
         for path in self.strategy.storage_paths(node_id):
-            msg = StoreMsg(op, tup, list(path[1:]), del_ts)
+            path = list(path)
+            first = self._pop_storage_hop(path)
+            if first is None:
+                continue  # every member dead: nothing to replicate to
+            msg = StoreMsg(op, tup, path, del_ts)
             if _obs.enabled:
                 msg._obs_born = self.network.sim.now
-            node.send_routed(path[0], msg, on_status=self._track_delivery)
+            self._send_store(node, msg, first)
 
         # Join phase: after tau_s + tau_c (Theorem 3's delay).
         if not self.plan.consumed(tup.predicate):
@@ -464,6 +627,23 @@ class GPAEngine:
     def _launch_join_phases(
         self, node_id: int, tup: StreamTuple, op: str, update_ts: float
     ) -> None:
+        if self.fault_tolerant and not self.network.radio.is_alive(node_id):
+            # The origin died while the join delay elapsed — but its
+            # storage-region mates hold the trigger replica, and every
+            # join region meets every storage region (PA's invariant),
+            # so a live mate can run the phase in its stead (its own
+            # join region is just as valid a traversal).
+            alt = next(
+                (a for a in self.strategy.join_alternates(node_id)
+                 if self.network.radio.is_alive(a)),
+                None,
+            )
+            if alt is None:
+                return  # no region structure (or the whole row is dead)
+            self.region_repairs += 1
+            if _obs.enabled:
+                _inst.tree_repairs.labels(kind="launch").inc()
+            node_id = alt
         trigger = FactRef(tup.predicate, tup.args, tup.tuple_id)
         for rp, occ in self.plan.positive_triggers.get(tup.predicate, ()):
             self._launch_token(node_id, rp, occ, trigger, False, op, update_ts)
@@ -551,11 +731,13 @@ class GPAEngine:
         if _obs.enabled:
             token._obs_born = self.network.sim.now
         node = self.network.node(node_id)
-        first = token.path.pop(0)
+        first = self._pop_join_hop(token.path)
+        if first is None:
+            return  # the whole join region (and every mate) is dead
         if first == node_id:
             node.local_deliver(token)
         else:
-            node.send_routed(first, token, on_status=self._track_delivery)
+            self._send_token(node, token, first)
 
     # -- handlers --------------------------------------------------------------
 
@@ -574,9 +756,11 @@ class GPAEngine:
             window.mark_deleted(msg.tup.tuple_id, msg.del_ts)
         window.expire(node.clock.now())
         if msg.path:
-            nxt = msg.path.pop(0)
-            node.send_routed(nxt, msg, on_status=self._track_delivery)
-        elif _obs.enabled:
+            nxt = self._pop_storage_hop(msg.path)
+            if nxt is not None:
+                self._send_store(node, msg, nxt)
+                return
+        if _obs.enabled:
             self._observe_phase("storage", msg)
 
     def _on_join(self, node: Node, token: JoinToken) -> None:
@@ -611,19 +795,11 @@ class GPAEngine:
                 runtime, rp, token, node,
                 {token.pass_indexes[token.current_pass]},
             )
-        if token.path:
-            token.refresh_size()
-            nxt = token.path.pop(0)
-            node.send_routed(nxt, token, on_status=self._track_delivery)
-        else:
-            # End of the join region: emit surviving candidates, discard
-            # the remaining partial results (Section III-A).
-            for cand in token.candidates:
-                self._emit_result(node, rp, cand, token.update_ts)
-            token.candidates = []
-            token.partials = []
-            if _obs.enabled:
-                self._observe_phase("join", token)
+        # End of the join region (path exhausted): emit surviving
+        # candidates, discard the remaining partial results (Section
+        # III-A).  Both that and the forward-to-next-member move live in
+        # _continue_token so in-flight failure recovery can re-enter it.
+        self._continue_token(node, token)
 
     def _visible(self, runtime: NodeRuntime, pred: str, token: JoinToken) -> List[StreamTuple]:
         win = runtime.windows.get(pred)
@@ -790,14 +966,36 @@ class GPAEngine:
         ts: float,
     ) -> None:
         pred = rp.head.predicate
-        home = self.network.ght.node_for_fact(pred, head_args)
-        msg = ResultMsg(pred, head_args, derivation, op, ts)
-        if _obs.enabled:
-            msg._obs_born = self.network.sim.now
-        if home == node.id:
-            node.local_deliver(msg)
-        else:
-            node.send_routed(home, msg, on_status=self._track_delivery)
+        if not self.fault_tolerant:
+            home = self.network.ght.node_for_fact(pred, head_args)
+            msg = ResultMsg(pred, head_args, derivation, op, ts)
+            if _obs.enabled:
+                msg._obs_born = self.network.sim.now
+            if home == node.id:
+                node.local_deliver(msg)
+            else:
+                node.send_routed(home, msg, on_status=self._track_delivery)
+            return
+        # Fault-tolerant: fan out to every live replica-set member; the
+        # current primary (first live member) is the one that will
+        # publish downstream (see _on_result).
+        radio = self.network.radio
+        replica_set = self.network.ght.nodes_for_fact(pred, head_args)
+        live = [r for r in replica_set if radio.is_alive(r)]
+        if not live:
+            return  # the whole replica set is down: the result is lost
+        if live[0] != replica_set[0]:
+            self.ght_failovers += 1
+            if _obs.enabled:
+                _inst.ght_failovers.inc()
+        for target in live:
+            msg = ResultMsg(pred, head_args, derivation, op, ts)
+            if _obs.enabled:
+                msg._obs_born = self.network.sim.now
+            if target == node.id:
+                node.local_deliver(msg)
+            else:
+                node.send_routed(target, msg, on_status=self._track_delivery)
 
     # -- derived table management ------------------------------------------------
 
@@ -811,6 +1009,22 @@ class GPAEngine:
             fact = DerivedFact()
             runtime.derived[key] = fact
         ident = msg.derivation.identity()
+        # In fault-tolerant mode every live replica stores the result,
+        # but only the *current primary* (first live replica-set
+        # member) publishes downstream generations/deletions and
+        # records latency — otherwise k replicas would start k derived
+        # streams.  Resync (anti-entropy) traffic never publishes: the
+        # result had its first derivation long ago.
+        publisher = True
+        if self.fault_tolerant:
+            if getattr(msg, "resync", False):
+                publisher = False
+            else:
+                primary = self.network.ght.primary_for_key(
+                    self.network.ght.key_for_fact(msg.pred, msg.args),
+                    self.network.radio,
+                )
+                publisher = primary == node.id
         if msg.op == "add":
             if ident in fact.derivations:
                 return  # duplicate result (replication/multi-path): ignored
@@ -818,6 +1032,8 @@ class GPAEngine:
             if not fact.visible:
                 fact.visible = True
                 fact.tuple_id = TupleID(node.id, node.clock.now(), node.next_seq())
+                if not publisher:
+                    return
                 latency = max(0.0, node.clock.now() - msg.ts)
                 self.latency_samples.append((msg.pred, latency))
                 if _obs.enabled:
@@ -829,7 +1045,111 @@ class GPAEngine:
             del fact.derivations[ident]
             if not fact.derivations and fact.visible:
                 fact.visible = False
-                self._publish_derived(node, msg.pred, msg.args, fact, op="del")
+                if publisher:
+                    self._publish_derived(node, msg.pred, msg.args, fact, op="del")
+
+    # -- recovery (fault-tolerant mode) -------------------------------------
+
+    def _anti_entropy(self, recovered: int) -> None:
+        """Re-sync a recovered node's soft state from its live peers.
+
+        Two pulls, both idempotent and message-costed (category
+        'repair'):
+
+        * **derived facts** — for every visible derived fact whose GHT
+          replica set contains the recovered node, the first live
+          holder re-sends the fact's derivations as ``resync`` result
+          messages (the receiver's derivation-identity dedup absorbs
+          anything it already had);
+        * **base windows** — the recovered node's storage-region mates
+          hold exactly the replicated window it missed while it was
+          down (PA's rows replicate row-wide), so the nearest live
+          mate re-sends whatever tuples the recovered window lacks.
+          The lack-check against the recovered window models the
+          digest exchange of an anti-entropy pull without flooding
+          the simulation with already-held replicas.
+        """
+        if not self.fault_tolerant:
+            return
+        ght = self.network.ght
+        radio = self.network.radio
+        if not radio.is_alive(recovered):
+            return
+        if ght.replicas >= 2:
+            synced: Set[Tuple[str, ArgsTuple]] = set()
+            for runtime in self.runtimes.values():
+                holder = runtime.node.id
+                if holder == recovered or not radio.is_alive(holder):
+                    continue
+                for (pred, args), fact in runtime.derived.items():
+                    if not fact.visible or (pred, args) in synced:
+                        continue
+                    if recovered not in ght.nodes_for_fact(pred, args):
+                        continue
+                    synced.add((pred, args))
+                    self.resyncs += 1
+                    if _obs.enabled:
+                        _inst.ght_resyncs.inc()
+                    node = self.network.node(holder)
+                    for derivation in list(fact.derivations.values()):
+                        msg = ResultMsg(
+                            pred, args, derivation, "add",
+                            self.network.sim.now, resync=True,
+                        )
+                        node.send_routed(
+                            recovered, msg, on_status=self._track_delivery
+                        )
+        donor = next(
+            (alt for alt in self.strategy.join_alternates(recovered)
+             if radio.is_alive(alt)),
+            None,
+        )
+        if donor is None:
+            return  # no storage-region structure (or no live mate)
+        donor_rt = self.runtimes[donor]
+        recovered_rt = self.runtimes[recovered]
+        node = self.network.node(donor)
+        for pred, window in donor_rt.windows.items():
+            have = recovered_rt.windows.get(pred)
+            for tup in list(window):
+                if have is not None and have.get(tup.tuple_id) is not None:
+                    continue
+                msg = StoreMsg("ins", tup, [], None)
+                msg.category = "repair"
+                self.resyncs += 1
+                node.send_routed(
+                    recovered, msg, on_status=self._track_delivery
+                )
+
+    def refresh_soft_state(self) -> None:
+        """Soft-state refresh (after a partition heals): every live
+        node re-advertises its *own-originated* live tuples along their
+        storage paths, repairing region replicas that the partition cut
+        off.  Idempotent — windows dedup replicas on tuple id — and
+        message-costed (category 'repair')."""
+        if not self.fault_tolerant:
+            return
+        radio = self.network.radio
+        for runtime in self.runtimes.values():
+            origin = runtime.node.id
+            if not radio.is_alive(origin):
+                continue
+            node = self.network.node(origin)
+            now = node.clock.now()
+            for window in runtime.windows.values():
+                for tup in window.live_at(now):
+                    if tup.tuple_id.source != origin:
+                        continue  # a replica: its origin re-advertises
+                    for path in self.strategy.storage_paths(origin):
+                        path = list(path)
+                        first = self._pop_storage_hop(path)
+                        if first is None:
+                            continue
+                        msg = StoreMsg("ins", tup, path, None)
+                        msg.category = "repair"
+                        node.send_routed(
+                            first, msg, on_status=self._track_delivery
+                        )
 
     def _publish_derived(self, node: Node, pred: str, args: ArgsTuple, fact: DerivedFact, op: str) -> None:
         """A derived tuple becomes a generation/deletion of the derived
@@ -886,10 +1206,17 @@ class GPAEngine:
 
     # -- observer API (no message cost: test/bench instrumentation) ---------------
 
-    def rows(self, pred: str) -> Set[tuple]:
-        """All visible derived facts for ``pred`` as Python value tuples."""
+    def rows(self, pred: str, live_only: bool = False) -> Set[tuple]:
+        """All visible derived facts for ``pred`` as Python value
+        tuples.  ``live_only=True`` counts only facts resident at
+        currently-live nodes — the churn experiments' completeness
+        measure (a fact stored solely at dead nodes is not retrievable,
+        which is exactly what replication is supposed to prevent)."""
         out = set()
+        radio = self.network.radio
         for runtime in self.runtimes.values():
+            if live_only and not radio.is_alive(runtime.node.id):
+                continue
             for (p, args), fact in runtime.derived.items():
                 if p == pred and fact.visible:
                     out.add(tuple(

@@ -65,6 +65,19 @@ class RegionStrategy:
     def join_path(self, origin: int) -> List[int]:
         raise NotImplementedError
 
+    def join_alternates(self, member: int) -> Sequence[int]:
+        """Live-substitute candidates for a dead join-path ``member``,
+        in preference order.
+
+        PA's invariant — every storage region intersects every join
+        region — means a join-region member's *storage-region mates*
+        hold the same replicated window it does, so any live mate can
+        stand in for it when it dies (E20's churn repair).  Strategies
+        without that structure return nothing (default): a dead member
+        is simply skipped.
+        """
+        return ()
+
     # -- timing bounds ------------------------------------------------------
 
     def storage_hops_bound(self) -> int:
@@ -103,6 +116,14 @@ class PerpendicularRegions(RegionStrategy):
     def join_path(self, origin: int) -> List[int]:
         x, _y = self.grid.coords(origin)
         return self.grid.column(x)
+
+    def join_alternates(self, member: int) -> Sequence[int]:
+        # A member's row-mates hold exactly its replicas (the row IS
+        # the storage region); nearest-first keeps the detour short.
+        x, y = self.grid.coords(member)
+        mates = [self.grid.node_at(i, y) for i in range(self.grid.m) if i != x]
+        mates.sort(key=lambda n: (abs(self.grid.coords(n)[0] - x), n))
+        return mates
 
     def storage_hops_bound(self) -> int:
         return self.grid.m
@@ -156,6 +177,15 @@ class VirtualGridRegions(RegionStrategy):
     def join_path(self, origin: int) -> List[int]:
         i = self.index_in_row[origin]
         return [row[min(i, len(row) - 1)] for row in self.rows]
+
+    def join_alternates(self, member: int) -> Sequence[int]:
+        # Virtual rows are the storage regions; any row-mate holds the
+        # member's replicas.  Nearest-by-rank first.
+        row = self.rows[self.row_of[member]]
+        idx = self.index_in_row[member]
+        mates = [n for n in row if n != member]
+        mates.sort(key=lambda n: (abs(self.index_in_row[n] - idx), n))
+        return mates
 
     def storage_hops_bound(self) -> int:
         longest = max(len(row) for row in self.rows)
@@ -290,6 +320,9 @@ class SpatialClip(RegionStrategy):
             node for node in self.inner.join_path(origin)
             if self._within(origin, node)
         ] or [origin]
+
+    def join_alternates(self, member: int) -> Sequence[int]:
+        return self.inner.join_alternates(member)
 
     def storage_hops_bound(self) -> int:
         return self.inner.storage_hops_bound()

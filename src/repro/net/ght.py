@@ -7,15 +7,26 @@ hashed location and are not re-generated).  Classic geographic hash
 tables (GHT) hash a key to a position and store at the node nearest
 that position; we do exactly that with a process-independent hash
 (Python's builtin ``hash`` is salted, so md5 it is).
+
+Failover (E20): with ``replicas=k > 1`` a key's *replica set* is its
+k-nearest nodes (GHT's "perimeter refresh" stores at the home node's
+perimeter; k-nearest is the point-topology analogue).  The *primary*
+is the first live member in (distance, id) order — when the home node
+dies, lookups fail over to the next-closest live replica and the key
+stays readable, which is what lets PA ride out node churn.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
 
+from ..core.errors import NetworkError
 from ..core.terms import Term
 from .topology import Position, Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .radio import Radio
 
 
 def stable_hash(data: str) -> int:
@@ -27,14 +38,23 @@ def stable_hash(data: str) -> int:
 class GeographicHash:
     """Hashes fact keys to storage nodes via positions."""
 
-    def __init__(self, topology: Topology):
+    def __init__(self, topology: Topology, replicas: int = 1):
+        if replicas < 1:
+            raise NetworkError(f"replicas {replicas} must be >= 1")
+        if replicas > len(topology):
+            raise NetworkError(
+                f"replicas {replicas} exceeds network size {len(topology)}"
+            )
         self.topology = topology
+        self.replicas = replicas
         self._bbox = topology.bounding_box()
         # key -> home node.  GPA re-hashes the same fact keys on every
         # store/join/result pass; topologies are immutable, so the
         # mapping never changes and the md5 + nearest-node work is paid
         # once per distinct key.
         self._home_cache: Dict[str, int] = {}
+        # key -> full replica set (k-nearest, by (distance, id)).
+        self._replica_cache: Dict[str, Tuple[int, ...]] = {}
 
     def position_for(self, key: str) -> Position:
         """Map a key to a position inside the deployment bounding box."""
@@ -54,6 +74,35 @@ class GeographicHash:
             self._home_cache[key] = home
         return home
 
+    def nodes_for_key(self, key: str) -> Tuple[int, ...]:
+        """The key's replica set: its ``replicas``-nearest nodes in
+        (distance, id) order, memoized.  Element 0 is the home node —
+        ``nodes_for_key(k)[0] == node_for_key(k)`` always."""
+        replica_set = self._replica_cache.get(key)
+        if replica_set is None:
+            replica_set = tuple(
+                self.topology.nearest_nodes(self.position_for(key), self.replicas)
+            )
+            self._replica_cache[key] = replica_set
+        return replica_set
+
+    def primary_for_key(self, key: str, radio: "Radio") -> Optional[int]:
+        """The first *live* member of the key's replica set (the node
+        lookups and stores should address right now), or None when the
+        whole set is dead."""
+        for node in self.nodes_for_key(key):
+            if radio.is_alive(node):
+                return node
+        return None
+
     def node_for_fact(self, predicate: str, args: Tuple[Term, ...]) -> int:
         """Home node for a derived fact (predicate + ground arguments)."""
         return self.node_for_key(f"{predicate}/{args!r}")
+
+    def key_for_fact(self, predicate: str, args: Tuple[Term, ...]) -> str:
+        """The GHT key a derived fact hashes under."""
+        return f"{predicate}/{args!r}"
+
+    def nodes_for_fact(self, predicate: str, args: Tuple[Term, ...]) -> Tuple[int, ...]:
+        """Replica set for a derived fact."""
+        return self.nodes_for_key(self.key_for_fact(predicate, args))

@@ -25,8 +25,13 @@ class SensorNetwork:
 
     ``reliable=True`` turns on per-hop ack/retransmit/dedup for every
     transmission (see :mod:`repro.net.transport`); ``transport`` tunes
-    its timeouts/budget.  The default stays fire-and-forget, so all
-    E1-E17 numbers are unchanged unless reliability is requested.
+    its timeouts/budget.  ``ght_replicas=k`` stores each GHT key at its
+    k-nearest nodes (failover under churn, E20); ``self_repair=True``
+    enables the delivery-failure-triggered routing repair in
+    :meth:`Node._forward` (a :class:`~repro.net.faults.FaultInjector`
+    with ``repair=True`` flips this on when armed).  The defaults stay
+    fire-and-forget / single-home / static-routes, so all E1-E17
+    numbers are unchanged unless the fault machinery is requested.
     """
 
     def __init__(
@@ -41,6 +46,8 @@ class SensorNetwork:
         collisions: bool = False,
         reliable: bool = False,
         transport: Optional[TransportConfig] = None,
+        ght_replicas: int = 1,
+        self_repair: bool = False,
     ):
         self.topology = topology
         self.sim = Simulator(seed)
@@ -51,7 +58,8 @@ class SensorNetwork:
             reliable=reliable, transport=transport,
         )
         self.router = Router(topology)
-        self.ght = GeographicHash(topology)
+        self.ght = GeographicHash(topology, replicas=ght_replicas)
+        self.self_repair = self_repair
         self.clock_skew = clock_skew
         self.nodes: Dict[int, Node] = {}
         for node_id in topology.node_ids:
@@ -78,6 +86,10 @@ class SensorNetwork:
     def nearest_node(self, point) -> int:
         """Node closest to a geographic point (O(1) expected)."""
         return self.topology.nearest_node(point)
+
+    def nearest_nodes(self, point, k: int):
+        """The k nodes closest to a geographic point."""
+        return self.topology.nearest_nodes(point, k)
 
     def nodes_within(self, point, radius: float):
         """Node ids within Euclidean ``radius`` of ``point``."""

@@ -20,10 +20,14 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Sequence, TYPE_CHECKING
 
 from ..core.errors import NetworkError
+from ..obs import instrument as _inst
+from ..obs import state as _obs
 from .messages import Message
 from .radio import _warn_category_kwarg
 from .sim import LocalClock
-from .transport import StatusCallback
+from .transport import (
+    GIVE_UP_DEAD, GIVE_UP_NO_ROUTE, StatusCallback, notify_gave_up,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .network import SensorNetwork
@@ -41,7 +45,7 @@ class RoutedEnvelope(Message):
     ``category=`` constructor argument is deprecated.
     """
 
-    __slots__ = ("inner", "on_status")
+    __slots__ = ("inner", "on_status", "repair_budget")
 
     def __init__(
         self,
@@ -60,12 +64,15 @@ class RoutedEnvelope(Message):
         )
         self.inner = inner
         self.on_status = on_status
+        #: Remaining next-hop re-selections the self-repair failure
+        #: detector may spend on this envelope before giving up.
+        self.repair_budget = 3
 
-    def _hop_status(self, status: str) -> None:
+    def _hop_status(self, status: str, reason: str = "") -> None:
         """Per-hop transport outcome: only terminal failure propagates
         (success is reported end-to-end, at the destination node)."""
-        if status == "gave_up" and self.on_status is not None:
-            self.on_status("gave_up")
+        if status == "gave_up":
+            notify_gave_up(self.on_status, reason)
 
 
 class Node:
@@ -112,12 +119,7 @@ class Node:
                     message.on_status("delivered")
                 self.deliver(message.inner)
             else:
-                hop = self.network.router.next_hop(self.id, message.dst)
-                self.network.radio.transmit(
-                    self.id, hop, message,
-                    self.network.node(hop).deliver,
-                    on_status=message._hop_status,
-                )
+                self._forward(message)
             return
         handler = self._handlers.get(message.kind)
         if handler is None:
@@ -125,6 +127,59 @@ class Node:
                 f"node {self.id} has no handler for message kind {message.kind!r}"
             )
         handler(self, message)
+
+    def _forward(self, envelope: RoutedEnvelope) -> None:
+        """Send a routed envelope one hop toward its destination.
+
+        With the network's ``self_repair`` flag off this is the plain
+        static-table hop (the pre-fault code path, byte-identical).
+        With it on, the per-hop delivery-status callback doubles as a
+        failure detector: a hop that terminally fails because its next
+        hop is dead (or its link is down) gets that node/edge excluded
+        from the routing view and the envelope re-forwarded along the
+        repaired tree — parent re-selection, bounded by the envelope's
+        ``repair_budget``.
+        """
+        network = self.network
+        if not network.self_repair:
+            hop = network.router.next_hop(self.id, envelope.dst)
+            network.radio.transmit(
+                self.id, hop, envelope,
+                network.node(hop).deliver,
+                on_status=envelope._hop_status,
+            )
+            return
+        try:
+            hop = network.router.next_hop(self.id, envelope.dst)
+        except NetworkError:
+            notify_gave_up(envelope.on_status, GIVE_UP_NO_ROUTE)
+            return
+
+        def hop_outcome(status: str, reason: str = "") -> None:
+            if status != "gave_up":
+                return
+            router = network.router
+            if reason == GIVE_UP_DEAD:
+                router.exclude(hop)
+            else:
+                # Budget exhausted with the neighbor alive: the link
+                # itself is bad (severed or hopelessly lossy) — route
+                # around the edge, not the node.
+                router.exclude_edge(self.id, hop)
+            if envelope.repair_budget <= 0:
+                notify_gave_up(envelope.on_status, reason)
+                return
+            envelope.repair_budget -= 1
+            router.repairs += 1
+            if _obs.enabled:
+                _inst.tree_repairs.labels(kind="route").inc()
+            self._forward(envelope)
+
+        network.radio.transmit(
+            self.id, hop, envelope,
+            network.node(hop).deliver,
+            on_status=hop_outcome,
+        )
 
     # -- sending ------------------------------------------------------------
 
@@ -167,11 +222,7 @@ class Node:
             self.deliver(message)
             return
         envelope = RoutedEnvelope(message, dst, on_status=on_status)
-        hop = self.network.router.next_hop(self.id, dst)
-        self.network.radio.transmit(
-            self.id, hop, envelope, self.network.node(hop).deliver,
-            on_status=envelope._hop_status,
-        )
+        self._forward(envelope)
 
     def local_deliver(self, message: Message) -> None:
         """Hand a message to this node's own handler without any radio

@@ -3,9 +3,13 @@
 Models per-hop latency (base + uniform jitter) and independent message
 loss.  Bounded message delay — the assumption behind Theorems 1-3 — is
 guaranteed by construction (delay <= delay_base + jitter).  Loss is the
-fault-injection knob for robustness experiments (E7); the paper's
-theorems assume no losses, and the experiments measure how gracefully
-results degrade when that assumption breaks.
+original fault-injection knob for robustness experiments (E7); the
+richer fault model — node crash/**revive** churn, transient link
+up/down, partitions, energy-depletion deaths — is driven declaratively
+by :mod:`repro.net.faults` (E20) through :meth:`Radio.kill`,
+:meth:`Radio.revive` and :meth:`Radio.link_down`/:meth:`Radio.link_up`.
+The paper's theorems assume none of these faults; the experiments
+measure how gracefully results degrade when the assumptions break.
 
 Two delivery modes:
 
@@ -97,6 +101,14 @@ class Radio:
         # server").
         self.battery_capacity = battery_capacity
         self.death_time: dict = {}
+        #: node -> why it is currently dead ('crash' | 'energy' | ...).
+        self.death_cause: dict = {}
+        # Earliest death ever recorded — survives revive() so lifetime
+        # metrics (E13) keep their meaning under churn.
+        self._first_death: Optional[float] = None
+        # Severed links (both orientations stored): frames across a
+        # down link are dropped at the sender, like any other loss.
+        self._down_links: set = set()
         #: RadioEvent observers (the one subscription point for traces,
         #: telemetry, tests, ...).
         self.observers: List[RadioObserver] = []
@@ -185,12 +197,66 @@ class Radio:
     def is_alive(self, node_id: int) -> bool:
         return node_id not in self.death_time
 
-    def kill(self, node_id: int) -> None:
+    def kill(self, node_id: int, cause: str = "crash") -> None:
         """Fail a node immediately (fault injection: crash, tamper,
-        hardware death).  The node stops transmitting and receiving;
-        its stored replicas are simply unreachable — which is exactly
-        the failure PA's replication is designed to ride out."""
-        self.death_time.setdefault(node_id, self.sim.now)
+        hardware or battery death).  The node stops transmitting and
+        receiving; its stored replicas are simply unreachable — which
+        is exactly the failure PA's replication is designed to ride
+        out.  ``cause`` is recorded for telemetry ('crash', 'energy',
+        ...); killing a dead node is a no-op."""
+        if node_id in self.death_time:
+            return
+        now = self.sim.now
+        self.death_time[node_id] = now
+        self.death_cause[node_id] = cause
+        if self._first_death is None or now < self._first_death:
+            self._first_death = now
+        if _obs.enabled:
+            _inst.node_crashes.labels(cause=cause).inc()
+
+    def revive(self, node_id: int) -> None:
+        """Recover a previously killed node (the paired inverse of
+        :meth:`kill`).  The node rejoins with *cleared queues*: its
+        volatile radio state — per-link FIFO arrival times, channel
+        occupancy, in-flight reliable transfers it originated, and its
+        receiver-side dedup memory — is gone, exactly as a reboot
+        would lose it.  Stored replicas/windows persist (they model
+        flash, and re-synchronization is the upper layers' job: see
+        ``GPAEngine.attach_faults``).  Reviving a live node is a no-op.
+
+        Note for battery deaths: revive does not refill the battery —
+        a node whose energy still exceeds the capacity dies again on
+        its next transmission.
+        """
+        if node_id not in self.death_time:
+            return
+        del self.death_time[node_id]
+        self.death_cause.pop(node_id, None)
+        for link in [l for l in self._last_arrival if node_id in l]:
+            del self._last_arrival[link]
+        self._channel.pop(node_id, None)
+        self.transport.forget(node_id)
+        if _obs.enabled:
+            _inst.node_recoveries.inc()
+
+    def link_down(self, a: int, b: int) -> None:
+        """Sever the bidirectional link between ``a`` and ``b``:
+        frames across it are dropped at send time (transient link
+        fault / partition cut)."""
+        self._down_links.add((a, b))
+        self._down_links.add((b, a))
+        if _obs.enabled:
+            _inst.link_faults.labels(state="down").inc()
+
+    def link_up(self, a: int, b: int) -> None:
+        """Restore a severed link (no-op if it was up)."""
+        self._down_links.discard((a, b))
+        self._down_links.discard((b, a))
+        if _obs.enabled:
+            _inst.link_faults.labels(state="up").inc()
+
+    def link_is_up(self, a: int, b: int) -> bool:
+        return (a, b) not in self._down_links
 
     def _check_battery(self, node_id: int) -> None:
         if (
@@ -198,11 +264,12 @@ class Radio:
             and node_id not in self.death_time
             and self.metrics.energy[node_id] > self.battery_capacity
         ):
-            self.death_time[node_id] = self.sim.now
+            self.kill(node_id, cause="energy")
 
     @property
     def first_death_time(self) -> Optional[float]:
-        return min(self.death_time.values()) if self.death_time else None
+        """Earliest death ever recorded (not erased by revive)."""
+        return self._first_death
 
     @property
     def max_flight_delay(self) -> float:
@@ -273,6 +340,9 @@ class Radio:
         if not self.is_alive(dst_id):
             self._drop(src_id, dst_id, message, reason="dead")
             return  # nobody listening
+        if self._down_links and (src_id, dst_id) in self._down_links:
+            self._drop(src_id, dst_id, message, reason="link_down")
+            return  # severed link: nothing crosses the cut
         lost = bool(self.loss_rate) and sim.rng.random() < self.loss_rate
         if lost and not self.collisions:
             self._drop(src_id, dst_id, message, reason="loss")

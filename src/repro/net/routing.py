@@ -6,11 +6,22 @@ that product directly: shortest-path next-hop tables computed lazily
 per destination (one BFS each), which every node consults hop-by-hop.
 Route-maintenance traffic is not modeled — the paper's costs exclude it
 for all compared schemes alike, so shapes are unaffected.
+
+Self-repair (E20): the fault layer feeds the router a liveness view —
+:meth:`Router.exclude`/:meth:`Router.restore` for nodes,
+:meth:`Router.exclude_edge`/:meth:`Router.restore_edge` for links.
+While anything is excluded, :meth:`next_hop` answers from a second set
+of tables computed over the *live* subgraph, rebuilt lazily whenever
+the view changes — the steady-state product of a route-maintenance
+protocol reacting to failures ("Power Aware Routing for Sensor
+Databases" maintains exactly this).  With nothing excluded the
+original static tables answer, byte-identically to the pre-fault code
+path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 import networkx as nx
 
@@ -25,6 +36,61 @@ class Router:
         self.topology = topology
         # _next_hop[dst][node] = neighbor of node, one hop closer to dst
         self._next_hop: Dict[int, Dict[int, int]] = {}
+        # Liveness view (fed by the fault layer / failure detector).
+        self._excluded_nodes: Set[int] = set()
+        self._excluded_edges: Set[Tuple[int, int]] = set()
+        # Tables over the live subgraph, valid for the current view;
+        # dropped wholesale whenever the view changes.
+        self._live_tables: Dict[int, Dict[int, int]] = {}
+        #: Next-hop re-selections performed after delivery failures
+        #: (incremented by the failure detector in Node._forward).
+        self.repairs = 0
+
+    # -- liveness view -----------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """Whether anything is currently excluded from routing."""
+        return bool(self._excluded_nodes or self._excluded_edges)
+
+    def exclude(self, node: int) -> None:
+        """Remove a (dead) node from the routing view."""
+        if node not in self._excluded_nodes:
+            self._excluded_nodes.add(node)
+            self._live_tables.clear()
+
+    def restore(self, node: int) -> None:
+        """Return a recovered node to the routing view."""
+        if node in self._excluded_nodes:
+            self._excluded_nodes.discard(node)
+            self._live_tables.clear()
+
+    def exclude_edge(self, a: int, b: int) -> None:
+        """Remove a (severed) link from the routing view."""
+        edge = (a, b) if a < b else (b, a)
+        if edge not in self._excluded_edges:
+            self._excluded_edges.add(edge)
+            self._live_tables.clear()
+
+    def restore_edge(self, a: int, b: int) -> None:
+        """Return a restored link to the routing view."""
+        edge = (a, b) if a < b else (b, a)
+        if edge in self._excluded_edges:
+            self._excluded_edges.discard(edge)
+            self._live_tables.clear()
+
+    def _live_graph(self):
+        excluded_nodes = self._excluded_nodes
+        excluded_edges = self._excluded_edges
+        return nx.subgraph_view(
+            self.topology.graph,
+            filter_node=lambda n: n not in excluded_nodes,
+            filter_edge=lambda a, b: (
+                ((a, b) if a < b else (b, a)) not in excluded_edges
+            ),
+        )
+
+    # -- tables ------------------------------------------------------------
 
     def _table_for(self, dst: int) -> Dict[int, int]:
         table = self._next_hop.get(dst)
@@ -35,11 +101,26 @@ class Router:
             self._next_hop[dst] = table
         return table
 
+    def _live_table_for(self, dst: int) -> Dict[int, int]:
+        table = self._live_tables.get(dst)
+        if table is None:
+            if dst in self._excluded_nodes:
+                table = {}  # nothing routes to a dead destination
+            else:
+                parents = nx.bfs_predecessors(self._live_graph(), dst)
+                table = {node: parent for node, parent in parents}
+            self._live_tables[dst] = table
+        return table
+
     def next_hop(self, node: int, dst: int) -> int:
-        """The neighbor of ``node`` on a shortest path to ``dst``."""
+        """The neighbor of ``node`` on a shortest path to ``dst``
+        (over the live subgraph while the view is degraded)."""
         if node == dst:
             raise NetworkError(f"node {node} routing to itself")
-        table = self._table_for(dst)
+        if self.degraded:
+            table = self._live_table_for(dst)
+        else:
+            table = self._table_for(dst)
         hop = table.get(node)
         if hop is None:
             raise NetworkError(f"no route from {node} to {dst}")

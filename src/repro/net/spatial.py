@@ -26,6 +26,7 @@ gates on it.
 
 from __future__ import annotations
 
+import bisect
 import math
 from collections import defaultdict
 from typing import Dict, Iterator, List, Tuple
@@ -129,6 +130,41 @@ class GridIndex:
                         best = cand
             k += 1
         return best[1]
+
+    def nearest_k(self, point: Position, k: int) -> List[int]:
+        """The ``k`` nodes closest to ``point``, ordered by
+        ``(distance, id)`` — identical to
+        ``sorted(ids, key=lambda n: (dist(n, point), n))[:k]``.
+
+        Same expanding-ring scheme as :meth:`nearest`, except rings
+        keep expanding until no unvisited cell can beat the *k-th best*
+        candidate.  GHT replica sets (E20) are exactly this query:
+        a key's k-nearest nodes, deterministic across processes.
+        """
+        if k < 1:
+            raise ValueError(f"k {k} must be >= 1")
+        if not self.positions:
+            raise ValueError("empty index")
+        px, py = point
+        cx, cy = self.cell_of(point)
+        positions = self.positions
+        best: List[Tuple[float, int]] = []
+        ring = 0
+        max_ring = self._max_ring(cx, cy)
+        while ring <= max_ring:
+            if len(best) == k and (ring - 1) * self.cell > best[-1][0]:
+                break
+            for bucket in self._ring(cx, cy, ring):
+                for n in bucket:
+                    q = positions[n]
+                    cand = (math.hypot(q[0] - px, q[1] - py), n)
+                    if len(best) < k:
+                        bisect.insort(best, cand)
+                    elif cand < best[-1]:
+                        bisect.insort(best, cand)
+                        best.pop()
+            ring += 1
+        return [n for _, n in best]
 
     def _max_ring(self, cx: int, cy: int) -> int:
         """Chebyshev distance from (cx, cy) to the farthest occupied

@@ -142,6 +142,11 @@ class Topology:
         """Node closest to a geographic point (ties: lowest id)."""
         return self.spatial.nearest(point)
 
+    def nearest_nodes(self, point: Position, k: int) -> List[int]:
+        """The ``k`` nodes closest to ``point``, by (distance, id) —
+        GHT replica sets hash a key here."""
+        return self.spatial.nearest_k(point, k)
+
     def within_radius(self, point: Position, radius: float) -> List[int]:
         """Node ids within Euclidean ``radius`` of ``point`` (ascending)."""
         return self.spatial.within(point, radius)

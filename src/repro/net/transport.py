@@ -29,6 +29,7 @@ horizon (all timeouts elapse, the last attempt flies); the radio's
 
 from __future__ import annotations
 
+import inspect
 from collections import defaultdict
 from typing import Callable, Dict, Optional, Set, Tuple, TYPE_CHECKING
 
@@ -39,7 +40,44 @@ if TYPE_CHECKING:  # pragma: no cover
     from .radio import Radio
 
 #: Delivery-status callback: called once with 'delivered' or 'gave_up'.
+#: Callbacks that accept a second positional parameter additionally
+#: receive the give-up *reason* ('dead' — the next hop was down when the
+#: retry budget ran out, 'budget' — the link was just too lossy,
+#: 'no_route' — the routing layer found no live path); single-parameter
+#: callbacks keep working unchanged.
 StatusCallback = Callable[[str], None]
+
+#: Give-up reasons (the second argument of reason-aware callbacks).
+GIVE_UP_DEAD = "dead"
+GIVE_UP_BUDGET = "budget"
+GIVE_UP_NO_ROUTE = "no_route"
+
+
+def _accepts_reason(callback) -> bool:
+    """Whether a status callback takes a second positional parameter
+    (the give-up reason).  Inspected only on the rare give-up path."""
+    try:
+        signature = inspect.signature(callback)
+    except (TypeError, ValueError):
+        return False
+    positional = 0
+    for param in signature.parameters.values():
+        if param.kind in (param.POSITIONAL_ONLY, param.POSITIONAL_OR_KEYWORD):
+            positional += 1
+        elif param.kind == param.VAR_POSITIONAL:
+            return True
+    return positional >= 2
+
+
+def notify_gave_up(callback: Optional[StatusCallback], reason: str) -> None:
+    """Report a terminal delivery failure through ``callback``, passing
+    the reason along when the callback can take it."""
+    if callback is None:
+        return
+    if _accepts_reason(callback):
+        callback("gave_up", reason)
+    else:
+        callback("gave_up")
 
 #: Message kind of link-layer acknowledgments.
 ACK = "__ack__"
@@ -130,6 +168,16 @@ class ReliableTransport:
         #: (src, dst, msg_id) -> in-flight transfer state.
         self._pending: Dict[Tuple[int, int, int], _Transfer] = {}
 
+    def forget(self, node_id: int) -> None:
+        """Drop ``node_id``'s volatile transport state (its reboot just
+        lost it): transfers it originated stop retrying, and its
+        receiver-side dedup memory is cleared — a retransmission that
+        arrives after the reboot is delivered again (upper layers
+        absorb the duplicate via derivation identity)."""
+        for key in [k for k in self._pending if k[0] == node_id]:
+            del self._pending[key]
+        self._seen.pop(node_id, None)
+
     @property
     def initial_timeout(self) -> float:
         flight = self.radio.delay_base + self.radio.delay_jitter
@@ -185,11 +233,18 @@ class ReliableTransport:
         if state.attempt >= 1 + self.config.max_retries:
             del self._pending[key]
             self.radio.metrics.record_retry_exhausted()
-            self.radio._emit(
-                "give_up", src, dst, message, attempt=state.attempt
+            # Why did the budget run out?  A dead receiver is a
+            # topology fault the routing layer can repair around; a
+            # merely lossy link is not.  Upper layers key their
+            # failure detectors on this distinction.
+            reason = (
+                GIVE_UP_DEAD if not self.radio.is_alive(dst) else GIVE_UP_BUDGET
             )
-            if on_status is not None:
-                on_status("gave_up")
+            self.radio._emit(
+                "give_up", src, dst, message, attempt=state.attempt,
+                detail=reason,
+            )
+            notify_gave_up(on_status, reason)
             return
         self._attempt(key, src, dst, message, deliver, on_status)
 

@@ -177,6 +177,38 @@ def discard_buffers() -> None:
     _radio_tx_buffer.clear()
     _radio_event_buffer.clear()
 
+# -- net.faults / recovery (fault injection, E20) ---------------------------
+
+node_crashes = REGISTRY.counter(
+    "repro_node_crashes_total",
+    "Node deaths, by cause ('crash' fault injection, 'energy' battery "
+    "depletion)",
+    labelnames=("cause",),
+)
+node_recoveries = REGISTRY.counter(
+    "repro_node_recoveries_total",
+    "Nodes revived after a death (Radio.revive)",
+)
+link_faults = REGISTRY.counter(
+    "repro_link_faults_total",
+    "Link state transitions injected by the fault layer, by new state",
+    labelnames=("state",),
+)
+ght_failovers = REGISTRY.counter(
+    "repro_ght_failovers_total",
+    "GHT lookups re-homed from a dead primary to a live replica",
+)
+ght_resyncs = REGISTRY.counter(
+    "repro_ght_resyncs_total",
+    "Anti-entropy re-syncs pulled by recovered replica holders",
+)
+tree_repairs = REGISTRY.counter(
+    "repro_tree_repairs_total",
+    "Routing self-repairs, by kind ('route' next-hop re-selection, "
+    "'join' join-member substitution, 'launch' dead-origin join launch)",
+    labelnames=("kind",),
+)
+
 # -- dist.gpa / dist.localized ---------------------------------------------
 
 gpa_messages = REGISTRY.counter(

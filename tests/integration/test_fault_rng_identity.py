@@ -1,0 +1,107 @@
+"""RNG-identity guards for the fault-injection subsystem.
+
+The E20 machinery (replica sets, self-repair, fault schedules) must be
+pay-for-what-you-use: with the defaults — ``ght_replicas=1``,
+``self_repair=False``, no injector — every simulation is *byte-identical*
+to the pre-fault-subsystem code.  These tests pin exact outputs (row
+sets, message counts, energy totals to the float) of representative
+E1/E7/E18-style workloads; any change to a default code path that
+shifts an RNG draw or a message trips them.
+
+The pinned constants were measured on the commit immediately before the
+fault subsystem landed and verified unchanged after it.
+"""
+
+import os
+import sys
+
+import pytest
+
+BENCH_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "..", "benchmarks"
+)
+sys.path.insert(0, BENCH_DIR)
+
+from harness import run_churn_workload, run_join_workload  # noqa: E402
+
+from repro.net.faults import FaultInjector, FaultSchedule  # noqa: E402
+from repro.net.messages import Message  # noqa: E402
+from repro.net.network import GridNetwork  # noqa: E402
+
+
+class TestDefaultPathsUnchanged:
+    def test_e1_style_join_workload_fingerprint(self):
+        """The zero-fault E1/E7 workload: complete results and exact
+        message/energy totals."""
+        engine, net, expected = run_join_workload(6, "pa", seed=3)
+        assert len(engine.rows("j") & expected) == 36 and len(expected) == 36
+        assert net.metrics.total_messages == 581
+        assert round(net.metrics.total_energy, 1) == 27013.8
+
+        engine, net, expected = run_join_workload(8, "pa", seed=7)
+        assert len(engine.rows("j") & expected) == 37 and len(expected) == 37
+        assert net.metrics.total_messages == 817
+        assert round(net.metrics.total_energy, 1) == 37710.6
+
+    def test_e7_style_lossy_completeness_fingerprint(self):
+        """Lossy (unreliable) trials: the exact completeness fractions
+        depend on every RNG draw in order."""
+        from bench_e7_robustness import trial
+
+        assert trial("pa", 0.1, 6, 8, 0) == pytest.approx(0.7272727272727273)
+        assert trial("centralized", 0.1, 6, 8, 1) == pytest.approx(0.65)
+        assert trial("pa", 0.0, 6, 8, 2) == 1.0
+
+    def test_e18_style_reliable_fingerprint(self):
+        """Reliable transport under loss: acks/retries/dups counts are
+        a fingerprint of the whole retransmission schedule."""
+        from bench_e18_reliable_loss import measure
+
+        got = measure(0.10, m=6, tuples=6, reps=2, reliable=True)
+        assert got == {
+            "completeness": 1.0,
+            "extras": 0,
+            "messages": 557.0,
+            "acks": 477,
+            "retries": 117,
+            "dups": 43,
+            "give_ups": 0,
+        }
+
+
+class TestEmptyScheduleIsFree:
+    def test_armed_empty_injector_changes_nothing(self):
+        """Arming an injector with an empty schedule must not consume a
+        single RNG draw or schedule a single extra event."""
+        def fingerprint(with_injector):
+            net = GridNetwork(5, seed=21, loss_rate=0.15, reliable=True)
+            got = []
+            net.node(24).register_handler(
+                "ping", lambda n, m: got.append(round(net.now, 9))
+            )
+            if with_injector:
+                FaultInjector(net, FaultSchedule()).arm()
+            for i in range(8):
+                net.sim.schedule_at(
+                    0.05 * i,
+                    lambda: net.node(0).send_routed(24, Message("ping")),
+                )
+            net.run_all()
+            return got, net.metrics.total_messages, net.metrics.total_energy
+
+        assert fingerprint(False) == fingerprint(True)
+
+    def test_zero_churn_workload_matches_plain_reliable_run(self):
+        """run_churn_workload at churn 0 derives exactly the oracle rows
+        (the fault-tolerant branches must not change results when no
+        fault ever fires)."""
+        engine, net, expected, injector = run_churn_workload(
+            6, "pa", tuples_per_stream=6, key_domain=3, seed=7,
+            churn_rate=0.0,
+        )
+        assert injector.summary() == {}
+        assert engine.rows("j", live_only=True) == expected
+        assert engine.ght_failovers == 0
+        assert engine.region_repairs == 0
+        assert engine.resyncs == 0
+        assert net.router.repairs == 0

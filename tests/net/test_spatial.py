@@ -95,6 +95,39 @@ class TestGridIndexDifferential:
         positions = {7: (1.0, 0.0), 3: (-1.0, 0.0), 9: (0.0, 5.0)}
         assert GridIndex(positions, 1.0).nearest((0.0, 0.0)) == 3
 
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 60),
+        cell=st.floats(0.4, 4.0),
+        qx=st.floats(-2.0, 12.0),
+        qy=st.floats(-2.0, 12.0),
+        k=st.integers(1, 8),
+    )
+    def test_nearest_k_matches_brute_sort(self, seed, n, cell, qx, qy, k):
+        # GHT replica sets hang off nearest_k: it must return exactly
+        # the first min(k, n) nodes of the full (distance, id) sort.
+        positions = random_positions(seed, n)
+        index = GridIndex(positions, cell)
+        brute = sorted(
+            positions,
+            key=lambda i: (math.dist(positions[i], (qx, qy)), i),
+        )[:k]
+        assert index.nearest_k((qx, qy), k) == brute
+
+    def test_nearest_k_validates_inputs(self):
+        index = GridIndex({0: (0.0, 0.0)}, 1.0)
+        with pytest.raises(ValueError):
+            index.nearest_k((0.0, 0.0), 0)
+        with pytest.raises(ValueError):
+            GridIndex({}, 1.0).nearest_k((0.0, 0.0), 1)
+
+    def test_nearest_k_first_element_matches_nearest(self):
+        positions = random_positions(5, 30)
+        index = GridIndex(positions, 1.0)
+        for q in [(0.0, 0.0), (5.0, 5.0), (11.0, -1.0)]:
+            assert index.nearest_k(q, 3)[0] == index.nearest(q)
+
     def test_heuristic_cell_positive(self):
         assert heuristic_cell({0: (0.0, 0.0)}) > 0
         assert heuristic_cell(random_positions(1, 50)) > 0

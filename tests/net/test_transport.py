@@ -246,6 +246,37 @@ class TestNodeDeath:
         net.run_all()
         assert got == [] and net.metrics.dropped == 1
 
+    def test_give_up_reason_distinguishes_dead_from_budget(self):
+        """A two-argument status callback learns *why* the transport
+        gave up: 'dead' when the destination's radio is down at
+        exhaustion time, 'budget' when the peer is alive but every
+        attempt was lost.  Single-argument callbacks (above) keep
+        working unchanged."""
+        # Dead destination: reason 'dead'.
+        net, got = reliable_pair(
+            transport=TransportConfig(ack_timeout=0.05, max_retries=2)
+        )
+        net.radio.kill(1)
+        outcomes = []
+        net.node(0).send(
+            1, Message("ping"),
+            on_status=lambda status, reason="": outcomes.append((status, reason)),
+        )
+        net.run_all()
+        assert outcomes == [("gave_up", "dead")]
+        # Live destination, loss budget exhausted: reason 'budget'.
+        net, got = reliable_pair(
+            script=[LOSE] * 10,
+            transport=TransportConfig(ack_timeout=0.05, max_retries=2),
+        )
+        outcomes = []
+        net.node(0).send(
+            1, Message("ping"),
+            on_status=lambda status, reason="": outcomes.append((status, reason)),
+        )
+        net.run_all()
+        assert outcomes == [("gave_up", "budget")]
+
 
 class TestFifoAndContention:
     def test_fifo_under_simultaneous_arrivals(self):
