@@ -1,0 +1,267 @@
+#!/usr/bin/env python
+"""E21 — Multi-tenant serving: shared-network throughput and adaptive
+storage-region placement.
+
+Two claims, two tables.
+
+**Throughput.** N tenants running the two-stream join concurrently on
+one shared network finish in far less simulated time than the same N
+programs run back-to-back on dedicated networks: the epoch scheduler
+interleaves their publish batches, so tenant B's storage/join phases
+ride the radio while tenant A's results gather.  Aggregate throughput
+(results per unit makespan) must be >= 2x sequential at 8 tenants —
+and every tenant's result set stays oracle-exact, because isolation is
+structural (tenant-namespaced handler kinds, tenant-prefixed GHT keys),
+not scheduled.
+
+**Placement.** Under a skewed load (one hot tenant publishing ~5x its
+neighbors) the hot tenant's coarse storage region turns its home node
+and the gather route into a hotspot.  The adaptive placer watches
+per-epoch load imbalance and migrates the hot region across cooldown
+windows — load *rotation*: per-epoch skew can't drop while the traffic
+is what it is, but moving the hot route spreads cumulative transmission
+counts, which is what drains batteries (paper Section III-A).  The
+cumulative max/mean imbalance of the adaptive run must come in well
+under the static run of the identical workload.
+
+``--smoke`` shrinks both scenarios for CI; ``--check`` additionally
+compares against the committed ``BENCH_e21.json`` floors and exits
+non-zero when the speedup or the imbalance improvement regresses, or
+any tenant's results deviate from the oracle.
+"""
+
+import json
+import os
+import random
+import sys
+
+import pytest
+
+from harness import report
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+)
+
+from repro.core.eval import Database, evaluate  # noqa: E402
+from repro.core.parser import parse_program  # noqa: E402
+from repro.net.network import GridNetwork  # noqa: E402
+from repro.serve import QueryServer  # noqa: E402
+
+PROG = "j(K, A, B) :- r(K, A), s(K, B)."
+
+TENANT_COUNTS = [2, 4, 8]
+M = 6
+FACTS = 8
+SEED = 11
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_e21.json"
+)
+
+
+def two_stream_pubs(rng, count, n_nodes, key_domain=3):
+    pubs = []
+    for k in range(count):
+        pubs.append((rng.randrange(n_nodes), "r", (k % key_domain, f"a{k}")))
+        pubs.append((rng.randrange(n_nodes), "s", (k % key_domain, f"b{k}")))
+    return pubs
+
+
+def oracle(pubs):
+    db = Database()
+    for _, p, a in pubs:
+        db.assert_fact(p, a)
+    evaluate(parse_program(PROG), db)
+    return db.rows("j")
+
+
+def tenant_loads(tenants, facts, n_nodes, seed, hot=None):
+    """Per-tenant publish lists from one seeded RNG; ``hot`` gives
+    tenant t0 that many facts per stream instead of ``facts``."""
+    rng = random.Random(seed)
+    loads = {}
+    for i in range(tenants):
+        count = hot if (hot is not None and i == 0) else facts
+        loads[f"t{i}"] = two_stream_pubs(rng, count, n_nodes)
+    return loads
+
+
+def serve(loads, m, placement=True):
+    net = GridNetwork(m)
+    server = QueryServer(net, placement=placement)
+    for tenant, pubs in loads.items():
+        server.admit(tenant, PROG, outputs=("j",))
+        server.submit(tenant, list(pubs))
+    server.run()
+    return net, server
+
+
+def measure_throughput(tenants, m=M, facts=FACTS, seed=SEED):
+    """Concurrent-vs-sequential aggregate throughput for one tenant
+    count, plus per-tenant oracle exactness of the concurrent run."""
+    loads = tenant_loads(tenants, facts, m * m, seed)
+
+    net, server = serve(loads, m)
+    concurrent_makespan = net.now
+    results = sum(len(server.results(t, "j")) for t in loads)
+    exact = all(server.results(t, "j") == oracle(p) for t, p in loads.items())
+
+    # Sequential baseline: each tenant alone on a fresh, identical
+    # network; total time is the sum of the individual makespans.
+    sequential_makespan = 0.0
+    for tenant, pubs in loads.items():
+        seq_net, seq_server = serve({tenant: pubs}, m)
+        sequential_makespan += seq_net.now
+
+    return {
+        "tenants": tenants,
+        "results": results,
+        "concurrent": concurrent_makespan,
+        "sequential": sequential_makespan,
+        "speedup": sequential_makespan / concurrent_makespan,
+        "throughput": results / concurrent_makespan,
+        "exact": exact,
+    }
+
+
+def measure_placement(m=M, tenants=4, hot=30, cold=6, seed=7):
+    """Static-vs-adaptive cumulative load imbalance under a skewed
+    workload (identical loads, placement toggled)."""
+
+    def run_once(placement):
+        loads = tenant_loads(tenants, cold, m * m, seed, hot=hot)
+        net, server = serve(loads, m, placement=placement)
+        exact = all(
+            server.results(t, "j") == oracle(p) for t, p in loads.items()
+        )
+        return {
+            "imbalance": net.metrics.load_imbalance(n_nodes=len(net)),
+            "messages": net.metrics.total_messages,
+            "migrations": len(server.placer.moves) if server.placer else 0,
+            "exact": exact,
+        }
+
+    static = run_once(placement=False)
+    adaptive = run_once(placement=True)
+    return {
+        "static": static,
+        "adaptive": adaptive,
+        "improvement": static["imbalance"] / adaptive["imbalance"],
+        "exact": static["exact"] and adaptive["exact"],
+    }
+
+
+def run(tenant_counts=TENANT_COUNTS, m=M, facts=FACTS, seed=SEED,
+        hot=30, cold=6):
+    rows = []
+    results = {"throughput": {}, "placement": None}
+    for tenants in tenant_counts:
+        t = measure_throughput(tenants, m, facts, seed)
+        rows.append([
+            tenants,
+            t["results"],
+            f"{t['concurrent']:.2f}",
+            f"{t['sequential']:.2f}",
+            f"{t['speedup']:.2f}x",
+            f"{t['throughput']:.1f}",
+            "yes" if t["exact"] else "NO",
+        ])
+        results["throughput"][tenants] = t
+    report(
+        "e21_multitenant",
+        f"E21a: concurrent vs sequential serving, two-stream join, "
+        f"{facts} facts/stream/tenant ({m}x{m} grid, seed {seed})",
+        ["tenants", "results", "concurrent makespan",
+         "sequential makespan", "speedup", "results/time", "oracle-exact"],
+        rows,
+    )
+
+    p = measure_placement(m, hot=hot, cold=cold)
+    results["placement"] = p
+    report(
+        "e21_placement",
+        f"E21b: adaptive vs static region placement, skewed load "
+        f"(hot tenant {hot} facts/stream vs {cold}, {m}x{m} grid)",
+        ["placement", "cumulative imbalance", "messages", "migrations",
+         "oracle-exact"],
+        [
+            ["static", f"{p['static']['imbalance']:.2f}",
+             p["static"]["messages"], 0,
+             "yes" if p["static"]["exact"] else "NO"],
+            ["adaptive", f"{p['adaptive']['imbalance']:.2f}",
+             p["adaptive"]["messages"], p["adaptive"]["migrations"],
+             "yes" if p["adaptive"]["exact"] else "NO"],
+        ],
+    )
+    return results
+
+
+def check_baseline(results):
+    """Exit non-zero when the concurrent-serving speedup or the
+    adaptive-placement improvement drops below the committed floors,
+    or any tenant's results deviate from the oracle."""
+    with open(BASELINE_PATH) as f:
+        baseline = json.load(f)
+    failed = False
+
+    for count_key, entry in baseline["floors"]["speedup"].items():
+        got = results["throughput"].get(int(count_key))
+        if got is None:
+            print(f"[baseline] {count_key} tenants: not measured — SKIPPED")
+            continue
+        ok = got["speedup"] >= entry["min"] and got["exact"]
+        status = "ok" if ok else "REGRESSED"
+        print(
+            f"[baseline] {count_key} tenants: speedup={got['speedup']:.2f}x "
+            f"(floor {entry['min']}x) exact={got['exact']} {status}"
+        )
+        failed = failed or not ok
+
+    p = results["placement"]
+    entry = baseline["floors"]["placement"]
+    ok = (
+        p["improvement"] >= entry["improvement_min"]
+        and p["adaptive"]["migrations"] >= entry["migrations_min"]
+        and p["exact"]
+    )
+    status = "ok" if ok else "REGRESSED"
+    print(
+        f"[baseline] placement: improvement={p['improvement']:.2f}x "
+        f"(floor {entry['improvement_min']}x) "
+        f"migrations={p['adaptive']['migrations']} "
+        f"(floor {entry['migrations_min']}) exact={p['exact']} {status}"
+    )
+    failed = failed or not ok
+
+    if failed:
+        sys.exit(1)
+
+
+def test_e21_multitenant_serving(benchmark):
+    results = benchmark.pedantic(
+        run, kwargs=dict(tenant_counts=[2, 8], facts=6, hot=24, cold=4),
+        rounds=1, iterations=1,
+    )
+    eight = results["throughput"][8]
+    # Interleaving 8 tenants on one network at least halves total time
+    # versus serving them back-to-back, with every tenant's result set
+    # oracle-exact; under skew the placer migrates and the cumulative
+    # transmission imbalance lands measurably below static placement.
+    assert eight["speedup"] >= 2.0
+    assert all(t["exact"] for t in results["throughput"].values())
+    placement = results["placement"]
+    assert placement["adaptive"]["migrations"] >= 1
+    assert placement["improvement"] >= 1.2
+    assert placement["exact"]
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    if smoke:
+        results = run(tenant_counts=[2, 8], facts=6, hot=24, cold=4)
+    else:
+        results = run()
+    if "--check" in sys.argv:
+        check_baseline(results)

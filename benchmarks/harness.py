@@ -13,6 +13,7 @@ import multiprocessing
 import multiprocessing.util
 import os
 import random
+import traceback
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 import repro
@@ -121,9 +122,39 @@ def _worker_init(telemetry_name: Optional[str]) -> None:
         )
 
 
+class TrialError(RuntimeError):
+    """A parallel trial failed.
+
+    Raised in the *parent* process with everything needed to reproduce
+    the failure serially: the trial's position, its full parameter dict
+    (including the seed, when the trial has one) and the worker's
+    formatted traceback — instead of the bare, context-free pool
+    traceback ``multiprocessing`` would otherwise surface.
+    """
+
+    def __init__(self, index: int, params: Dict, worker_traceback: str):
+        self.index = index
+        self.params = dict(params)
+        self.worker_traceback = worker_traceback
+        seed = self.params.get("seed")
+        seed_note = f" (seed={seed!r})" if seed is not None else ""
+        super().__init__(
+            f"parallel trial {index}{seed_note} failed; "
+            f"re-run serially with params {self.params!r}\n"
+            f"--- worker traceback ---\n{worker_traceback.rstrip()}"
+        )
+
+
 def _run_trial(payload) -> Any:
+    """Pool worker body: never lets an exception cross the pickle
+    boundary raw — outcomes come back as ('ok', result) or
+    ('err', traceback_text) so the parent can attach the failing
+    trial's params."""
     fn, kwargs = payload
-    return fn(**kwargs)
+    try:
+        return ("ok", fn(**kwargs))
+    except Exception:
+        return ("err", traceback.format_exc())
 
 
 def run_trials_parallel(
@@ -140,12 +171,15 @@ def run_trials_parallel(
     RNGs, so this holds by construction — asserted by
     ``bench_e7_robustness``'s serial-vs-parallel test).
 
-    ``fn`` must be picklable (a module-level function).  When
-    telemetry is on and ``telemetry_name`` is given, each worker
-    writes its own trace/metrics/manifest artifacts next to the
-    results JSON at exit; the parent's artifacts (if any) are written
-    by the usual :func:`telemetry_report` path.  One trial, one
-    process, or ``processes=1`` falls back to the serial runner.
+    ``fn`` must be picklable (a module-level function).  A trial that
+    raises in a worker surfaces as :class:`TrialError` in the parent,
+    carrying the failing trial's index, params (seed included) and the
+    worker's traceback.  When telemetry is on and ``telemetry_name``
+    is given, each worker writes its own trace/metrics/manifest
+    artifacts next to the results JSON at exit; the parent's artifacts
+    (if any) are written by the usual :func:`telemetry_report` path.
+    One trial, one process, or ``processes=1`` falls back to the
+    serial runner.
     """
     if processes is None:
         processes = min(len(trials), os.cpu_count() or 1)
@@ -156,12 +190,17 @@ def run_trials_parallel(
         processes, initializer=_worker_init, initargs=(telemetry_name,)
     )
     try:
-        results = pool.map(_run_trial, [(fn, dict(t)) for t in trials])
+        outcomes = pool.map(_run_trial, [(fn, dict(t)) for t in trials])
     finally:
         # close + join (not terminate) so worker atexit hooks run and
         # per-worker telemetry artifacts actually land on disk.
         pool.close()
         pool.join()
+    results = []
+    for index, (trial, outcome) in enumerate(zip(trials, outcomes)):
+        if outcome[0] == "err":
+            raise TrialError(index, trial, outcome[1])
+        results.append(outcome[1])
     return results
 
 

@@ -39,6 +39,7 @@ Enter rules/facts ending with '.', queries as '?- goal.', or commands:
   :explain          show the evaluation plan (safety, strata, join order)
   :load FILE        load rules from a file
   :metrics [on|off|reset]  telemetry snapshot / toggle / zero counters
+  :serve [N] [M]    run a multi-tenant serving demo (N tenants, MxM grid)
   :reset            drop program and facts
   :help             this text
   :quit             leave the shell"""
@@ -110,6 +111,8 @@ class Shell:
             return f"loaded {len(loaded.rules)} rules, {len(loaded.facts)} facts"
         if cmd == ":metrics":
             return self._metrics(arg.strip())
+        if cmd == ":serve":
+            return self._serve(arg.strip())
         if cmd == ":reset":
             self.program = Program()
             self.db = Database(self.registry)
@@ -135,6 +138,55 @@ class Shell:
             return "telemetry is off (:metrics on, or set REPRO_TELEMETRY=1)"
         snapshot = obs.prometheus_snapshot().rstrip()
         return snapshot if snapshot else "(no metrics recorded yet)"
+
+    def _serve(self, arg: str) -> str:
+        import random
+
+        from .net.network import GridNetwork
+        from .serve import QueryServer
+
+        parts = arg.split()
+        try:
+            tenants = int(parts[0]) if parts else 4
+            grid = int(parts[1]) if len(parts) > 1 else 5
+        except ValueError:
+            return "usage: :serve [TENANTS] [GRID]"
+        if not (1 <= tenants <= 16 and 2 <= grid <= 12):
+            return "usage: :serve [TENANTS] [GRID]  (1-16 tenants, 2-12 grid)"
+
+        network = GridNetwork(grid)
+        server = QueryServer(network)
+        rng = random.Random(0)
+        program = "j(K, A, B) :- r(K, A), s(K, B)."
+        for i in range(tenants):
+            tenant = f"t{i}"
+            server.admit(tenant, program, outputs=("j",))
+            pubs = []
+            for k in range(6):
+                pubs.append((rng.randrange(len(network)), "r", (k % 3, f"a{k}")))
+                pubs.append((rng.randrange(len(network)), "s", (k % 3, f"b{k}")))
+            server.submit(tenant, pubs)
+        server.run()
+
+        report = server.report()
+        lines = [
+            f"served {tenants} tenants on a {grid}x{grid} grid: "
+            f"{report['epochs']} epochs, makespan {report['makespan']:.2f}, "
+            f"{network.metrics.total_messages} messages",
+        ]
+        for tenant in sorted(report["tenants"]):
+            stats = report["tenants"][tenant]
+            lines.append(
+                f"  {tenant}: {stats['results']} results, "
+                f"{stats['messages']} msgs, {stats['state']}"
+            )
+        if "migrations" in report:
+            lines.append(
+                f"placement: {report['migrations']} migrations, "
+                f"cumulative imbalance "
+                f"{network.metrics.load_imbalance(n_nodes=len(network)):.2f}"
+            )
+        return "\n".join(lines)
 
     def _statement(self, line: str) -> str:
         if not line.endswith("."):

@@ -251,6 +251,34 @@ class ResultMsg(Message):
         self.resync = resync
 
 
+class MigrateMsg(Message):
+    """Adaptive placement (E21): one derived fact's whole state —
+    derivation set, tuple id, visibility — shipped from its old home to
+    the node its storage region was just pinned to."""
+
+    def __init__(
+        self,
+        pred: str,
+        args: ArgsTuple,
+        derivations: List["WireDerivation"],
+        tuple_id: Optional[TupleID],
+        visible: bool,
+    ):
+        size = (
+            1
+            + sum(term_size(a) for a in args)
+            + sum(d.size() for d in derivations)
+        )
+        super().__init__(
+            "gpa_migrate", payload_symbols=size, category="placement"
+        )
+        self.pred = pred
+        self.args = args
+        self.derivations = derivations
+        self.tuple_id = tuple_id
+        self.visible = visible
+
+
 # ---------------------------------------------------------------------------
 # Per-node runtime state
 # ---------------------------------------------------------------------------
@@ -316,11 +344,23 @@ class GPAEngine:
         allow_local_nonrecursive: bool = False,
         scheme: str = "one-pass",
         fault_tolerant: bool = False,
+        tenant: Optional[str] = None,
+        ght=None,
         **strategy_kwargs,
     ):
         if scheme not in ("one-pass", "multi-pass"):
             raise PlanError(f"unknown join scheme {scheme!r}")
         self.scheme = scheme
+        #: Multi-tenant serving (E21): a tenant id namespaces this
+        #: engine's handler kinds (several engines share one network
+        #: without colliding) and tags its messages for per-tenant
+        #: accounting.  ``ght`` substitutes a tenant keyspace partition
+        #: (:meth:`repro.net.ght.GeographicHash.partition`) for the
+        #: shared hash.  Both default off; the single-tenant paths are
+        #: byte-identical to the pre-serving engine.
+        self.tenant = tenant
+        self.ght = ght if ght is not None else network.ght
+        self._kind_suffix = "" if tenant is None else f"@{tenant}"
         #: Fault-tolerant mode (E20): phase paths skip dead members,
         #: dead join members are substituted by live storage-region
         #: mates, results fan out to the GHT replica set, and the
@@ -372,9 +412,10 @@ class GPAEngine:
             ("gpa_join", "join", self._on_join),
             ("gpa_result", "result", self._on_result),
             ("gpa_gather", "gather", self._on_gather),
+            ("gpa_migrate", "placement", self._on_migrate),
         ]
         wrapped = [
-            (kind, self._with_telemetry(phase, handler))
+            (kind + self._kind_suffix, self._with_telemetry(phase, handler))
             for kind, phase, handler in handlers
         ]
         for node in self.network.nodes.values():
@@ -451,6 +492,16 @@ class GPAEngine:
             with _span(f"gpa.{phase}", sim=self.network.sim, node=node.id):
                 handler(node, msg)
         return dispatch
+
+    def _tag(self, msg: Message) -> Message:
+        """Namespace a phase message for this engine's tenant: the kind
+        suffix routes it to this engine's handlers on shared nodes, the
+        ``tenant`` attribute lets the serving layer attribute radio
+        traffic per tenant.  Identity (no-op) for single-tenant runs."""
+        if self.tenant is not None:
+            msg.kind += self._kind_suffix
+            msg.tenant = self.tenant
+        return msg
 
     def _observe_phase(self, phase: str, msg: Message) -> None:
         """Record a completed phase's simulated latency (launch →
@@ -610,7 +661,7 @@ class GPAEngine:
             first = self._pop_storage_hop(path)
             if first is None:
                 continue  # every member dead: nothing to replicate to
-            msg = StoreMsg(op, tup, path, del_ts)
+            msg = self._tag(StoreMsg(op, tup, path, del_ts))
             if _obs.enabled:
                 msg._obs_born = self.network.sim.now
             self._send_store(node, msg, first)
@@ -713,7 +764,7 @@ class GPAEngine:
             pass_indexes = [
                 i for i in range(rp.n_positive) if i != occurrence
             ]
-        token = JoinToken(
+        token = self._tag(JoinToken(
             rule_id=rp.rule_id,
             op=op,
             update_ts=update_ts,
@@ -726,7 +777,7 @@ class GPAEngine:
             first_pass_nodes=first_pass,
             pass_indexes=pass_indexes,
             region=region,
-        )
+        ))
         token.refresh_size()
         if _obs.enabled:
             token._obs_born = self.network.sim.now
@@ -967,8 +1018,8 @@ class GPAEngine:
     ) -> None:
         pred = rp.head.predicate
         if not self.fault_tolerant:
-            home = self.network.ght.node_for_fact(pred, head_args)
-            msg = ResultMsg(pred, head_args, derivation, op, ts)
+            home = self.ght.node_for_fact(pred, head_args)
+            msg = self._tag(ResultMsg(pred, head_args, derivation, op, ts))
             if _obs.enabled:
                 msg._obs_born = self.network.sim.now
             if home == node.id:
@@ -980,7 +1031,7 @@ class GPAEngine:
         # current primary (first live member) is the one that will
         # publish downstream (see _on_result).
         radio = self.network.radio
-        replica_set = self.network.ght.nodes_for_fact(pred, head_args)
+        replica_set = self.ght.nodes_for_fact(pred, head_args)
         live = [r for r in replica_set if radio.is_alive(r)]
         if not live:
             return  # the whole replica set is down: the result is lost
@@ -989,7 +1040,7 @@ class GPAEngine:
             if _obs.enabled:
                 _inst.ght_failovers.inc()
         for target in live:
-            msg = ResultMsg(pred, head_args, derivation, op, ts)
+            msg = self._tag(ResultMsg(pred, head_args, derivation, op, ts))
             if _obs.enabled:
                 msg._obs_born = self.network.sim.now
             if target == node.id:
@@ -1002,6 +1053,16 @@ class GPAEngine:
     def _on_result(self, node: Node, msg: ResultMsg) -> None:
         if _obs.enabled:
             self._observe_phase("result", msg)
+        if self.tenant is not None and not self.fault_tolerant:
+            # Serving mode: the adaptive placer may re-home a key while
+            # a result is in flight.  A result that lands off its
+            # current home chases the placement once, so migrated
+            # regions never fragment.
+            home = self.ght.node_for_fact(msg.pred, msg.args)
+            if home != node.id and not getattr(msg, "re_homed", False):
+                msg.re_homed = True
+                node.send_routed(home, msg, on_status=self._track_delivery)
+                return
         runtime = self.runtimes[node.id]
         key = (msg.pred, msg.args)
         fact = runtime.derived.get(key)
@@ -1020,8 +1081,8 @@ class GPAEngine:
             if getattr(msg, "resync", False):
                 publisher = False
             else:
-                primary = self.network.ght.primary_for_key(
-                    self.network.ght.key_for_fact(msg.pred, msg.args),
+                primary = self.ght.primary_for_key(
+                    self.ght.key_for_fact(msg.pred, msg.args),
                     self.network.radio,
                 )
                 publisher = primary == node.id
@@ -1038,6 +1099,10 @@ class GPAEngine:
                 self.latency_samples.append((msg.pred, latency))
                 if _obs.enabled:
                     _inst.result_latency.labels(predicate=msg.pred).observe(latency)
+                    if self.tenant is not None:
+                        _inst.tenant_result_latency.labels(
+                            tenant=self.tenant
+                        ).observe(latency)
                 self._publish_derived(node, msg.pred, msg.args, fact, op="ins")
         else:
             if ident not in fact.derivations:
@@ -1047,6 +1112,53 @@ class GPAEngine:
                 fact.visible = False
                 if publisher:
                     self._publish_derived(node, msg.pred, msg.args, fact, op="del")
+
+    # -- adaptive placement (serving mode, E21) -----------------------------
+
+    def _on_migrate(self, node: Node, msg: MigrateMsg) -> None:
+        """Receive a migrated derived fact at its new home, merging on
+        derivation identity (idempotent against duplicate shipments)."""
+        runtime = self.runtimes[node.id]
+        key = (msg.pred, msg.args)
+        fact = runtime.derived.get(key)
+        if fact is None:
+            fact = DerivedFact()
+            runtime.derived[key] = fact
+        for derivation in msg.derivations:
+            fact.derivations.setdefault(derivation.identity(), derivation)
+        if fact.tuple_id is None:
+            fact.tuple_id = msg.tuple_id
+        fact.visible = fact.visible or msg.visible
+
+    def migrate_derived(self, old_home: int, new_home: int, keys: Set[str]) -> int:
+        """Ship every derived fact resident at ``old_home`` whose GHT
+        key is in ``keys`` to ``new_home``, deleting the local copy.
+
+        The caller (the adaptive placer) pins the keys first via
+        :meth:`~repro.net.ght.GeographicHash.place` and calls this on a
+        quiesced network — in-flight results that still race the move
+        are chased to the new home by :meth:`_on_result`.  Migration
+        traffic is message-costed (category 'placement').  Returns the
+        number of facts moved.
+        """
+        self._require_installed()
+        runtime = self.runtimes[old_home]
+        node = self.network.node(old_home)
+        moved = 0
+        for (pred, args), fact in list(runtime.derived.items()):
+            if self.ght.key_for_fact(pred, args) not in keys:
+                continue
+            msg = self._tag(MigrateMsg(
+                pred, args, list(fact.derivations.values()),
+                fact.tuple_id, fact.visible,
+            ))
+            if new_home == old_home:
+                node.local_deliver(msg)
+            else:
+                node.send_routed(new_home, msg, on_status=self._track_delivery)
+            del runtime.derived[(pred, args)]
+            moved += 1
+        return moved
 
     # -- recovery (fault-tolerant mode) -------------------------------------
 
@@ -1071,7 +1183,7 @@ class GPAEngine:
         """
         if not self.fault_tolerant:
             return
-        ght = self.network.ght
+        ght = self.ght
         radio = self.network.radio
         if not radio.is_alive(recovered):
             return
@@ -1092,10 +1204,10 @@ class GPAEngine:
                         _inst.ght_resyncs.inc()
                     node = self.network.node(holder)
                     for derivation in list(fact.derivations.values()):
-                        msg = ResultMsg(
+                        msg = self._tag(ResultMsg(
                             pred, args, derivation, "add",
                             self.network.sim.now, resync=True,
-                        )
+                        ))
                         node.send_routed(
                             recovered, msg, on_status=self._track_delivery
                         )
@@ -1114,7 +1226,7 @@ class GPAEngine:
             for tup in list(window):
                 if have is not None and have.get(tup.tuple_id) is not None:
                     continue
-                msg = StoreMsg("ins", tup, [], None)
+                msg = self._tag(StoreMsg("ins", tup, [], None))
                 msg.category = "repair"
                 self.resyncs += 1
                 node.send_routed(
@@ -1145,7 +1257,7 @@ class GPAEngine:
                         first = self._pop_storage_hop(path)
                         if first is None:
                             continue
-                        msg = StoreMsg("ins", tup, path, None)
+                        msg = self._tag(StoreMsg("ins", tup, path, None))
                         msg.category = "repair"
                         node.send_routed(
                             first, msg, on_status=self._track_delivery
@@ -1183,7 +1295,7 @@ class GPAEngine:
             for (p, args), fact in runtime.derived.items():
                 if p != pred or not fact.visible:
                     continue
-                msg = GatherMsg(p, args, request_id)
+                msg = self._tag(GatherMsg(p, args, request_id))
                 if _obs.enabled:
                     msg._obs_born = self.network.sim.now
                 source = self.network.node(runtime.node.id)

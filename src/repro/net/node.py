@@ -23,7 +23,7 @@ from ..core.errors import NetworkError
 from ..obs import instrument as _inst
 from ..obs import state as _obs
 from .messages import Message
-from .radio import _warn_category_kwarg
+from .radio import _legacy_category
 from .sim import LocalClock
 from .transport import (
     GIVE_UP_DEAD, GIVE_UP_NO_ROUTE, StatusCallback, notify_gave_up,
@@ -54,14 +54,13 @@ class RoutedEnvelope(Message):
         category: Optional[str] = None,
         on_status: Optional[StatusCallback] = None,
     ):
-        if category is not None:
-            _warn_category_kwarg("RoutedEnvelope")
         super().__init__(
             ROUTED,
             dst=dst,
             payload_symbols=inner.payload_symbols,
-            category=category if category is not None else inner.category,
+            category=inner.category,
         )
+        _legacy_category("RoutedEnvelope", self, category)
         self.inner = inner
         self.on_status = on_status
         #: Remaining next-hop re-selections the self-repair failure
@@ -192,9 +191,7 @@ class Node:
         on_status: Optional[StatusCallback] = None,
     ) -> None:
         """Single-hop send to a direct neighbor."""
-        if category is not None:
-            _warn_category_kwarg("Node.send")
-            message.category = category
+        _legacy_category("Node.send", message, category)
         if not self.network.topology.are_neighbors(self.id, neighbor_id):
             raise NetworkError(
                 f"node {self.id} cannot reach non-neighbor {neighbor_id}"
@@ -213,9 +210,7 @@ class Node:
         on_status: Optional[StatusCallback] = None,
     ) -> None:
         """Multi-hop send via the routing layer."""
-        if category is not None:
-            _warn_category_kwarg("Node.send_routed")
-            message.category = category
+        _legacy_category("Node.send_routed", message, category)
         if dst == self.id:
             if on_status is not None:
                 on_status("delivered")

@@ -44,13 +44,21 @@ if TYPE_CHECKING:  # pragma: no cover
     from .network import SensorNetwork
 
 
-def _warn_category_kwarg(where: str) -> None:
+def _legacy_category(where: str, message: Message, category: Optional[str]) -> None:
+    """The deprecated ``category=`` send keyword, consolidated: no
+    in-repo caller passes it anymore (every phase message sets its
+    category at construction), so the None fast path is the only one
+    the library itself ever takes.  External callers still get the
+    warn-and-apply compatibility behavior."""
+    if category is None:
+        return
     warnings.warn(
         f"the category= keyword of {where} is deprecated; set "
         f"Message(..., category=...) on the message instead",
         DeprecationWarning,
         stacklevel=3,
     )
+    message.category = category
 
 
 class _LegacyListenerList(list):
@@ -310,9 +318,7 @@ class Radio:
         reporting ``on_status('delivered'|'gave_up')``.  ``category=``
         is deprecated — set it on the message.
         """
-        if category is not None:
-            _warn_category_kwarg("Radio.transmit")
-            message.category = category
+        _legacy_category("Radio.transmit", message, category)
         if reliable is None:
             reliable = self.reliable
         if reliable:

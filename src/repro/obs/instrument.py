@@ -232,3 +232,29 @@ localized_messages = REGISTRY.counter(
     "LocalizedEngine messages handled, by kind",
     labelnames=("kind",),
 )
+
+# -- repro.serve (multi-tenant serving, E21) ---------------------------------
+
+tenant_msgs = REGISTRY.counter(
+    "repro_tenant_msgs_total",
+    "Radio transmissions attributed to one tenant's phase traffic",
+    labelnames=("tenant",),
+)
+tenant_result_latency = REGISTRY.histogram(
+    "repro_tenant_result_latency_seconds",
+    "Simulated update-to-first-derivation latency, by tenant",
+    labelnames=("tenant",),
+)
+tenant_rejections = REGISTRY.counter(
+    "repro_tenant_rejections_total",
+    "Tenant admissions refused or sessions cut off, by reason",
+    labelnames=("tenant", "reason"),
+)
+placement_migrations = REGISTRY.counter(
+    "repro_placement_migrations_total",
+    "Storage regions migrated by the adaptive placement loop",
+)
+serve_load_imbalance = REGISTRY.gauge(
+    "repro_serve_load_imbalance",
+    "Last epoch's network-wide transmission-load imbalance (max/mean)",
+)

@@ -1,0 +1,40 @@
+"""Multi-tenant query serving over one shared sensor network (E21).
+
+The paper evaluates one deductive program per deployment; this package
+is the serving layer the ROADMAP's north star asks for — many programs
+admitted concurrently over one shared simulated network:
+
+* :class:`~repro.serve.server.QueryServer` — admission, the epoch
+  loop, per-tenant accounting and budget enforcement;
+* :class:`~repro.serve.session.TenantSession` /
+  :class:`~repro.serve.session.TenantBudget` — one admitted program's
+  identity, engine, budgets and publish queue;
+* :class:`~repro.serve.scheduler.EpochScheduler` — deterministic
+  round-robin interleaving of tenant publish batches per epoch;
+* :class:`~repro.serve.placement.AdaptivePlacer` — hysteresis-bounded,
+  cost-based migration of hot tenant storage regions to cooler nodes,
+  driven by the per-epoch load-imbalance signal.
+
+Isolation is structural: each tenant gets its own GPA engine with
+tenant-namespaced handler kinds, a tenant-prefixed GHT keyspace
+partition, tenant-scoped delivery reports, and per-tenant telemetry
+(``tenant_msgs``, ``tenant_result_latency``, ``tenant_rejections``).
+Single-tenant runs that never construct a server are byte-identical to
+the pre-serving engine.  See ``docs/SERVING.md``.
+"""
+
+from .placement import AdaptivePlacer, PlacementMove
+from .scheduler import EpochScheduler
+from .server import QueryServer, TenantMeter
+from .session import AdmissionError, TenantBudget, TenantSession
+
+__all__ = [
+    "AdaptivePlacer",
+    "AdmissionError",
+    "EpochScheduler",
+    "PlacementMove",
+    "QueryServer",
+    "TenantBudget",
+    "TenantMeter",
+    "TenantSession",
+]

@@ -85,6 +85,21 @@ class TestCommands:
         assert "1 rules" in out and "1 facts" in out
         assert shell.handle("?- anc(a, X).") == "anc(a, b)"
 
+    def test_serve_demo(self, shell):
+        out = shell.handle(":serve 3 4")
+        assert "served 3 tenants on a 4x4 grid" in out
+        for tenant in ("t0", "t1", "t2"):
+            assert tenant in out
+        assert "results" in out and "msgs" in out
+        assert "placement:" in out  # adaptive placement on by default
+
+    def test_serve_demo_deterministic(self, shell):
+        assert shell.handle(":serve 2 4") == Shell().handle(":serve 2 4")
+
+    def test_serve_usage_on_bad_args(self, shell):
+        assert "usage: :serve" in shell.handle(":serve many")
+        assert "usage: :serve" in shell.handle(":serve 99")
+
 
 class TestQueriesThroughEngines:
     def test_negation_query(self, shell):

@@ -1,0 +1,145 @@
+"""PlanCache namespacing and thread safety (multi-tenant serving).
+
+Two tenants compiling the *same rule text* must share one CompiledPlan
+when their compilation contexts agree (same namespace) and must *not*
+collide when they differ (different safety annotations -> different
+namespaces).  Concurrent admission compiles through the cache from
+many threads at once, so lookup/compile/insert has to be atomic.
+"""
+
+import threading
+
+from repro.core.parser import parse_program
+from repro.core.plan import PlanCache, PlanNamespace
+
+
+def rule_of(text):
+    return parse_program(text).rules[0]
+
+
+RULE_TEXT = "anc(X, Z) :- par(X, Y), anc(Y, Z)."
+
+
+class TestNamespaces:
+    def test_same_namespace_shares_plans(self):
+        cache = PlanCache()
+        rule = rule_of(RULE_TEXT)
+        a = cache.get(rule, namespace="tenant-safety-v1")
+        b = cache.get(rule, namespace="tenant-safety-v1")
+        assert a is b
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_identical_rule_text_shares_across_tenants(self):
+        # Two tenants, same rule text, same safety annotation: the
+        # second tenant's compile is a cache hit on the first's plan.
+        cache = PlanCache()
+        t1 = cache.namespace("safety:default")
+        t2 = cache.namespace("safety:default")
+        plan1 = t1.get(rule_of(RULE_TEXT))
+        plan2 = t2.get(rule_of(RULE_TEXT))
+        assert plan1 is plan2
+        assert cache.misses == 1
+
+    def test_namespace_collision_distinct_annotations(self):
+        # Same rule text, *different* safety annotations: distinct
+        # namespaces, distinct plans, no collision.
+        cache = PlanCache()
+        strict = cache.namespace("safety:strict")
+        relaxed = cache.namespace("safety:relaxed")
+        plan_strict = strict.get(rule_of(RULE_TEXT))
+        plan_relaxed = relaxed.get(rule_of(RULE_TEXT))
+        assert plan_strict is not plan_relaxed
+        assert cache.misses == 2
+        assert len(cache) == 2
+
+    def test_default_namespace_disjoint_from_tagged(self):
+        cache = PlanCache()
+        rule = rule_of(RULE_TEXT)
+        plain = cache.get(rule)
+        tagged = cache.get(rule, namespace="t")
+        assert plain is not tagged
+
+    def test_namespace_view_type(self):
+        cache = PlanCache()
+        view = cache.namespace("x")
+        assert isinstance(view, PlanNamespace)
+        assert view.cache is cache and view.tag == "x"
+
+    def test_invalidate_rule_clears_every_namespace(self):
+        cache = PlanCache()
+        rule = rule_of(RULE_TEXT)
+        cache.get(rule)
+        cache.get(rule, namespace="a")
+        cache.get(rule, namespace="b")
+        assert len(cache) == 3
+        cache.invalidate(rule)
+        assert len(cache) == 0
+
+    def test_invalidate_rule_spares_other_rules(self):
+        cache = PlanCache()
+        rule = rule_of(RULE_TEXT)
+        other = rule_of("p(X) :- q(X).")
+        cache.get(rule, namespace="a")
+        cache.get(other, namespace="a")
+        cache.invalidate(rule)
+        assert len(cache) == 1
+
+
+class TestConcurrency:
+    def test_concurrent_compiles_miss_once_per_distinct_key(self):
+        # 8 threads x 40 lookups over 4 (rule, namespace) combinations:
+        # every lookup must return the one shared plan for its key and
+        # the miss counter must equal the number of distinct keys.
+        cache = PlanCache()
+        rules = [rule_of(RULE_TEXT), rule_of("p(X) :- q(X).")]
+        namespaces = ["safety:a", "safety:b"]
+        combos = [(r, ns) for r in rules for ns in namespaces]
+        plans = {i: set() for i in range(len(combos))}
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            try:
+                barrier.wait()
+                for i in range(40):
+                    combo = i % len(combos)
+                    rule, ns = combos[combo]
+                    plans[combo].add(id(cache.get(rule, namespace=ns)))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert all(len(ids) == 1 for ids in plans.values())
+        assert cache.misses == len(combos)
+        assert cache.hits == 8 * 40 - len(combos)
+
+    def test_concurrent_namespace_views(self):
+        cache = PlanCache()
+        rule = rule_of(RULE_TEXT)
+        seen = []
+        lock = threading.Lock()
+
+        def worker(tag):
+            plan = cache.namespace(tag).get(rule)
+            with lock:
+                seen.append((tag, id(plan)))
+
+        threads = [
+            threading.Thread(target=worker, args=(f"safety:{i % 2}",))
+            for i in range(12)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        by_tag = {}
+        for tag, plan_id in seen:
+            by_tag.setdefault(tag, set()).add(plan_id)
+        assert len(by_tag) == 2
+        assert all(len(ids) == 1 for ids in by_tag.values())
+        assert by_tag["safety:0"] != by_tag["safety:1"]

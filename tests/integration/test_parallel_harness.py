@@ -17,7 +17,7 @@ BENCH_DIR = os.path.join(
 )
 sys.path.insert(0, os.path.abspath(BENCH_DIR))
 
-from harness import run_trials, run_trials_parallel  # noqa: E402
+from harness import TrialError, run_trials, run_trials_parallel  # noqa: E402
 
 
 def square_plus(x, offset):
@@ -57,3 +57,31 @@ def test_single_process_falls_back_to_serial():
 
 def test_single_trial_falls_back_to_serial():
     assert run_trials_parallel(square_plus, TRIALS[:1], processes=4) == [0]
+
+
+def explode_on(x, offset, seed=0):
+    if x == 4 and offset == 1:
+        raise ValueError(f"boom at x={x}")
+    return x + offset + seed
+
+
+def test_worker_failure_carries_trial_params():
+    trials = [dict(x=x, offset=o, seed=x * 10 + o) for x in range(6) for o in (0, 1)]
+    with pytest.raises(TrialError) as excinfo:
+        run_trials_parallel(explode_on, trials, processes=3)
+    err = excinfo.value
+    assert err.params == dict(x=4, offset=1, seed=41)
+    assert err.index == trials.index(dict(x=4, offset=1, seed=41))
+    # The message names the seed and carries the worker's traceback,
+    # not a bare pool traceback.
+    assert "seed=41" in str(err)
+    assert "boom at x=4" in err.worker_traceback
+    assert "ValueError" in err.worker_traceback
+
+
+def test_worker_failure_message_without_seed():
+    trials = [dict(x=x, offset=1) for x in range(6)]
+    with pytest.raises(TrialError) as excinfo:
+        run_trials_parallel(explode_on, trials, processes=2)
+    assert excinfo.value.params == dict(x=4, offset=1)
+    assert "seed=" not in str(excinfo.value).split("---")[0]

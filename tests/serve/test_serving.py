@@ -1,0 +1,260 @@
+"""The multi-tenant serving layer: admission, isolation, budgets.
+
+Tenants share one simulated network but nothing else: handler kinds
+are tenant-namespaced, GHT keys are tenant-prefixed, delivery reports
+are per-engine, and the meter attributes shared-substrate radio
+traffic back to the tenant whose phase message it carried.
+"""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.core.eval import Database, evaluate
+from repro.core.parser import parse_program
+from repro.core.plan import PlanCache
+from repro.net.network import GridNetwork
+from repro.obs import instrument as _inst
+from repro.serve import AdmissionError, QueryServer, TenantBudget
+
+PROG = "j(K, A, B) :- r(K, A), s(K, B)."
+
+
+@pytest.fixture
+def telemetry():
+    was = obs.enabled()
+    obs.enable()
+    obs.reset()
+    yield
+    obs.reset()
+    if not was:
+        obs.disable()
+
+
+def two_stream_pubs(rng, count, n_nodes, key_domain=3):
+    pubs = []
+    for k in range(count):
+        pubs.append((rng.randrange(n_nodes), "r", (k % key_domain, f"a{k}")))
+        pubs.append((rng.randrange(n_nodes), "s", (k % key_domain, f"b{k}")))
+    return pubs
+
+
+def oracle(pubs, program=PROG, pred="j"):
+    db = Database()
+    for _, p, a in pubs:
+        db.assert_fact(p, a)
+    evaluate(parse_program(program), db)
+    return db.rows(pred)
+
+
+def serve_tenants(loads, m=5, **server_kwargs):
+    net = GridNetwork(m)
+    server = QueryServer(net, **server_kwargs)
+    for tenant, pubs in loads.items():
+        server.admit(tenant, PROG, outputs=("j",))
+        server.submit(tenant, pubs)
+    server.run()
+    return net, server
+
+
+class TestAdmission:
+    def test_admit_returns_running_session(self):
+        server = QueryServer(GridNetwork(4))
+        session = server.admit("alice", PROG)
+        assert session.state == "running"
+        assert session.tenant == "alice"
+        assert server.session("alice") is session
+
+    def test_duplicate_tenant_rejected(self):
+        server = QueryServer(GridNetwork(4))
+        server.admit("alice", PROG)
+        with pytest.raises(AdmissionError, match="duplicate"):
+            server.admit("alice", PROG)
+        assert ("alice", "duplicate") in server.rejections
+
+    def test_capacity_rejection_is_graceful(self):
+        server = QueryServer(GridNetwork(4), max_tenants=2)
+        server.admit("a", PROG)
+        server.admit("b", PROG)
+        with pytest.raises(AdmissionError, match="capacity"):
+            server.admit("c", PROG)
+        # Nothing half-installed: the admitted tenants still serve.
+        assert set(server.sessions) == {"a", "b"}
+
+    def test_invalid_program_rejected_before_install(self):
+        server = QueryServer(GridNetwork(4))
+        with pytest.raises(AdmissionError, match="invalid_program"):
+            server.admit("bad", "j(X) :- ")
+        assert "bad" not in server.sessions
+        assert ("bad", "invalid_program") in server.rejections
+
+    def test_unknown_tenant_lookup(self):
+        server = QueryServer(GridNetwork(4))
+        with pytest.raises(AdmissionError, match="unknown"):
+            server.session("ghost")
+
+    def test_identical_rules_share_compiled_plans(self):
+        cache = PlanCache()
+        server = QueryServer(GridNetwork(4), plan_cache=cache)
+        server.admit("a", PROG)
+        misses_after_first = cache.misses
+        server.admit("b", PROG)
+        assert cache.misses == misses_after_first  # second admit: all hits
+        assert cache.hits >= 1
+
+    def test_distinct_safety_annotations_do_not_collide(self):
+        cache = PlanCache()
+        server = QueryServer(GridNetwork(4), plan_cache=cache)
+        server.admit("a", PROG, safety="strict")
+        misses = cache.misses
+        server.admit("b", PROG, safety="relaxed")
+        assert cache.misses == 2 * misses  # recompiled, disjoint namespace
+
+
+class TestIsolationAndExactness:
+    def test_concurrent_tenants_oracle_exact(self):
+        rng = random.Random(3)
+        loads = {f"t{i}": two_stream_pubs(rng, 6, 25) for i in range(4)}
+        net, server = serve_tenants(loads)
+        for tenant, pubs in loads.items():
+            assert server.results(tenant, "j") == oracle(pubs), tenant
+
+    def test_same_facts_do_not_cross_tenants(self):
+        # Two tenants publish *identical* facts: each must derive its
+        # own full result set (shared GHT keyspace would dedup across
+        # tenants and drop derivations).
+        rng = random.Random(5)
+        pubs = two_stream_pubs(rng, 5, 16)
+        net = GridNetwork(4)
+        server = QueryServer(net)
+        for tenant in ("a", "b"):
+            server.admit(tenant, PROG, outputs=("j",))
+            server.submit(tenant, list(pubs))
+        server.run()
+        expected = oracle(pubs)
+        assert server.results("a", "j") == expected
+        assert server.results("b", "j") == expected
+
+    def test_handler_kinds_are_namespaced(self):
+        net = GridNetwork(4)
+        server = QueryServer(net)
+        server.admit("a", PROG)
+        server.admit("b", PROG)
+        kinds = net.node(0)._handlers.keys()
+        assert "gpa_store@a" in kinds and "gpa_store@b" in kinds
+        assert "gpa_store" not in kinds
+
+    def test_ght_keys_are_tenant_prefixed(self):
+        net = GridNetwork(4)
+        server = QueryServer(net)
+        sa = server.admit("a", PROG)
+        sb = server.admit("b", PROG)
+        ka = sa.engine.ght.key_for_fact("j", (1, 2))
+        kb = sb.engine.ght.key_for_fact("j", (1, 2))
+        assert ka != kb
+        assert ka.startswith("a:") and kb.startswith("b:")
+
+    def test_delivery_reports_are_tenant_scoped(self):
+        rng = random.Random(9)
+        loads = {"busy": two_stream_pubs(rng, 8, 25), "idle": []}
+        net, server = serve_tenants(loads)
+        busy = server.session("busy").delivery_report()
+        idle = server.session("idle").delivery_report()
+        assert busy["delivered"] > 0
+        assert idle.get("delivered", 0) == 0
+
+    def test_meter_attributes_shared_traffic_per_tenant(self):
+        rng = random.Random(7)
+        loads = {"heavy": two_stream_pubs(rng, 10, 25),
+                 "light": two_stream_pubs(rng, 2, 25)}
+        net, server = serve_tenants(loads)
+        assert server.meter.tx["heavy"] > server.meter.tx["light"] > 0
+
+    def test_deterministic_given_seed(self):
+        def once():
+            rng = random.Random(21)
+            loads = {f"t{i}": two_stream_pubs(rng, 5, 25) for i in range(3)}
+            net, server = serve_tenants(loads)
+            return (
+                net.now,
+                net.metrics.total_messages,
+                {t: server.results(t, "j") for t in loads},
+            )
+        assert once() == once()
+
+
+class TestBudgets:
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            TenantBudget(max_facts=0)
+
+    def test_fact_budget_drops_excess_publishes(self):
+        rng = random.Random(1)
+        net = GridNetwork(4)
+        server = QueryServer(net)
+        server.admit("a", PROG, max_facts=4, outputs=("j",))
+        server.submit("a", two_stream_pubs(rng, 6, 16))
+        server.run()
+        session = server.session("a")
+        assert session.published == 4
+        assert session.dropped == 8  # 12 queued, 4 admitted
+
+    def test_message_budget_evicts_tenant(self):
+        rng = random.Random(2)
+        net = GridNetwork(5)
+        server = QueryServer(net)
+        server.admit("hog", PROG, max_messages=10, outputs=("j",))
+        server.submit("hog", two_stream_pubs(rng, 8, 25))
+        server.run()
+        session = server.session("hog")
+        assert session.state == "evicted"
+        assert ("hog", "message_budget") in server.rejections
+
+    def test_eviction_spares_other_tenants(self):
+        rng = random.Random(2)
+        net = GridNetwork(5)
+        server = QueryServer(net)
+        server.admit("hog", PROG, max_messages=10, outputs=("j",))
+        server.admit("good", PROG, outputs=("j",))
+        hog_pubs = two_stream_pubs(rng, 8, 25)
+        good_pubs = two_stream_pubs(rng, 5, 25)
+        server.submit("hog", hog_pubs)
+        server.submit("good", good_pubs)
+        server.run()
+        assert server.session("hog").state == "evicted"
+        assert server.session("good").state != "evicted"
+        assert server.results("good", "j") == oracle(good_pubs)
+
+
+class TestTelemetry:
+    def test_tenant_families_populated(self, telemetry):
+        rng = random.Random(4)
+        loads = {"a": two_stream_pubs(rng, 4, 25)}
+        serve_tenants(loads)
+        assert _inst.tenant_msgs.labels(tenant="a").value > 0
+        assert _inst.tenant_result_latency.labels(tenant="a").count > 0
+
+    def test_rejections_counted(self, telemetry):
+        server = QueryServer(GridNetwork(4), max_tenants=1)
+        server.admit("a", PROG)
+        with pytest.raises(AdmissionError):
+            server.admit("b", PROG)
+        assert _inst.tenant_rejections.labels(
+            tenant="b", reason="capacity"
+        ).value == 1
+
+
+class TestReport:
+    def test_report_shape(self):
+        rng = random.Random(6)
+        loads = {"a": two_stream_pubs(rng, 3, 25)}
+        net, server = serve_tenants(loads)
+        report = server.report()
+        assert report["epochs"] == server.epochs_run > 0
+        assert report["makespan"] == net.now
+        assert report["tenants"]["a"]["published"] == 6
+        assert report["tenants"]["a"]["results"] == len(
+            server.results("a", "j")
+        )
+        assert "imbalance" in report  # placement on by default
