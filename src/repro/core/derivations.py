@@ -23,14 +23,45 @@ from .terms import Term
 FactKey = Tuple[str, Tuple[Term, ...]]
 
 
+class CachedFactKey(tuple):
+    """A fact key (``(pred, args)`` tuple) that caches its hash.
+
+    Equal to — and hash-compatible with — the plain tuples used
+    everywhere else, but dict/set operations pay one attribute read
+    instead of re-walking the argument terms through their Python-level
+    ``__hash__`` methods.  The evaluator creates one per stored row and
+    reuses it across every derivation that references the row, which is
+    where the saving comes from.  (Tuple subclasses cannot declare
+    ``__slots__``, so instances carry a small dict for the cache.)
+    """
+
+    def __init__(self, _content=()):
+        self._h = tuple.__hash__(self)
+
+    def __hash__(self):
+        try:
+            return self._h
+        except AttributeError:  # unpickled instances skip __init__
+            h = self._h = tuple.__hash__(self)
+            return h
+
+
+_set = object.__setattr__
+
+
 class Derivation:
     """One way a derived tuple was produced: rule id + supporting facts."""
 
-    __slots__ = ("rule_id", "body_facts")
+    __slots__ = ("rule_id", "body_facts", "_hash")
 
     def __init__(self, rule_id: int, body_facts: Iterable[FactKey]):
-        object.__setattr__(self, "rule_id", rule_id)
-        object.__setattr__(self, "body_facts", tuple(body_facts))
+        _set(self, "rule_id", rule_id)
+        body = tuple(body_facts)
+        _set(self, "body_facts", body)
+        # Every derivation lands in a DerivationStore set, so it is
+        # hashed at least once; computing eagerly skips the exception
+        # dance a lazy slot would cost on the first call.
+        _set(self, "_hash", hash((rule_id, body)))
 
     def __setattr__(self, name, value):
         raise AttributeError("Derivation is immutable")
@@ -46,7 +77,7 @@ class Derivation:
         )
 
     def __hash__(self) -> int:
-        return hash((self.rule_id, self.body_facts))
+        return self._hash
 
     def __repr__(self) -> str:
         facts = ", ".join(f"{p}{tuple(map(repr, a))}" for p, a in self.body_facts)
@@ -60,7 +91,26 @@ class DerivationStore:
 
     def __init__(self):
         self._derivations: Dict[FactKey, Set[Derivation]] = {}
-        self._supports: Dict[FactKey, Set[FactKey]] = {}
+        #: Reverse index, or None while unbuilt.  Only the deletion
+        #: paths read it, so bulk forward evaluation skips the two dict
+        #: updates per recorded derivation entirely; the index is
+        #: materialized from ``_derivations`` on first deletion-path
+        #: access and maintained incrementally from then on.
+        self._supports: Optional[Dict[FactKey, Set[FactKey]]] = None
+
+    def _support_index(self) -> Dict[FactKey, Set[FactKey]]:
+        idx = self._supports
+        if idx is None:
+            idx = self._supports = {}
+            for fact, derivs in self._derivations.items():
+                for derivation in derivs:
+                    for body_fact in derivation.body_facts:
+                        deps = idx.get(body_fact)
+                        if deps is None:
+                            idx[body_fact] = {fact}
+                        else:
+                            deps.add(fact)
+        return idx
 
     def add(self, fact: FactKey, derivation: Derivation) -> bool:
         """Record a derivation; returns True if the fact is new."""
@@ -69,13 +119,25 @@ class DerivationStore:
             self._derivations[fact] = {derivation}
             new = True
         else:
-            if derivation in existing:
-                return False
+            before = len(existing)
             existing.add(derivation)
+            if len(existing) == before:
+                return False
             new = False
-        for body_fact in derivation.body_facts:
-            self._supports.setdefault(body_fact, set()).add(fact)
+        supports = self._supports
+        if supports is not None:
+            for body_fact in derivation.body_facts:
+                deps = supports.get(body_fact)
+                if deps is None:
+                    supports[body_fact] = {fact}
+                else:
+                    deps.add(fact)
         return new
+
+    def supporters(self, fact: FactKey) -> Set[FactKey]:
+        """Facts with at least one derivation through ``fact`` (treat the
+        returned set as read-only)."""
+        return self._support_index().get(fact, set())
 
     def remove_derivation(self, fact: FactKey, derivation: Derivation) -> bool:
         """Subtract one derivation from ``fact``'s set (Section IV-B).
@@ -87,11 +149,12 @@ class DerivationStore:
         if derivs is None or derivation not in derivs:
             return False
         derivs.discard(derivation)
-        for body_fact in derivation.body_facts:
-            if not any(d.uses(body_fact) for d in derivs):
-                deps = self._supports.get(body_fact)
-                if deps is not None:
-                    deps.discard(fact)
+        if self._supports is not None:
+            for body_fact in derivation.body_facts:
+                if not any(d.uses(body_fact) for d in derivs):
+                    deps = self._supports.get(body_fact)
+                    if deps is not None:
+                        deps.discard(fact)
         if derivs:
             return False
         del self._derivations[fact]
@@ -100,8 +163,9 @@ class DerivationStore:
     def remove_support(self, removed: FactKey) -> List[FactKey]:
         """Delete every derivation that uses ``removed``; return the facts
         whose derivation sets became empty (they must now be deleted)."""
+        supports = self._support_index()
         emptied: List[FactKey] = []
-        for dependent in list(self._supports.get(removed, ())):
+        for dependent in list(supports.get(removed, ())):
             derivs = self._derivations.get(dependent)
             if derivs is None:
                 continue
@@ -111,13 +175,13 @@ class DerivationStore:
             else:
                 del self._derivations[dependent]
                 emptied.append(dependent)
-        self._supports.pop(removed, None)
+        supports.pop(removed, None)
         return emptied
 
     def discard_fact(self, fact: FactKey) -> None:
         """Forget a fact entirely (used when the fact is deleted)."""
         derivs = self._derivations.pop(fact, None)
-        if derivs:
+        if derivs and self._supports is not None:
             for d in derivs:
                 for body_fact in d.body_facts:
                     deps = self._supports.get(body_fact)

@@ -10,7 +10,9 @@ distributed evaluation" (Section III).
 
 from __future__ import annotations
 
+import gc
 import itertools
+from contextlib import contextmanager
 from typing import (
     Dict,
     Iterable,
@@ -43,18 +45,22 @@ from .builtins import (
     normalize_partial,
     value_to_term,
 )
-from .derivations import Derivation, DerivationStore, FactKey
+from .columnar import GLOBAL_INTERNER as _INTERNER
+from .derivations import CachedFactKey, Derivation, DerivationStore, FactKey
 from .errors import EvaluationError, ProgramError
 from .plan import (
     GLOBAL_PLAN_CACHE,
     CompiledPlan,
     PlanCache,
     compile_rule,
+    engine_mode,
     order_body,
     rule_label,
     seed_engine,
     seed_mode,
+    use_engine,
 )
+from .vector import execute_batch
 from .safety import check_program_safety
 from .stratify import (
     Analysis,
@@ -70,19 +76,46 @@ ArgsTuple = Tuple[Term, ...]
 
 
 class Relation:
-    """A set of ground argument tuples with lazy per-position hash
-    indexes (built the first time a position is probed with a bound
-    pattern argument).
+    """A set of ground argument tuples, stored columnar.
 
-    Probes are *selectivity-aware*: when a pattern has several ground
-    positions and more than one of them already has an index, the
-    smallest bucket wins (an empty bucket short-circuits to no
-    candidates at all)."""
+    Storage is a row arena: every tuple added gets a dense row number,
+    its terms are interned through :data:`repro.core.columnar.GLOBAL_INTERNER`
+    and the resulting ids appended to per-position id columns.  Deletion
+    tombstones the row (membership lives in the ``_row_of`` dict keyed
+    by the term tuples themselves, so the tuple-level API below is
+    exact).  The id columns feed the numpy batch kernels in
+    :mod:`repro.core.vector` through version-keyed snapshot caches
+    (:meth:`np_column` / :meth:`sorted_probe`).
+
+    The tuple-level view keeps the pre-columnar contract unchanged:
+    lazy per-position hash indexes (now id-keyed buckets of row numbers)
+    built the first time a position is probed with a bound pattern
+    argument, and *selectivity-aware* probes — when a pattern has
+    several ground positions and more than one of them already has an
+    index, the smallest bucket wins (an empty bucket short-circuits to
+    no candidates at all)."""
 
     def __init__(self, name: str):
         self.name = name
-        self._tuples: Set[ArgsTuple] = set()
-        self._indexes: Dict[int, Dict[Term, Set[ArgsTuple]]] = {}
+        #: term tuple -> row number (live rows only; iteration order is
+        #: insertion order, which callers treat as unordered).
+        self._row_of: Dict[ArgsTuple, int] = {}
+        #: row number -> term tuple (including tombstoned rows; the
+        #: first-added instance is the canonical row value).
+        self._terms_rows: List[ArgsTuple] = []
+        #: per-position id columns (including tombstoned rows); None
+        #: once rows of differing arity make the relation ragged.
+        self._cols: Optional[List[List[int]]] = None
+        self._arity: Optional[int] = None
+        self._dead: Set[int] = set()
+        #: position -> (id -> set of row numbers), built lazily.
+        self._indexes: Dict[int, Dict[int, Set[int]]] = {}
+        #: bumped on every mutation; keys the numpy snapshot caches.
+        self._version = 0
+        self._snapshots: Dict[object, Tuple[int, object]] = {}
+        #: predicate -> row-aligned ``(pred, args)`` fact keys, grown
+        #: lazily; batch emission reuses one key object per stored row.
+        self._fact_keys: Dict[str, List[tuple]] = {}
         #: Number of index probes — a cheap work metric for the
         #: join-ordering experiments.
         self.probes = 0
@@ -91,45 +124,74 @@ class Relation:
         self.scans = 0
 
     def __len__(self) -> int:
-        return len(self._tuples)
+        return len(self._row_of)
 
     def __iter__(self) -> Iterator[ArgsTuple]:
-        return iter(self._tuples)
+        return iter(self._row_of)
 
     def __contains__(self, args: ArgsTuple) -> bool:
-        return args in self._tuples
+        return args in self._row_of
 
     def add(self, args: ArgsTuple) -> bool:
         """Insert; returns True when the tuple is new."""
-        if args in self._tuples:
-            return False
-        self._tuples.add(args)
+        return self.add_row(args)[0]
+
+    def add_row(self, args: ArgsTuple) -> Tuple[bool, int]:
+        """Insert; returns ``(is_new, canonical row number)`` so hot
+        loops can reach the stored row without a second lookup."""
+        row = self._row_of.get(args)
+        if row is not None:
+            return False, row
+        row = len(self._terms_rows)
+        intern = _INTERNER.intern
+        ids = [intern(t) for t in args]
+        if row == 0 and self._arity is None:
+            self._arity = len(args)
+            self._cols = [[] for _ in args]
+        if self._cols is not None:
+            if len(args) == self._arity:
+                for col, tid in zip(self._cols, ids):
+                    col.append(tid)
+            else:
+                # Mixed arities: drop the columnar mirror; the batch
+                # kernels fall back to the tuple executor for this
+                # relation.
+                self._cols = None
+        self._row_of[args] = row
+        self._terms_rows.append(args)
         for pos, index in self._indexes.items():
-            if pos < len(args):
-                index.setdefault(args[pos], set()).add(args)
-        return True
+            if pos < len(ids):
+                index.setdefault(ids[pos], set()).add(row)
+        self._version += 1
+        return True, row
 
     def discard(self, args: ArgsTuple) -> bool:
         """Remove; returns True when the tuple was present."""
-        if args not in self._tuples:
+        row = self._row_of.pop(args, None)
+        if row is None:
             return False
-        self._tuples.discard(args)
-        for pos, index in self._indexes.items():
-            if pos < len(args):
-                bucket = index.get(args[pos])
-                if bucket is not None:
-                    bucket.discard(args)
-                    if not bucket:
-                        del index[args[pos]]
+        self._dead.add(row)
+        if self._indexes:
+            get_id = _INTERNER.get
+            for pos, index in self._indexes.items():
+                if pos < len(args):
+                    tid = get_id(args[pos])
+                    bucket = index.get(tid)
+                    if bucket is not None:
+                        bucket.discard(row)
+                        if not bucket:
+                            del index[tid]
+        self._version += 1
         return True
 
-    def _index_for(self, pos: int) -> Dict[Term, Set[ArgsTuple]]:
+    def _index_for(self, pos: int) -> Dict[int, Set[int]]:
         index = self._indexes.get(pos)
         if index is None:
             index = {}
-            for args in self._tuples:
+            intern = _INTERNER.intern
+            for args, row in self._row_of.items():
                 if pos < len(args):
-                    index.setdefault(args[pos], set()).add(args)
+                    index.setdefault(intern(args[pos]), set()).add(row)
             self._indexes[pos] = index
         return index
 
@@ -144,7 +206,7 @@ class Relation:
             if term.is_ground():
                 bound.append((pos, term))
         if not bound:
-            return self._tuples
+            return self._row_of
         return self._select_bucket(bound)
 
     def lookup(self, bound: Sequence[Tuple[int, Term]]) -> Iterable[ArgsTuple]:
@@ -159,15 +221,18 @@ class Relation:
         """A snapshot of the full relation (safe to iterate while the
         relation grows).  Counts a scan, not an index probe."""
         self.scans += 1
-        return tuple(self._tuples)
+        return tuple(self._row_of)
 
     def _select_bucket(self, bound: Sequence[Tuple[int, Term]]) -> Iterable[ArgsTuple]:
+        get_id = _INTERNER.get
+        rows = self._terms_rows
         best = None
         for pos, term in bound:
             index = self._indexes.get(pos)
             if index is None:
                 continue
-            bucket = index.get(term)
+            tid = get_id(term)
+            bucket = index.get(tid) if tid is not None else None
             if bucket is None:
                 # An index exists and has no entry for this value: the
                 # relation cannot match, whatever the other positions say.
@@ -175,9 +240,91 @@ class Relation:
             if best is None or len(bucket) < len(best):
                 best = bucket
         if best is not None:
-            return best
+            return [rows[i] for i in best]
         pos, term = bound[0]
-        return self._index_for(pos).get(term, ())
+        index = self._index_for(pos)
+        tid = get_id(term)
+        bucket = index.get(tid) if tid is not None else None
+        if bucket is None:
+            return ()
+        return [rows[i] for i in bucket]
+
+    # -- columnar view (consumed by repro.core.vector) -------------------
+
+    @property
+    def arity(self) -> Optional[int]:
+        """Uniform row arity, or None while empty."""
+        return self._arity
+
+    @property
+    def ragged(self) -> bool:
+        """True once rows of differing arity broke the columnar mirror."""
+        return self._arity is not None and self._cols is None
+
+    @property
+    def terms_rows(self) -> List[ArgsTuple]:
+        """Row number -> canonical term tuple (tombstones included)."""
+        return self._terms_rows
+
+    def _snapshot(self, key, build):
+        cached = self._snapshots.get(key)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        value = build()
+        self._snapshots[key] = (self._version, value)
+        return value
+
+    def fact_keys(self, pred: str) -> List[tuple]:
+        """Row-aligned ``(pred, args)`` fact keys (tombstones included),
+        extended lazily as rows are added.  Rows are append-only, so the
+        prefix built on earlier calls stays valid; sharing one key object
+        per row keeps batch emission from re-allocating (and the
+        derivation store from re-hashing) the same key thousands of
+        times."""
+        keys = self._fact_keys.get(pred)
+        if keys is None:
+            keys = self._fact_keys[pred] = []
+        rows = self._terms_rows
+        if len(keys) < len(rows):
+            keys.extend(
+                CachedFactKey((pred, args)) for args in rows[len(keys):]
+            )
+        return keys
+
+    def np_column(self, pos: int):
+        """Id column ``pos`` as an int64 array (tombstones included)."""
+        import numpy as np
+
+        return self._snapshot(
+            ("col", pos),
+            lambda: np.array(self._cols[pos], dtype=np.int64),
+        )
+
+    def live_rows(self):
+        """Live row numbers as an int64 array."""
+        import numpy as np
+
+        def build():
+            if not self._dead:
+                return np.arange(len(self._terms_rows), dtype=np.int64)
+            return np.fromiter(
+                self._row_of.values(), dtype=np.int64, count=len(self._row_of)
+            )
+
+        return self._snapshot("live", build)
+
+    def sorted_probe(self, pos: int):
+        """``(sorted ids, row numbers in that order)`` over live rows —
+        the probe side of the vectorized searchsorted join."""
+        import numpy as np
+
+        def build():
+            live = self.live_rows()
+            vals = self.np_column(pos)[live]
+            order = np.argsort(vals, kind="stable")
+            return vals[order], live[order]
+
+        return self._snapshot(("sorted", pos), build)
 
 
 class Database:
@@ -387,13 +534,50 @@ def ground_head(rule: Rule, subst: Substitution, registry: BuiltinRegistry) -> A
     return tuple(out)
 
 
+#: Deltas smaller than this run tuple-at-a-time even under the columnar
+#: engine: the numpy kernels' per-call overhead beats Python loops only
+#: once a few rows amortize it (the incremental evaluator's
+#: one-tuple-at-a-time deltas stay on the tuple path).
+_MIN_BATCH = 4
+
+
 def fire_rule(
     rule: Rule,
     db: Database,
     registry: BuiltinRegistry,
     **delta_kwargs,
 ) -> Iterator[Tuple[ArgsTuple, Derivation]]:
-    """Yield (head tuple, derivation) for every body match."""
+    """Yield (head tuple, derivation) for every body match.
+
+    Under the ``columnar`` engine, vectorizable rules run through the
+    numpy batch executor (:mod:`repro.core.vector`); everything else —
+    other engines, rules the analyzer rejected, calls the kernels bail
+    out of at runtime, tiny deltas — takes the tuple-at-a-time path
+    below, with identical results.
+    """
+    if engine_mode() == "columnar" and "initial_subst" not in delta_kwargs:
+        plan = GLOBAL_PLAN_CACHE.get(rule)
+        program = plan.batch_program()
+        if program is not None:
+            delta_tuples = delta_kwargs.get("delta_tuples")
+            if delta_tuples is None or len(delta_tuples) >= _MIN_BATCH:
+                results = execute_batch(
+                    plan, program, db, registry,
+                    delta_pred=delta_kwargs.get("delta_pred"),
+                    delta_tuples=delta_tuples,
+                    delta_occurrence=delta_kwargs.get("delta_occurrence"),
+                )
+                if results is not None:
+                    return iter(results)
+    return _fire_rule_tuples(rule, db, registry, **delta_kwargs)
+
+
+def _fire_rule_tuples(
+    rule: Rule,
+    db: Database,
+    registry: BuiltinRegistry,
+    **delta_kwargs,
+) -> Iterator[Tuple[ArgsTuple, Derivation]]:
     for subst, used in enumerate_rule(rule, db, registry, **delta_kwargs):
         head = ground_head(rule, subst, registry)
         yield head, Derivation(rule.rule_id if rule.rule_id is not None else -1, used)
@@ -470,6 +654,28 @@ def _apply_aggregate(function: str, values: List) -> object:
 # ---------------------------------------------------------------------------
 
 
+@contextmanager
+def _gc_paused():
+    """Pause the cyclic garbage collector for the span of a fixpoint.
+
+    The fixpoint loops allocate heavily (head tuples, derivations, fact
+    keys) but create no reference cycles — everything is reclaimed by
+    reference counting the moment it dies.  Left enabled, the collector
+    re-scans the ever-growing derivation store on every full pass, a
+    measurable superlinear drag on large evaluations (1.4x wall time on
+    the E17 transitive-closure workload).  Nested evaluations see the
+    collector already off and leave it alone.
+    """
+    if not gc.isenabled():
+        yield
+        return
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+
+
 class SemiNaiveEvaluator:
     """Stratified semi-naive bottom-up evaluation.
 
@@ -504,15 +710,16 @@ class SemiNaiveEvaluator:
         """Evaluate the program to fixpoint over ``db`` (mutated in place,
         also returned for chaining)."""
         if not _obs.enabled:
-            for fact in self.program.facts:
-                db.assert_atom(fact)
-            for stratum in self.analysis.strata:
-                self._evaluate_stratum(db, stratum)
+            with _gc_paused():
+                for fact in self.program.facts:
+                    db.assert_atom(fact)
+                for stratum in self.analysis.strata:
+                    self._evaluate_stratum(db, stratum)
             return db
         probes_before = _total_probes(db)
         scans_before = _total_scans(db)
         with _span("eval.fixpoint", evaluator="semi-naive",
-                   rules=len(self.program.rules)) as sp:
+                   rules=len(self.program.rules)) as sp, _gc_paused():
             for fact in self.program.facts:
                 db.assert_atom(fact)
             for stratum in self.analysis.strata:
@@ -554,18 +761,29 @@ class SemiNaiveEvaluator:
         deltas: Dict[str, Set[ArgsTuple]] = {}
         rounds = 1
         for rule in rules:
-            rel = db.relation(rule.head.predicate)
+            head_pred = rule.head.predicate
+            rel = db.relation(head_pred)
             fired = added = 0
             firings = fire_rule(rule, db, self.registry)
             if eager:
                 firings = iter(list(firings))
+            record = self.record_derivations
+            derivs_add = db.derivations.add
+            add_row = rel.add_row
+            keys = rel.fact_keys(head_pred) if record else None
+            delta_set = None
             for head, derivation in firings:
                 fired += 1
-                if self.record_derivations:
-                    db.derivations.add((rule.head.predicate, head), derivation)
-                if rel.add(head):
+                is_new, row = add_row(head)
+                if record:
+                    if row >= len(keys):
+                        keys.append(CachedFactKey((head_pred, head)))
+                    derivs_add(keys[row], derivation)
+                if is_new:
                     added += 1
-                    deltas.setdefault(rule.head.predicate, set()).add(head)
+                    if delta_set is None:
+                        delta_set = deltas.setdefault(head_pred, set())
+                    delta_set.add(head)
             if _obs.enabled and fired:
                 label = _rule_label(rule)
                 _inst.rule_firings.labels(rule=label).inc(fired)
@@ -618,8 +836,14 @@ class SemiNaiveEvaluator:
                         )
                         for pred, delta in deltas.items()
                     ]
-                rel = db.relation(rule.head.predicate)
+                head_pred = rule.head.predicate
+                rel = db.relation(head_pred)
                 fired = added = 0
+                record = self.record_derivations
+                derivs_add = db.derivations.add
+                add_row = rel.add_row
+                keys = rel.fact_keys(head_pred) if record else None
+                delta_set = None
                 for pred, delta, n_occ in pairs:
                     for occ in range(n_occ):
                         firings = fire_rule(
@@ -634,15 +858,20 @@ class SemiNaiveEvaluator:
                             firings = iter(list(firings))
                         for head, derivation in firings:
                             fired += 1
-                            if self.record_derivations:
-                                db.derivations.add(
-                                    (rule.head.predicate, head), derivation
-                                )
-                            if rel.add(head):
+                            is_new, row = add_row(head)
+                            if record:
+                                if row >= len(keys):
+                                    keys.append(
+                                        CachedFactKey((head_pred, head))
+                                    )
+                                derivs_add(keys[row], derivation)
+                            if is_new:
                                 added += 1
-                                new_deltas.setdefault(
-                                    rule.head.predicate, set()
-                                ).add(head)
+                                if delta_set is None:
+                                    delta_set = new_deltas.setdefault(
+                                        head_pred, set()
+                                    )
+                                delta_set.add(head)
                 round_added += added
                 if _obs.enabled and fired:
                     label = _rule_label(rule)
@@ -692,11 +921,12 @@ class XYEvaluator:
         if self.xy is None:
             return SemiNaiveEvaluator(self.program, self.registry).evaluate(db)
         if not _obs.enabled:
-            return self._evaluate_xy(db)
+            with _gc_paused():
+                return self._evaluate_xy(db)
         probes_before = _total_probes(db)
         scans_before = _total_scans(db)
         with _span("eval.fixpoint", evaluator="xy",
-                   rules=len(self.program.rules)) as sp:
+                   rules=len(self.program.rules)) as sp, _gc_paused():
             self._evaluate_xy(db)
             probes = _total_probes(db) - probes_before
             scans = _total_scans(db) - scans_before
@@ -756,10 +986,16 @@ class XYEvaluator:
                 firings = fire_rule(rule, db, self.registry)
                 if seed_mode():
                     firings = iter(list(firings))
+                derivs_add = db.derivations.add
+                add_row = rel.add_row
+                keys = rel.fact_keys(predicate)
                 for head, derivation in firings:
                     fired += 1
-                    db.derivations.add((predicate, head), derivation)
-                    if rel.add(head):
+                    is_new, row = add_row(head)
+                    if row >= len(keys):
+                        keys.append(CachedFactKey((predicate, head)))
+                    derivs_add(keys[row], derivation)
+                    if is_new:
                         added += 1
                         changed = True
                 if _obs.enabled and fired:
@@ -827,12 +1063,18 @@ class XYEvaluator:
                     firings = fire_rule(rule, db, self.registry)
                     if seed_mode():
                         firings = iter(list(firings))
+                    derivs_add = db.derivations.add
+                    add_row = rel.add_row
+                    keys = rel.fact_keys(pred)
                     for head, derivation in firings:
                         fired += 1
                         head_stage = self._stage_value(pred, head)
                         if head_stage == stage:
-                            db.derivations.add((pred, head), derivation)
-                            if rel.add(head):
+                            is_new, row = add_row(head)
+                            if row >= len(keys):
+                                keys.append(CachedFactKey((pred, head)))
+                            derivs_add(keys[row], derivation)
+                            if is_new:
                                 added += 1
                                 changed = True
                         elif head_stage > stage and head_stage not in processed:

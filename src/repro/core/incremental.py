@@ -416,7 +416,7 @@ class DRedEvaluator:
         seen: Set[FactKey] = {(predicate, args_t)}
         while frontier:
             fact = frontier.popleft()
-            for dependent in list(store._supports.get(fact, ())):
+            for dependent in list(store.supporters(fact)):
                 if dependent in seen:
                     continue
                 if any(d.uses(fact) for d in store.derivations_of(dependent)):

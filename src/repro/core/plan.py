@@ -32,6 +32,7 @@ snapshot misses is re-derived from the next round's delta.
 
 from __future__ import annotations
 
+import os
 import threading
 from contextlib import contextmanager
 from typing import (
@@ -193,6 +194,10 @@ class RelStep:
 # The compiled plan
 # ---------------------------------------------------------------------------
 
+#: Sentinel distinguishing "batch analysis not run yet" from "analyzed:
+#: not vectorizable" (None).
+_BATCH_UNSET = object()
+
 
 class CompiledPlan:
     """An immutable evaluation plan for one rule.
@@ -203,7 +208,7 @@ class CompiledPlan:
     memoization.
     """
 
-    __slots__ = ("rule", "steps", "occurrences", "label")
+    __slots__ = ("rule", "steps", "occurrences", "label", "_batch")
 
     def __init__(self, rule: Rule, steps: Sequence[object],
                  occurrences: Dict[str, Tuple[int, ...]]):
@@ -211,11 +216,24 @@ class CompiledPlan:
         self.steps = tuple(steps)
         self.occurrences = occurrences
         self.label = rule_label(rule)
+        self._batch = _BATCH_UNSET
 
     def occurrence_count(self, predicate: str) -> int:
         """Positive occurrences of ``predicate`` in the ordered body —
         the number of semi-naive delta variants of this rule."""
         return len(self.occurrences.get(predicate, ()))
+
+    def batch_program(self):
+        """The vectorized form of this plan (see
+        :func:`repro.core.vector.analyze_plan`), or None when the rule
+        cannot be batch-executed.  Analyzed once, lazily — a benign
+        race recomputes the same immutable value."""
+        program = self._batch
+        if program is _BATCH_UNSET:
+            from .vector import analyze_plan
+
+            program = self._batch = analyze_plan(self)
+        return program
 
     # -- execution -------------------------------------------------------
 
@@ -553,26 +571,59 @@ GLOBAL_PLAN_CACHE = PlanCache()
 
 
 # ---------------------------------------------------------------------------
-# Engine selection (compiled plans vs. the seed recursive enumerator)
+# Engine selection
 # ---------------------------------------------------------------------------
+#
+# Three engines share the same semantics (identical derived facts and
+# derivations):
+#
+# * ``columnar`` (default) — compiled plans, with vectorizable rules
+#   executed batch-at-a-time by :mod:`repro.core.vector` and everything
+#   else on the tuple executor;
+# * ``tuple``  — compiled plans, tuple-at-a-time executor only;
+# * ``seed``   — the original recursive enumerator with eager per-rule
+#   materialization, kept as the reference oracle for differential
+#   tests and benchmark baselines.
+#
+# The default can be overridden with the REPRO_ENGINE environment
+# variable (CI runs the core suite once with REPRO_ENGINE=seed so the
+# oracle path cannot rot).
 
-_use_seed_engine = False
+ENGINES = ("columnar", "tuple", "seed")
+
+_engine = os.environ.get("REPRO_ENGINE", "columnar")
+if _engine not in ENGINES:
+    raise ValueError(
+        f"REPRO_ENGINE={_engine!r} is not one of {ENGINES}"
+    )
+
+
+def engine_mode() -> str:
+    """The currently selected engine name."""
+    return _engine
 
 
 def seed_mode() -> bool:
     """True while evaluation is pinned to the seed recursive engine."""
-    return _use_seed_engine
+    return _engine == "seed"
 
 
 @contextmanager
+def use_engine(name: str):
+    """Pin evaluation to one engine for the duration of the block."""
+    global _engine
+    if name not in ENGINES:
+        raise ValueError(f"unknown engine {name!r}; expected one of {ENGINES}")
+    previous = _engine
+    _engine = name
+    try:
+        yield
+    finally:
+        _engine = previous
+
+
 def seed_engine():
     """Route evaluation through the original recursive enumerator with
     eager per-rule materialization — the pre-plan reference engine, kept
     for differential tests and benchmark baselines."""
-    global _use_seed_engine
-    previous = _use_seed_engine
-    _use_seed_engine = True
-    try:
-        yield
-    finally:
-        _use_seed_engine = previous
+    return use_engine("seed")

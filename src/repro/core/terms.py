@@ -46,7 +46,7 @@ class Constant(Term):
     payloads match, which matches Datalog's untyped-constant semantics.
     """
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
 
     def __init__(self, value: ConstValue):
         object.__setattr__(self, "value", value)
@@ -67,7 +67,15 @@ class Constant(Term):
         return isinstance(other, Constant) and self.value == other.value
 
     def __hash__(self) -> int:
-        return hash(("const", self.value))
+        # Terms are hashed constantly (relation membership, derivation
+        # stores, the intern table), so the hash is computed once and
+        # cached.  object.__setattr__ bypasses the immutability guard.
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash(("const", self.value))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def __repr__(self) -> str:
         if isinstance(self.value, str):

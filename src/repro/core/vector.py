@@ -1,0 +1,690 @@
+"""Batch-vectorized execution of compiled rule plans.
+
+The tuple-at-a-time executor in :mod:`repro.core.plan` enumerates one
+binding at a time through Python-level probe loops.  This module runs
+the *same* plans over whole batches at once: the current set of partial
+bindings is a struct-of-arrays (one int64 id column per bound variable,
+ids from :data:`repro.core.columnar.GLOBAL_INTERNER`), and every step —
+equality join, negation, builtin comparison/assignment — is a numpy
+kernel over those columns.  Joins probe a relation through a cached
+``(sorted ids, row order)`` snapshot per (relation, position, version):
+``searchsorted`` yields per-batch-row match ranges which are expanded
+into (batch row, relation row) pairs without a Python loop.
+
+A rule is *vectorizable* when every step fits the supported shapes:
+
+* positive/negated relational subgoals whose arguments are constants or
+  bare variables (no nested function terms in the pattern);
+* builtin comparisons / equality tests / ``=`` assignments over
+  arithmetic expression trees of numeric constants and bound variables;
+* head arguments that are constants, ground terms, bound variables, or
+  arithmetic expressions.
+
+:func:`analyze_plan` decides this once per plan and returns None
+otherwise — the caller then uses the tuple executor.  Vectorizable
+rules can still bail *at runtime* (:class:`_Fallback`): non-numeric ids
+reaching arithmetic, integers beyond float64's exact range (2**53),
+``//``/``mod`` operands at or above 2**25, zero divisors, ragged
+relations.  Fallback happens before any result is emitted and before
+any probe counter is committed, so the tuple executor re-runs the call
+with identical semantics (including raising the same errors Python
+arithmetic would).
+
+Derived facts and derivations are constructed from the interner's
+canonical term instances, so results are equal (as terms) to what
+:func:`repro.core.eval.ground_head` builds row by row.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..obs import instrument as _inst
+from ..obs import state as _obs
+from .builtins import BuiltinRegistry, eval_term, value_to_term
+from .columnar import (
+    F_FN,
+    F_INT,
+    F_NUM,
+    F_SMALL,
+    GLOBAL_INTERNER,
+    MAX_EXACT_INT,
+    SMALL_INT,
+)
+from .derivations import CachedFactKey, Derivation
+from .plan import _CONST, _VAR, BuiltinStep, RelStep
+from .terms import Constant, FunctionTerm, Term, Variable
+
+#: Module-level mirror of the obs counters, always on (cheap) so tests
+#: and benchmarks can read vectorization coverage without telemetry.
+VECTOR_STATS = {
+    "batch_calls": 0,
+    "batch_rows": 0,
+    "vectorized_steps": 0,
+    "fallback_steps": 0,
+}
+
+
+class _Fallback(Exception):
+    """Raised when a vectorized call must re-run on the tuple executor."""
+
+
+# ---------------------------------------------------------------------------
+# Compile-time analysis
+# ---------------------------------------------------------------------------
+
+
+class _JoinOp:
+    __slots__ = (
+        "step_idx", "predicate", "negated", "arity",
+        "ground_specs", "out_specs", "dup_specs",
+    )
+
+    def __init__(self, step_idx, predicate, negated, arity,
+                 ground_specs, out_specs, dup_specs):
+        self.step_idx = step_idx
+        self.predicate = predicate
+        self.negated = negated
+        self.arity = arity
+        #: merged probe columns, pattern order: ("c", pos, id) for
+        #: constants, ("v", pos, var) for already-bound variables.
+        self.ground_specs = ground_specs
+        #: (pos, var) — first occurrences of unbound variables.
+        self.out_specs = out_specs
+        #: (pos, first_pos) — intra-atom variable repeats: the relation
+        #: row must carry equal ids at both positions.
+        self.dup_specs = dup_specs
+
+
+class _TestOp:
+    __slots__ = ("name", "negated", "left", "right")
+
+    def __init__(self, name, negated, left, right):
+        self.name = name
+        self.negated = negated
+        self.left = left
+        self.right = right
+
+
+class _AssignOp:
+    __slots__ = ("var", "expr")
+
+    def __init__(self, var, expr):
+        self.var = var
+        self.expr = expr
+
+
+class BatchProgram:
+    """The vectorized form of one CompiledPlan."""
+
+    __slots__ = ("ops", "head")
+
+    def __init__(self, ops, head):
+        self.ops = ops
+        self.head = head
+
+
+def _build_expr(term: Term, bound) -> Optional[tuple]:
+    """An arithmetic expression tree over numeric constants and bound
+    variables, or None when the term does not vectorize."""
+    if isinstance(term, Constant):
+        v = term.value
+        if (
+            isinstance(v, (int, float))
+            and not isinstance(v, bool)
+            and v == v
+            and abs(v) <= MAX_EXACT_INT
+        ):
+            return ("num", v)
+        return None
+    if isinstance(term, Variable):
+        return ("var", term) if term in bound else None
+    if isinstance(term, FunctionTerm):
+        f = term.functor
+        if f in ("abs", "neg"):
+            if len(term.args) != 1:
+                return None
+        elif f in ("+", "-", "*", "/", "//", "mod", "min", "max"):
+            if len(term.args) != 2:
+                return None
+        else:
+            return None
+        children = []
+        for a in term.args:
+            child = _build_expr(a, bound)
+            if child is None:
+                return None
+            children.append(child)
+        return ("op", f, tuple(children))
+    return None
+
+
+def _analyze_rel(step: RelStep, step_idx: int, bound) -> Optional[_JoinOp]:
+    ground: List[tuple] = []
+    out: List[tuple] = []
+    dups: List[tuple] = []
+    seen: Dict[Variable, int] = {}
+    for pos, (kind, payload) in enumerate(step.arg_plan):
+        if kind == _CONST:
+            ground.append(("c", pos, GLOBAL_INTERNER.intern(payload)))
+        elif kind == _VAR:
+            if payload in bound:
+                ground.append(("v", pos, payload))
+            elif payload in seen:
+                dups.append((pos, seen[payload]))
+            else:
+                seen[payload] = pos
+                if not step.negated:
+                    out.append((pos, payload))
+                # In a negated subgoal an unbound variable is a free
+                # (unconstrained) position — order_body only admits
+                # anonymous ones there.
+        else:
+            return None  # nested term in the pattern
+    return _JoinOp(step_idx, step.predicate, step.negated,
+                   len(step.arg_plan), ground, out, dups)
+
+
+_COMPARISONS = ("<", "<=", ">", ">=", "=", "!=")
+
+
+def _analyze_builtin(literal, bound) -> Optional[object]:
+    name = literal.name
+    if len(literal.args) != 2 or name not in _COMPARISONS:
+        return None
+    left, right = literal.args
+    if name == "=" and not literal.negated:
+        left_vars = set(left.variables())
+        right_vars = set(right.variables())
+        if not (left_vars <= bound and right_vars <= bound):
+            # Assignment form: mirror eval_builtin's dispatch — the
+            # unbound side must be a bare variable.
+            if isinstance(left, Variable) and left not in bound and right_vars <= bound:
+                expr = _build_expr(right, bound)
+                return None if expr is None else _AssignOp(left, expr)
+            if isinstance(right, Variable) and right not in bound and left_vars <= bound:
+                expr = _build_expr(left, bound)
+                return None if expr is None else _AssignOp(right, expr)
+            return None  # structural unification — tuple path
+    le = _build_expr(left, bound)
+    re = _build_expr(right, bound)
+    if le is None or re is None:
+        return None
+    return _TestOp(name, literal.negated, le, re)
+
+
+def analyze_plan(plan) -> Optional[BatchProgram]:
+    """The BatchProgram for ``plan``, or None when any step (or the
+    head) falls outside the vectorizable shapes."""
+    rule = plan.rule
+    if rule.has_aggregates:
+        return None
+    bound: set = set()
+    ops: List[object] = []
+    for step_idx, step in enumerate(plan.steps):
+        if type(step) is BuiltinStep:
+            op = _analyze_builtin(step.literal, bound)
+            if op is None:
+                return None
+            ops.append(op)
+            if isinstance(op, _AssignOp):
+                bound.add(op.var)
+            continue
+        assert isinstance(step, RelStep)
+        op = _analyze_rel(step, step_idx, bound)
+        if op is None:
+            return None
+        ops.append(op)
+        if not op.negated:
+            bound.update(v for _, v in op.out_specs)
+    head: List[tuple] = []
+    for arg in rule.head.args:
+        if isinstance(arg, Variable):
+            if arg not in bound:
+                return None
+            head.append(("var", arg))
+        elif isinstance(arg, Constant):
+            head.append(("const", GLOBAL_INTERNER.intern(arg)))
+        elif arg.is_ground():
+            # Ground function term: may involve registered functions,
+            # so normalize at execution time with the live registry.
+            head.append(("gconst", arg))
+        else:
+            expr = _build_expr(arg, bound)
+            if expr is None:
+                return None
+            head.append(("expr", expr))
+    return BatchProgram(tuple(ops), tuple(head))
+
+
+# ---------------------------------------------------------------------------
+# Runtime sources
+# ---------------------------------------------------------------------------
+
+
+class _RelSource:
+    """Columnar view of a stored Relation."""
+
+    __slots__ = ("rel",)
+
+    def __init__(self, rel):
+        self.rel = rel
+
+    @property
+    def ragged(self):
+        return self.rel.ragged
+
+    @property
+    def arity(self):
+        return self.rel.arity
+
+    @property
+    def live_count(self):
+        return len(self.rel)
+
+    @property
+    def terms_rows(self):
+        return self.rel.terms_rows
+
+    def np_col(self, pos):
+        return self.rel.np_column(pos)
+
+    def live_rows(self):
+        return self.rel.live_rows()
+
+    def sorted_probe(self, pos):
+        return self.rel.sorted_probe(pos)
+
+    def fact_keys(self, pred):
+        return self.rel.fact_keys(pred)
+
+
+class _DeltaSource:
+    """Columnar view of one call's semi-naive delta set, built once."""
+
+    __slots__ = ("terms_rows", "arity", "ragged", "_cols", "_sorted", "_keys")
+
+    def __init__(self, rows):
+        self.terms_rows = rows
+        arities = {len(r) for r in rows}
+        self.ragged = len(arities) > 1
+        self.arity = arities.pop() if len(arities) == 1 else None
+        self._cols: Dict[int, np.ndarray] = {}
+        self._sorted: Dict[int, tuple] = {}
+        self._keys: Dict[str, list] = {}
+
+    @property
+    def live_count(self):
+        return len(self.terms_rows)
+
+    def np_col(self, pos):
+        col = self._cols.get(pos)
+        if col is None:
+            intern = GLOBAL_INTERNER.intern
+            col = np.fromiter(
+                (intern(r[pos]) for r in self.terms_rows),
+                dtype=np.int64,
+                count=len(self.terms_rows),
+            )
+            self._cols[pos] = col
+        return col
+
+    def live_rows(self):
+        return np.arange(len(self.terms_rows), dtype=np.int64)
+
+    def sorted_probe(self, pos):
+        cached = self._sorted.get(pos)
+        if cached is None:
+            vals = self.np_col(pos)
+            order = np.argsort(vals, kind="stable")
+            cached = (vals[order], order.astype(np.int64))
+            self._sorted[pos] = cached
+        return cached
+
+    def fact_keys(self, pred):
+        keys = self._keys.get(pred)
+        if keys is None:
+            keys = self._keys[pred] = [
+                CachedFactKey((pred, r)) for r in self.terms_rows
+            ]
+        return keys
+
+
+# ---------------------------------------------------------------------------
+# Runtime execution
+# ---------------------------------------------------------------------------
+
+
+class _State:
+    __slots__ = ("n", "cols", "prov", "stats")
+
+    def __init__(self):
+        self.n = 1
+        self.cols: Dict[Variable, np.ndarray] = {}
+        #: one [predicate, source, row-number array] per positive
+        #: join, in step order — the provenance columns.
+        self.prov: List[list] = []
+        self.stats = [0, 0]  # (candidates scanned, rows matched)
+
+    def gather(self, sel):
+        """Keep only the batch rows selected by index array ``sel``."""
+        self.n = len(sel)
+        cols = self.cols
+        for v in cols:
+            cols[v] = cols[v][sel]
+        for entry in self.prov:
+            entry[2] = entry[2][sel]
+
+
+def _check_int_range(res):
+    if np.any(np.abs(res) > MAX_EXACT_INT):
+        raise _Fallback
+
+
+def _eval_expr(expr, state):
+    """Evaluate an expression tree to (float64 array-or-scalar, is_int).
+
+    is_int mirrors Python's type propagation: int op int stays int
+    (except ``/``), anything touching a float is float.  All integer
+    intermediates are checked against float64's exact range.
+    """
+    kind = expr[0]
+    if kind == "num":
+        v = expr[1]
+        return float(v), isinstance(v, int)
+    if kind == "var":
+        ids = state.cols[expr[1]]
+        flags = GLOBAL_INTERNER.flags_of(ids)
+        if not (flags & F_NUM).all():
+            raise _Fallback
+        return GLOBAL_INTERNER.nums_of(ids), bool((flags & F_INT).all())
+    f = expr[1]
+    children = expr[2]
+    a, a_int = _eval_expr(children[0], state)
+    if f == "abs":
+        return np.abs(a), a_int
+    if f == "neg":
+        return -a, a_int
+    b, b_int = _eval_expr(children[1], state)
+    res_int = a_int and b_int
+    if f == "+":
+        res = a + b
+    elif f == "-":
+        res = a - b
+    elif f == "*":
+        res = a * b
+    elif f == "/":
+        if np.any(b == 0.0):
+            raise _Fallback  # tuple path raises ZeroDivisionError
+        return a / b, False
+    elif f in ("//", "mod"):
+        # Exact only for small integers; everything else goes back to
+        # Python arithmetic (floor/round edge cases on floats, big ints).
+        if not res_int:
+            raise _Fallback
+        if np.any(np.abs(a) >= SMALL_INT) or np.any(np.abs(b) >= SMALL_INT):
+            raise _Fallback
+        if np.any(b == 0.0):
+            raise _Fallback
+        return (np.floor_divide(a, b) if f == "//" else np.mod(a, b)), True
+    elif f == "min":
+        res = np.minimum(a, b)
+    elif f == "max":
+        res = np.maximum(a, b)
+    else:  # pragma: no cover - analysis admits only the functors above
+        raise _Fallback
+    if res_int:
+        _check_int_range(res)
+    return res, res_int
+
+
+def _count(counters, rel, scans):
+    probes_scans = counters.get(id(rel))
+    if probes_scans is None:
+        probes_scans = counters[id(rel)] = [rel, 0, 0]
+    probes_scans[2 if scans else 1] += 1
+
+
+def _probe_expand(op, src, state):
+    """Expand the batch against ``src`` along the ground columns:
+    returns (batch row indexes, relation row numbers, candidate count)."""
+    specs = op.ground_specs
+    kind, pos, payload = specs[0]
+    sorted_vals, sorted_rows = src.sorted_probe(pos)
+    if kind == "c":
+        lo = np.searchsorted(sorted_vals, payload, side="left")
+        hi = np.searchsorted(sorted_vals, payload, side="right")
+        rows1 = sorted_rows[lo:hi]
+        n, m = state.n, hi - lo
+        batch_idx = np.repeat(np.arange(n, dtype=np.int64), m)
+        rel_rows = np.tile(rows1, n)
+        total = n * m
+    else:
+        keys = state.cols[payload]
+        lo = np.searchsorted(sorted_vals, keys, side="left")
+        hi = np.searchsorted(sorted_vals, keys, side="right")
+        counts = hi - lo
+        total = int(counts.sum())
+        batch_idx = np.repeat(np.arange(state.n, dtype=np.int64), counts)
+        starts = np.repeat(lo, counts)
+        cum = np.cumsum(counts)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+        rel_rows = sorted_rows[starts + offsets]
+    mask = None
+    for kind2, pos2, payload2 in specs[1:]:
+        col = src.np_col(pos2)[rel_rows]
+        want = payload2 if kind2 == "c" else state.cols[payload2][batch_idx]
+        part = col == want
+        mask = part if mask is None else (mask & part)
+    for pos2, first_pos in op.dup_specs:
+        part = src.np_col(pos2)[rel_rows] == src.np_col(first_pos)[rel_rows]
+        mask = part if mask is None else (mask & part)
+    if mask is not None:
+        sel = np.nonzero(mask)[0]
+        batch_idx = batch_idx[sel]
+        rel_rows = rel_rows[sel]
+    return batch_idx, rel_rows, total
+
+
+def _exec_join(op, src, state, counters, is_delta):
+    if src.ragged:
+        raise _Fallback
+    if src.live_count == 0 or src.arity != op.arity:
+        state.n = 0
+        return
+    if op.ground_specs:
+        if not is_delta:
+            _count(counters, src.rel, scans=False)
+        batch_idx, rel_rows, total = _probe_expand(op, src, state)
+    else:
+        if not is_delta:
+            _count(counters, src.rel, scans=True)
+        live = src.live_rows()
+        if op.dup_specs:
+            keep = np.ones(len(live), dtype=bool)
+            for pos, first_pos in op.dup_specs:
+                keep &= src.np_col(pos)[live] == src.np_col(first_pos)[live]
+            live = live[np.nonzero(keep)[0]]
+        n, m = state.n, len(live)
+        batch_idx = np.repeat(np.arange(n, dtype=np.int64), m)
+        rel_rows = np.tile(live, n)
+        total = n * m
+    state.stats[0] += total
+    state.stats[1] += len(batch_idx)
+    state.gather(batch_idx)
+    for pos, var in op.out_specs:
+        state.cols[var] = src.np_col(pos)[rel_rows]
+    state.prov.append([op.predicate, src, rel_rows])
+    state.n = len(rel_rows)
+
+
+def _exec_negation(op, src, state, counters, is_delta):
+    if src.ragged:
+        raise _Fallback
+    if src.live_count == 0 or src.arity != op.arity:
+        return  # nothing can match: every batch row survives
+    if not op.ground_specs:
+        if not is_delta:
+            _count(counters, src.rel, scans=True)
+        exists = True
+        if op.dup_specs:
+            live = src.live_rows()
+            match = np.ones(len(live), dtype=bool)
+            for pos, first_pos in op.dup_specs:
+                match &= src.np_col(pos)[live] == src.np_col(first_pos)[live]
+            exists = bool(match.any())
+        if exists:
+            state.n = 0
+        return
+    if not is_delta:
+        _count(counters, src.rel, scans=False)
+    batch_idx, _rel_rows, _total = _probe_expand(op, src, state)
+    matched = np.zeros(state.n, dtype=bool)
+    matched[batch_idx] = True
+    keep = np.nonzero(~matched)[0]
+    if len(keep) != state.n:
+        state.gather(keep)
+
+
+def _exec_test(op, state):
+    left, _li = _eval_expr(op.left, state)
+    right, _ri = _eval_expr(op.right, state)
+    name = op.name
+    if name == "=":
+        mask = left == right
+    elif name == "!=":
+        mask = left != right
+    elif name == "<":
+        mask = left < right
+    elif name == "<=":
+        mask = left <= right
+    elif name == ">":
+        mask = left > right
+    else:
+        mask = left >= right
+    if op.negated:
+        mask = np.logical_not(mask)
+    if np.ndim(mask) == 0:
+        if not bool(mask):
+            state.n = 0
+        return
+    sel = np.nonzero(mask)[0]
+    if len(sel) != state.n:
+        state.gather(sel)
+
+
+def _exec_assign(op, state):
+    values, is_int = _eval_expr(op.expr, state)
+    state.cols[op.var] = GLOBAL_INTERNER.intern_numeric(values, is_int, state.n)
+
+
+def _emit(plan, prog, state, registry):
+    """Materialize (head tuple, Derivation) pairs from the final batch.
+
+    Column-at-a-time: head term columns and per-join body-fact-key
+    columns are built as flat lists, then zipped row-wise at C speed.
+    Body fact keys come from the sources' per-row caches, so duplicate
+    provenance references share one key object instead of allocating
+    (and later re-hashing) a fresh ``(pred, args)`` tuple per firing.
+    """
+    interner = GLOBAL_INTERNER
+    n = state.n
+    terms = interner.terms
+    term_cols: List[list] = []
+    for spec in prog.head:
+        kind = spec[0]
+        if kind == "var":
+            ids = state.cols[spec[1]]
+            if (interner.flags_of(ids) & F_FN).any():
+                ids = interner.normalize_ids(ids, registry)
+            term_cols.append([terms[tid] for tid in ids.tolist()])
+        elif kind == "const":
+            term_cols.append([terms[spec[1]]] * n)
+        elif kind == "gconst":
+            tid = interner.intern(value_to_term(eval_term(spec[1], registry)))
+            term_cols.append([terms[tid]] * n)
+        else:  # expr
+            values, is_int = _eval_expr(spec[1], state)
+            ids = interner.intern_numeric(values, is_int, n)
+            term_cols.append([terms[tid] for tid in ids.tolist()])
+    heads = zip(*term_cols) if term_cols else itertools.repeat((), n)
+    body_cols: List[list] = []
+    for pred, src, rows in state.prov:
+        keys = src.fact_keys(pred)
+        body_cols.append([keys[r] for r in rows.tolist()])
+    bodies = zip(*body_cols) if body_cols else itertools.repeat((), n)
+    rule_id = plan.rule.rule_id if plan.rule.rule_id is not None else -1
+    return [
+        (head, Derivation(rule_id, body))
+        for head, body in zip(heads, bodies)
+    ]
+
+
+def execute_batch(
+    plan,
+    prog: BatchProgram,
+    db,
+    registry: BuiltinRegistry,
+    delta_pred: Optional[str] = None,
+    delta_tuples=None,
+    delta_occurrence: Optional[int] = None,
+) -> Optional[List[Tuple[tuple, Derivation]]]:
+    """Run one vectorized rule call; same contract as
+    ``fire_rule`` but materialized.  Returns None on runtime fallback —
+    in that case nothing was emitted and no counter was committed, so
+    the caller can re-run the call on the tuple executor.
+    """
+    delta_step = -1
+    if delta_pred is not None and delta_occurrence is not None:
+        occs = plan.occurrences.get(delta_pred, ())
+        if delta_occurrence < len(occs):
+            delta_step = occs[delta_occurrence]
+    delta_src: Optional[_DeltaSource] = None
+    state = _State()
+    counters: Dict[int, list] = {}
+    ops_run = 0
+    try:
+        for op in prog.ops:
+            ops_run += 1
+            if type(op) is _JoinOp:
+                if op.step_idx == delta_step:
+                    if delta_src is None:
+                        delta_src = _DeltaSource(list(delta_tuples or ()))
+                    if delta_src.ragged:
+                        raise _Fallback
+                    src, is_delta = delta_src, True
+                else:
+                    src, is_delta = _RelSource(db.relation(op.predicate)), False
+                if op.negated:
+                    _exec_negation(op, src, state, counters, is_delta)
+                else:
+                    _exec_join(op, src, state, counters, is_delta)
+            elif type(op) is _TestOp:
+                _exec_test(op, state)
+            else:
+                _exec_assign(op, state)
+            if state.n == 0:
+                break
+        results = _emit(plan, prog, state, registry) if state.n else []
+    except _Fallback:
+        VECTOR_STATS["fallback_steps"] += 1
+        if _obs.enabled:
+            _inst.fallback_steps.inc()
+        return None
+    for rel, probes, scans in counters.values():
+        rel.probes += probes
+        rel.scans += scans
+    VECTOR_STATS["batch_calls"] += 1
+    VECTOR_STATS["batch_rows"] += len(results)
+    VECTOR_STATS["vectorized_steps"] += ops_run
+    if _obs.enabled:
+        _inst.batch_rows.inc(len(results))
+        _inst.vectorized_steps.inc(ops_run)
+        if state.stats[0]:
+            _inst.join_selectivity.labels(rule=plan.label).observe(
+                state.stats[1] / state.stats[0]
+            )
+    return results

@@ -71,6 +71,21 @@ join_selectivity = REGISTRY.histogram(
     buckets=(0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
 )
 
+# -- core.vector (columnar batch executor) -----------------------------------
+
+batch_rows = REGISTRY.counter(
+    "repro_batch_rows_total",
+    "Head tuples produced by vectorized batch rule executions",
+)
+vectorized_steps = REGISTRY.counter(
+    "repro_vectorized_steps_total",
+    "Plan steps executed as numpy column kernels",
+)
+fallback_steps = REGISTRY.counter(
+    "repro_fallback_steps_total",
+    "Batch executions abandoned to the tuple executor at runtime",
+)
+
 # -- net.sim / net.radio ----------------------------------------------------
 
 sim_events = REGISTRY.counter(

@@ -1,0 +1,254 @@
+"""Three-way differential tests for the vectorized batch executor.
+
+The columnar batch engine must compute bit-identical fixpoints —
+derived rows *and* recorded derivations — to both the tuple-at-a-time
+compiled executor and the seed recursive enumerator, on every program
+shape it claims to support, and must *fall back* (not diverge) on the
+shapes it does not: exact integers beyond float64 range, sub-batch
+deltas, unsupported step forms.  ``VECTOR_STATS`` makes the coverage
+observable, so these tests also pin when vectorization actually
+happened versus when the tuple executor quietly took over.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.derivations import CachedFactKey, Derivation, DerivationStore
+from repro.core.eval import Database, XYEvaluator, evaluate
+from repro.core.parser import parse_program
+from repro.core.plan import ENGINES, GLOBAL_PLAN_CACHE, use_engine
+from repro.core.vector import VECTOR_STATS
+
+TC = "tc(X, Y) :- e(X, Y). tc(X, Z) :- e(X, Y), tc(Y, Z)."
+
+LOGICH = """
+    h(a, a, 0).
+    h(a, X, 1) :- g(a, X).
+    hp(Y, D + 1) :- h(_, Y, Dp), D + 1 > Dp, h(_, X, D), g(X, Y).
+    h(X, Y, D + 1) :- g(X, Y), h(_, X, D), not hp(Y, D + 1).
+"""
+
+
+def snapshot(db):
+    rows = {p: db.rows(p) for p in db.predicates()}
+    derivs = {
+        fact: set(ds) for fact, ds in db.derivations._derivations.items() if ds
+    }
+    return rows, derivs
+
+
+def fixpoint(program_text, facts, engine, evaluator=None):
+    program = parse_program(program_text)
+    db = Database()
+    for pred, args in facts:
+        db.assert_fact(pred, args)
+    GLOBAL_PLAN_CACHE.clear()
+    with use_engine(engine):
+        if evaluator is not None:
+            evaluator(program).evaluate(db)
+        else:
+            evaluate(program, db)
+    return snapshot(db)
+
+
+def assert_all_engines_agree(program_text, facts, evaluator=None):
+    snaps = {
+        engine: fixpoint(program_text, facts, engine, evaluator)
+        for engine in ENGINES
+    }
+    assert snaps["columnar"] == snaps["seed"]
+    assert snaps["tuple"] == snaps["seed"]
+    return snaps["seed"]
+
+
+def random_graph(n_nodes, n_edges, seed):
+    rng = random.Random(seed)
+    return [
+        ("e", (rng.randrange(n_nodes), rng.randrange(n_nodes)))
+        for _ in range(n_edges)
+    ]
+
+
+class TestThreeWayDifferential:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n_nodes=st.integers(2, 14),
+        n_edges=st.integers(1, 40),
+    )
+    def test_transitive_closure_random_graphs(self, seed, n_nodes, n_edges):
+        assert_all_engines_agree(TC, random_graph(n_nodes, n_edges, seed))
+
+    def test_repeated_variables(self):
+        rows, _ = assert_all_engines_agree(
+            "loop(X) :- e(X, X). meet(X, Y) :- e(X, Y), e(Y, X).",
+            [("e", (1, 1)), ("e", (1, 2)), ("e", (2, 1)), ("e", (3, 4))],
+        )
+        assert rows["loop"] == {(1,)}
+        assert rows["meet"] == {(1, 1), (1, 2), (2, 1)}
+
+    def test_constants_in_body_and_head(self):
+        rows, _ = assert_all_engines_agree(
+            "out(X, tag) :- e(root, X). flag(yes) :- e(root, leaf).",
+            [("e", ("root", "leaf")), ("e", ("leaf", "other"))],
+        )
+        assert rows["out"] == {("leaf", "tag")}
+        assert rows["flag"] == {("yes",)}
+
+    def test_comparisons_and_head_arithmetic(self):
+        rows, _ = assert_all_engines_agree(
+            """
+            up(X, Y + 1) :- e(X, Y), X < Y.
+            mid(X) :- e(X, Y), Y >= 2, Y * 2 < 10.
+            """,
+            [("e", (1, 2)), ("e", (3, 2)), ("e", (2, 4)), ("e", (4, 4))],
+        )
+        assert rows["up"] == {(1, 3), (2, 5)}
+        assert rows["mid"] == {(1,), (3,), (2,), (4,)}
+
+    def test_negation_with_wildcards(self):
+        rows, _ = assert_all_engines_agree(
+            """
+            covered(X) :- v(X), e(X, _).
+            sink(X) :- v(X), not e(X, _).
+            """,
+            [("v", (1,)), ("v", (2,)), ("v", (3,)),
+             ("e", (1, 2)), ("e", (2, 3))],
+        )
+        assert rows["sink"] == {(3,)}
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), m=st.integers(2, 5))
+    def test_xy_logich_grids(self, seed, m):
+        rng = random.Random(seed)
+        names = ["a"] + [f"n{i}" for i in range(1, m * 2)]
+        facts = []
+        for u in names:
+            for v in rng.sample(names, k=min(2, len(names))):
+                if u != v:
+                    facts.append(("g", (u, v)))
+                    facts.append(("g", (v, u)))
+        assert_all_engines_agree(
+            LOGICH, sorted(set(facts)),
+            evaluator=lambda program: XYEvaluator(program),
+        )
+
+
+class TestFallbacks:
+    def test_huge_integers_fall_back_identically(self):
+        """Integers beyond 2**53 are outside exact float64 range: the
+        batch kernels must hand the rule back to the tuple executor and
+        still produce the seed engine's exact-arithmetic answer."""
+        big = 2 ** 60
+        before = VECTOR_STATS["fallback_steps"]
+        rows, _ = assert_all_engines_agree(
+            "next(X + 1) :- e(X).",
+            [("e", (big,)), ("e", (7,))],
+        )
+        assert rows["next"] == {(big + 1,), (8,)}
+        assert VECTOR_STATS["fallback_steps"] > before
+
+    def test_small_deltas_use_tuple_path_identically(self):
+        # Below _MIN_BATCH the dispatcher skips vectorization entirely;
+        # results must not depend on which side ran.
+        rows, _ = assert_all_engines_agree(TC, [("e", (0, 1)), ("e", (1, 2))])
+        assert rows["tc"] == {(0, 1), (1, 2), (0, 2)}
+
+
+class TestVectorStats:
+    def test_columnar_tc_is_actually_vectorized(self):
+        before = dict(VECTOR_STATS)
+        rows, _ = fixpoint(TC, random_graph(12, 40, seed=5), "columnar")
+        assert VECTOR_STATS["batch_calls"] > before["batch_calls"]
+        assert VECTOR_STATS["vectorized_steps"] > before["vectorized_steps"]
+        # Every distinct derived tuple came out of some batch emission.
+        produced = VECTOR_STATS["batch_rows"] - before["batch_rows"]
+        assert produced >= len(rows["tc"])
+
+    def test_tuple_engine_never_touches_batch_kernels(self):
+        before = dict(VECTOR_STATS)
+        fixpoint(TC, random_graph(12, 40, seed=5), "tuple")
+        assert VECTOR_STATS["batch_calls"] == before["batch_calls"]
+        assert VECTOR_STATS["fallback_steps"] == before["fallback_steps"]
+
+
+class TestCachedFactKey:
+    def test_plain_tuple_interop(self):
+        plain = ("p", (1, 2))
+        cached = CachedFactKey(plain)
+        assert cached == plain
+        assert hash(cached) == hash(plain)
+        d = {cached: "via-cached"}
+        assert d[plain] == "via-cached"
+        d[plain] = "via-plain"
+        assert d[cached] == "via-plain" and len(d) == 1
+        assert plain in {cached} and cached in {plain}
+
+    def test_derivations_mix_key_flavours(self):
+        store = DerivationStore()
+        cached = CachedFactKey(("p", (1,)))
+        assert store.add(cached, Derivation(0, [("e", (1,))]))
+        # The same fact via a plain tuple: recognized, deduplicated.
+        assert not store.add(("p", (1,)), Derivation(0, [("e", (1,))]))
+        assert store.has_fact(("p", (1,)))
+        assert len(store.derivations_of(cached)) == 1
+
+
+class TestLazySupportIndex:
+    @staticmethod
+    def toy_store():
+        store = DerivationStore()
+        store.add(("tc", (1, 2)), Derivation(0, [("e", (1, 2))]))
+        store.add(("tc", (1, 3)), Derivation(1, [("e", (1, 2)), ("tc", (2, 3))]))
+        store.add(("tc", (2, 3)), Derivation(0, [("e", (2, 3))]))
+        return store
+
+    @staticmethod
+    def brute_supporters(store, fact):
+        return {
+            dependent
+            for dependent in store.facts()
+            for d in store.derivations_of(dependent)
+            if d.uses(fact)
+        }
+
+    def test_index_unbuilt_until_deletion_path(self):
+        store = self.toy_store()
+        assert store._supports is None  # forward evaluation: no index
+        supporters = store.supporters(("e", (1, 2)))
+        assert store._supports is not None
+        assert supporters == {("tc", (1, 2)), ("tc", (1, 3))}
+
+    def test_lazy_build_matches_brute_force(self):
+        store = self.toy_store()
+        for fact in [("e", (1, 2)), ("e", (2, 3)), ("tc", (2, 3)),
+                     ("tc", (1, 3)), ("nope", (9,))]:
+            assert store.supporters(fact) == self.brute_supporters(store, fact)
+
+    def test_adds_after_build_maintain_index(self):
+        store = self.toy_store()
+        store.supporters(("e", (1, 2)))  # force build
+        store.add(("tc", (0, 2)), Derivation(1, [("e", (0, 1)), ("tc", (1, 2))]))
+        assert store.supporters(("tc", (1, 2))) == \
+            self.brute_supporters(store, ("tc", (1, 2)))
+
+    def test_remove_support_equivalent_built_early_or_late(self):
+        def cascade(build_early):
+            store = self.toy_store()
+            if build_early:
+                store.supporters(("e", (1, 2)))
+            emptied = store.remove_support(("e", (1, 2)))
+            return sorted(emptied), sorted(store.facts())
+
+        assert cascade(build_early=True) == cascade(build_early=False)
+
+    def test_discard_fact_with_and_without_index(self):
+        for build_first in (False, True):
+            store = self.toy_store()
+            if build_first:
+                store.supporters(("e", (1, 2)))
+            store.discard_fact(("tc", (1, 3)))
+            assert not store.has_fact(("tc", (1, 3)))
+            assert store.supporters(("tc", (2, 3))) == set()

@@ -1,0 +1,315 @@
+"""Differential tests for columnar fact storage (repro.core.columnar +
+the columnar ``Relation`` in repro.core.eval).
+
+The columnar layout is a pure accelerator: the tuple-level ``Relation``
+API (add / discard / candidates / lookup / scan / membership) must
+behave exactly like the plain set-plus-hash-index store it replaced.
+These tests pit the relation against a brute-force model over
+hypothesis-generated operation interleavings — including discards of
+indexed rows, re-adds of tombstoned tuples, mixed-arity (ragged) rows,
+and index construction mid-stream — and pin the interner's id/flag
+semantics the numpy kernels rely on.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.builtins import BuiltinRegistry
+from repro.core.columnar import (
+    F_FN,
+    F_INT,
+    F_NUM,
+    F_SMALL,
+    GLOBAL_INTERNER,
+    Interner,
+    MAX_EXACT_INT,
+)
+from repro.core.eval import Relation
+from repro.core.terms import Constant, FunctionTerm, Substitution, Variable
+
+
+def const_tuple(values):
+    return tuple(Constant(v) for v in values)
+
+
+# ---------------------------------------------------------------------------
+# Interner semantics
+# ---------------------------------------------------------------------------
+
+
+class TestInterner:
+    def test_ids_are_dense_and_stable(self):
+        interner = Interner(initial_capacity=2)
+        terms = [Constant(v) for v in ("a", "b", 1, 2.5, "c")]
+        ids = [interner.intern(t) for t in terms]
+        assert ids == list(range(5))  # dense, insertion-ordered
+        assert [interner.intern(t) for t in terms] == ids  # stable
+        assert len(interner) == 5
+
+    def test_equal_terms_conflate(self):
+        # Constant(2) == Constant(2.0), so they must share an id —
+        # exactly like they collide in the set-based store.
+        interner = Interner()
+        a = interner.intern(Constant(2))
+        b = interner.intern(Constant(2.0))
+        assert a == b
+        # The canonical term is the first-interned instance.
+        assert interner.term(a).value == 2
+        assert isinstance(interner.term(a).value, int)
+
+    def test_get_does_not_assign(self):
+        interner = Interner()
+        assert interner.get(Constant("never-seen")) is None
+        tid = interner.intern(Constant("seen"))
+        assert interner.get(Constant("seen")) == tid
+
+    def test_numeric_flags(self):
+        interner = Interner()
+        cases = [
+            (Constant(7), F_NUM | F_INT | F_SMALL),
+            (Constant(-3.5), F_NUM | F_SMALL),
+            (Constant(2 ** 30), F_NUM | F_INT),  # big but exact
+            (Constant(MAX_EXACT_INT * 2), 0),  # beyond float64 exactness
+            (Constant(float("nan")), 0),
+            (Constant("x"), 0),
+            (Constant(True), 0),  # bools are not vectorized numbers
+        ]
+        for term, expected in cases:
+            tid = interner.intern(term)
+            assert int(interner.flags_of(np.array([tid]))[0]) == expected, term
+
+    def test_function_terms_flagged(self):
+        interner = Interner()
+        fn = FunctionTerm("f", (Constant(1),))
+        tid = interner.intern(fn)
+        assert int(interner.flags_of(np.array([tid]))[0]) == F_FN
+
+    def test_nums_payloads(self):
+        interner = Interner()
+        ids = np.array([interner.intern(Constant(v)) for v in (3, -1.5, 10)])
+        assert interner.nums_of(ids).tolist() == [3.0, -1.5, 10.0]
+
+    def test_intern_numeric_reuses_existing_ids(self):
+        interner = Interner()
+        tid = interner.intern(Constant(4))
+        ids = interner.intern_numeric(np.array([4.0, 4.0, 5.0]), True, 3)
+        assert ids[0] == tid and ids[1] == tid
+        assert interner.term(int(ids[2])) == Constant(5)
+
+    def test_intern_numeric_scalar_and_int_typing(self):
+        interner = Interner()
+        ids = interner.intern_numeric(2.0, True, 4)
+        assert ids.shape == (4,) and len(set(ids.tolist())) == 1
+        assert interner.term(int(ids[0])).value == 2
+        fids = interner.intern_numeric(np.array([2.5]), False, 1)
+        assert interner.term(int(fids[0])).value == 2.5
+
+    def test_normalize_ids_identity_without_function_terms(self):
+        ids = np.array([
+            GLOBAL_INTERNER.intern(Constant(v)) for v in ("p", "q", 3)
+        ])
+        out = GLOBAL_INTERNER.normalize_ids(ids, BuiltinRegistry())
+        assert out is ids  # no F_FN ids: returned untouched
+
+    def test_grow_preserves_metadata(self):
+        interner = Interner(initial_capacity=1)
+        ids = [interner.intern(Constant(v)) for v in range(40)]
+        nums = interner.nums_of(np.array(ids))
+        assert nums.tolist() == [float(v) for v in range(40)]
+
+
+# ---------------------------------------------------------------------------
+# Relation vs. brute-force model
+# ---------------------------------------------------------------------------
+
+
+class RelationModel:
+    """The obvious store: a set of tuples, scanned for every probe."""
+
+    def __init__(self):
+        self.rows = set()
+
+    def add(self, args):
+        if args in self.rows:
+            return False
+        self.rows.add(args)
+        return True
+
+    def discard(self, args):
+        if args not in self.rows:
+            return False
+        self.rows.remove(args)
+        return True
+
+    def lookup(self, bound):
+        return {
+            args for args in self.rows
+            if all(pos < len(args) and args[pos] == term
+                   for pos, term in bound)
+        }
+
+
+def op_sequences(max_value, max_ops):
+    """Interleavings of add/discard/lookup over a small tuple universe
+    (small on purpose: collisions, re-adds and empty probes are the
+    interesting paths)."""
+    value = st.integers(0, max_value)
+    arity2 = st.tuples(value, value)
+    return st.lists(
+        st.one_of(
+            st.tuples(st.just("add"), arity2),
+            st.tuples(st.just("discard"), arity2),
+            st.tuples(st.just("lookup0"), value),
+            st.tuples(st.just("lookup1"), value),
+            st.tuples(st.just("lookup01"), arity2),
+        ),
+        max_size=max_ops,
+    )
+
+
+class TestRelationDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=op_sequences(max_value=4, max_ops=60))
+    def test_interleaved_ops_match_model(self, ops):
+        rel = Relation("t")
+        model = RelationModel()
+        for op, payload in ops:
+            if op == "add":
+                args = const_tuple(payload)
+                assert rel.add(args) == model.add(args)
+            elif op == "discard":
+                args = const_tuple(payload)
+                assert rel.discard(args) == model.discard(args)
+            else:
+                if op == "lookup0":
+                    bound = [(0, Constant(payload))]
+                elif op == "lookup1":
+                    bound = [(1, Constant(payload))]
+                else:
+                    bound = [(0, Constant(payload[0])),
+                             (1, Constant(payload[1]))]
+                got = set(rel.lookup(bound))
+                exact = model.lookup(bound)
+                if len(bound) == 1:
+                    # Single ground position: the probe is exact.
+                    assert got == exact
+                else:
+                    # Multi-position probes return the smallest indexed
+                    # bucket — a candidate superset the executor then
+                    # filters by unification.  Soundness: every exact
+                    # match is returned; every candidate is a live row
+                    # matching at least one bound position.
+                    assert exact <= got
+                    for args in got:
+                        assert args in model.rows
+                        assert any(args[pos] == term for pos, term in bound)
+            assert len(rel) == len(model.rows)
+            assert set(rel) == model.rows
+        assert set(rel.scan()) == model.rows
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 80),
+        build_at=st.integers(0, 80),
+    )
+    def test_lazy_index_built_mid_stream(self, seed, n, build_at):
+        """An index built after an arbitrary prefix of adds/discards must
+        answer identically to one maintained from the start."""
+        rng = random.Random(seed)
+        rel = Relation("t")
+        model = RelationModel()
+        for i in range(n):
+            args = const_tuple((rng.randrange(5), rng.randrange(5)))
+            if rng.random() < 0.25:
+                assert rel.discard(args) == model.discard(args)
+            else:
+                assert rel.add(args) == model.add(args)
+            if i == build_at:
+                # Force position-0 index construction now.
+                rel.lookup([(0, Constant(rng.randrange(5)))])
+        for v in range(5):
+            bound = [(0, Constant(v))]
+            assert set(rel.lookup(bound)) == model.lookup(bound)
+            bound = [(1, Constant(v))]
+            assert set(rel.lookup(bound)) == model.lookup(bound)
+
+    def test_lookup_for_never_interned_term_is_empty(self):
+        rel = Relation("t")
+        rel.add(const_tuple((1, 2)))
+        assert list(rel.lookup([(0, Constant("no-such-value-xyzzy"))])) == []
+
+    def test_ragged_arities_supported(self):
+        rel = Relation("t")
+        assert rel.add(const_tuple((1, 2)))
+        assert rel.add(const_tuple((1, 2, 3)))
+        assert rel.add(const_tuple((1,)))
+        assert rel.ragged  # columnar mirror dropped, tuple view intact
+        assert set(rel.lookup([(0, Constant(1))])) == {
+            const_tuple((1, 2)), const_tuple((1, 2, 3)), const_tuple((1,)),
+        }
+        assert set(rel.lookup([(2, Constant(3))])) == {const_tuple((1, 2, 3))}
+        assert rel.discard(const_tuple((1, 2)))
+        assert set(rel.lookup([(0, Constant(1))])) == {
+            const_tuple((1, 2, 3)), const_tuple((1,)),
+        }
+
+    def test_discard_then_reuse_row_reindexes(self):
+        rel = Relation("t")
+        a, b = const_tuple((1, 2)), const_tuple((1, 3))
+        rel.add(a)
+        rel.lookup([(0, Constant(1))])  # build index over live rows
+        rel.discard(a)
+        rel.add(b)
+        rel.add(a)  # re-added after tombstoning: gets a fresh row
+        assert set(rel.lookup([(0, Constant(1))])) == {a, b}
+        assert set(rel.lookup([(1, Constant(2))])) == {a}
+
+    def test_candidates_counts_probes_and_binds_substitution(self):
+        rel = Relation("t")
+        rel.add(const_tuple((1, 2)))
+        rel.add(const_tuple((2, 2)))
+        x = Variable("X")
+        subst = Substitution().extended(x, Constant(1))
+        before = rel.probes
+        got = set(rel.candidates((x, Variable("Y")), subst))
+        assert got == {const_tuple((1, 2))}
+        assert rel.probes == before + 1
+
+    def test_scan_counts_scans_and_snapshots(self):
+        rel = Relation("t")
+        rel.add(const_tuple((1, 1)))
+        before = rel.scans
+        snap = rel.scan()
+        assert rel.scans == before + 1
+        rel.add(const_tuple((2, 2)))
+        assert set(snap) == {const_tuple((1, 1))}  # snapshot, not a view
+
+    def test_numpy_snapshots_track_versions(self):
+        rel = Relation("t")
+        rel.add(const_tuple((1, 2)))
+        rel.add(const_tuple((3, 4)))
+        col0 = rel.np_column(0)
+        live = rel.live_rows()
+        assert len(live) == 2
+        assert [GLOBAL_INTERNER.term(int(t)) for t in col0[live]] == [
+            Constant(1), Constant(3),
+        ]
+        rel.discard(const_tuple((1, 2)))
+        live2 = rel.live_rows()
+        assert len(live2) == 1
+        assert GLOBAL_INTERNER.term(int(rel.np_column(0)[live2[0]])) == Constant(3)
+
+    def test_fact_keys_are_row_aligned_and_cached(self):
+        rel = Relation("t")
+        _, row_a = rel.add_row(const_tuple((1, 2)))
+        keys = rel.fact_keys("t")
+        assert keys[row_a] == ("t", const_tuple((1, 2)))
+        assert hash(keys[row_a]) == hash(("t", const_tuple((1, 2))))
+        _, row_b = rel.add_row(const_tuple((3, 4)))
+        keys2 = rel.fact_keys("t")
+        assert keys2 is keys  # grown in place, one key object per row
+        assert keys2[row_b] == ("t", const_tuple((3, 4)))
