@@ -30,6 +30,8 @@ from harness import report
 from repro.core.parser import parse_program
 from repro.dist.gpa import GPAEngine
 from repro.net.network import RandomNetwork
+from repro.net.shard import WorkloadSpec, build_topology
+from repro.net.shard import run as shard_run
 from repro.net.topology import RandomGeometricTopology
 
 import json
@@ -47,6 +49,169 @@ BRUTE_CAP = 5000
 RADIUS = 1.8  # with side = sqrt(n), keeps density (~10 neighbors) flat
 TUPLES = 3
 SEED = 1
+
+# -- E19b: the sharded engine ------------------------------------------------
+
+SHARD_SIZES = [1000, 20000, 100000]
+QUICK_SHARD_SIZES = [1000, 20000]
+SHARD_COUNT = 4
+SHARD_TUPLES = 8  # more concurrent phases => more cross-shard parallelism
+#: Fingerprint identity (sharded == single-process) is asserted for
+#: every size where the single-process baseline runs at all.
+SINGLE_CAP = 20000  # largest n the single-process baseline is timed at
+
+
+def _shard_radius(n):
+    """Radio range for the sharded rows.  At 100k+ the 1.8 radius
+    leaves a few expected isolated nodes per deployment, which melts
+    topology construction in connectivity retries; 2.2 keeps the very
+    first attempt connected with overwhelming probability (and node
+    ids dense in 0..n-1, which the publish schedule relies on)."""
+    return 2.2 if n >= 50_000 else RADIUS
+
+
+def shard_spec(n, tuples=SHARD_TUPLES, seed=SEED):
+    """The E19b workload as a declarative spec: a two-stream join over
+    a random deployment, geographic routing (no BFS tables at 100k),
+    virtual-grid regions with an analytic leg bound (no per-worker
+    diameter computation)."""
+    side = n ** 0.5
+    radius = _shard_radius(n)
+    rng = random.Random(seed + 1)
+    publishes = []
+    for i in range(tuples):
+        for stream in ("r", "s"):
+            node = rng.randrange(n)
+            publishes.append(
+                (0.0, node, stream, (rng.randrange(3), f"{stream}{i}"))
+            )
+    return WorkloadSpec(
+        topology={"kind": "random", "n": n, "radius": radius, "side": side,
+                  "seed": seed},
+        program="j(K, A, B) :- r(K, A), s(K, B).",
+        publishes=publishes,
+        outputs=("j",),
+        seed=seed,
+        strategy="virtual-grid",
+        strategy_kwargs={"leg_bound": max(1, int(2 * side / radius))},
+        routing="geo",
+    )
+
+
+def sharded_trial(n, shards=SHARD_COUNT):
+    """One E19b row: build the topology once, run the spec on the
+    single-process engine (up to SINGLE_CAP) and on ``shards`` worker
+    processes, compare fingerprints, report wall-clocks."""
+    spec = shard_spec(n)
+    t0 = time.perf_counter()
+    topology = build_topology(spec)
+    build_s = time.perf_counter() - t0
+    single_s = None
+    single_fp = None
+    if n <= SINGLE_CAP:
+        t0 = time.perf_counter()
+        single = shard_run(spec, shards=None, topology=topology)
+        single_s = time.perf_counter() - t0
+        single_fp = single.fingerprint()
+    t0 = time.perf_counter()
+    sharded = shard_run(spec, shards=shards, topology=topology)
+    sharded_s = time.perf_counter() - t0
+    return {
+        "n": n,
+        "shards": shards,
+        "build_s": build_s,
+        "single_s": single_s,
+        "sharded_s": sharded_s,
+        "speedup": (single_s / sharded_s) if single_s is not None else None,
+        "identical": (
+            sharded.fingerprint() == single_fp
+            if single_fp is not None else None
+        ),
+        "windows": sharded.windows,
+        "border": sharded.border_records,
+        "rows": len(sharded.rows["j"]),
+        "events": sharded.events_processed,
+    }
+
+
+def run_sharded(sizes=SHARD_SIZES, shards=SHARD_COUNT):
+    rows = []
+    results = {}
+    for n in sizes:
+        got = sharded_trial(n, shards=shards)
+        results[n] = got
+        rows.append([
+            n,
+            shards,
+            f"{got['build_s']:.2f}s",
+            f"{got['single_s']:.2f}s" if got["single_s"] is not None else "--",
+            f"{got['sharded_s']:.2f}s",
+            f"{got['speedup']:.2f}x" if got["speedup"] is not None else "--",
+            got["windows"],
+            got["border"],
+            got["events"],
+            {True: "yes", False: "NO", None: "--"}[got["identical"]],
+        ])
+        if got["identical"] is False:
+            raise AssertionError(
+                f"sharded run diverged from single-process at n={n} — "
+                "the conservative-window engine is supposed to be "
+                "event-identical"
+            )
+    report(
+        "e19b_sharded",
+        f"E19b: sharded engine vs. single-process, random deployments "
+        f"({shards} shard workers, {SHARD_TUPLES} tuples/stream, "
+        f"cpus={os.cpu_count()})",
+        ["n", "shards", "topo-build", "single-run", "sharded-run",
+         "speedup", "windows", "border-msgs", "events", "identical"],
+        rows,
+    )
+    return results
+
+
+def check_sharded_baseline(results):
+    """Gate the sharded rows: identity is unconditional; the wall-clock
+    speedup floor applies only on boxes with enough cores to express
+    the parallelism (``min_cpus`` in the committed baseline)."""
+    with open(BASELINE_PATH) as f:
+        baseline = json.load(f)
+    gates = baseline.get("sharded", {})
+    failed = False
+    for n_key, entry in gates.items():
+        got = results.get(int(n_key))
+        if got is None:
+            print(f"[sharded] n={n_key}: not measured in this run, skipping")
+            continue
+        if got["identical"] is not None:
+            ok = got["identical"] is True
+            print(f"[sharded] n={n_key}: identity "
+                  f"{'OK' if ok else 'FAIL'}")
+            failed = failed or not ok
+        if "speedup_min" in entry:
+            cpus = os.cpu_count() or 1
+            if cpus < entry.get("min_cpus", 1):
+                print(f"[sharded] n={n_key}: speedup floor skipped "
+                      f"({cpus} cpus < min_cpus={entry['min_cpus']})")
+            else:
+                ok = (
+                    got["speedup"] is not None
+                    and got["speedup"] >= entry["speedup_min"]
+                )
+                shown = ("--" if got["speedup"] is None
+                         else f"{got['speedup']:.2f}x")
+                print(f"[sharded] n={n_key}: speedup={shown} "
+                      f"(floor {entry['speedup_min']}x) "
+                      f"{'OK' if ok else 'FAIL'}")
+                failed = failed or not ok
+        if "sharded_max_s" in entry:
+            ok = got["sharded_s"] <= entry["sharded_max_s"]
+            print(f"[sharded] n={n_key}: sharded={got['sharded_s']:.2f}s "
+                  f"(ceiling {entry['sharded_max_s']}s) "
+                  f"{'OK' if ok else 'FAIL'}")
+            failed = failed or not ok
+    if failed:
+        sys.exit(1)
 
 
 def build_trial(n, seed=SEED, brute=True):
@@ -184,8 +349,22 @@ def test_e19_grid_is_identical_and_faster(benchmark):
     assert results[1000]["speedup"] > 1.2
 
 
+def test_e19b_sharded_matches_single_process(benchmark):
+    got = benchmark.pedantic(
+        sharded_trial, args=(1000,), rounds=1, iterations=1
+    )
+    assert got["identical"] is True
+    assert got["border"] > 0  # the partition actually split the arena
+
+
 if __name__ == "__main__":
-    sizes = QUICK_SIZES if "--quick" in sys.argv else SIZES
-    results = run(sizes=sizes)
-    if "--check" in sys.argv:
-        check_baseline(results)
+    if "--sharded" in sys.argv:
+        sizes = QUICK_SHARD_SIZES if "--quick" in sys.argv else SHARD_SIZES
+        results = run_sharded(sizes=sizes)
+        if "--check" in sys.argv:
+            check_sharded_baseline(results)
+    else:
+        sizes = QUICK_SIZES if "--quick" in sys.argv else SIZES
+        results = run(sizes=sizes)
+        if "--check" in sys.argv:
+            check_baseline(results)

@@ -14,7 +14,7 @@ as the loss rate rises.
 
 Every (strategy, loss, rep) trial is independent and fully seeded, so
 the table parallelizes across processes: ``--parallel[=N]`` runs the
-trials through :func:`harness.run_trials_parallel` and produces
+trials through ``harness.run_trials(..., parallel=N)`` and produces
 row-for-row identical output (``test_e7_parallel_matches_serial``
 asserts this).
 """
@@ -23,10 +23,7 @@ import sys
 
 import pytest
 
-from harness import (
-    report, run_churn_workload, run_join_workload, run_trials,
-    run_trials_parallel,
-)
+from harness import report, run_churn_workload, run_join_workload, run_trials
 
 LOSS_RATES = [0.0, 0.05, 0.10, 0.20, 0.30]
 M = 8
@@ -128,12 +125,10 @@ def completeness(strategy: str, loss: float, m=M, tuples=TUPLES) -> float:
 def run(loss_rates=LOSS_RATES, m=M, tuples=TUPLES, parallel: int = 0,
         churn: float = 0.0):
     trials = _trials(loss_rates, m, tuples, churn)
-    if parallel:
-        fractions = run_trials_parallel(
-            trial, trials, processes=parallel, telemetry_name="e7_robustness"
-        )
-    else:
-        fractions = run_trials(trial, trials)
+    fractions = run_trials(
+        trial, trials, parallel=parallel or None,
+        telemetry_name="e7_robustness" if parallel else None,
+    )
     results, churned = _tabulate(trials, fractions, loss_rates)
     headers = ["loss", "PA completeness", "centralized completeness"]
     rows = [
@@ -173,7 +168,7 @@ def test_e7_parallel_matches_serial():
     same trials, same seeds, same rows."""
     trials = _trials([0.0, 0.15], 6, 6)
     serial = run_trials(trial, trials)
-    parallel = run_trials_parallel(trial, trials, processes=2)
+    parallel = run_trials(trial, trials, parallel=2)
     assert parallel == serial
 
 

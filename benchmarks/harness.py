@@ -14,6 +14,7 @@ import multiprocessing.util
 import os
 import random
 import traceback
+import warnings
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 import repro
@@ -94,11 +95,58 @@ def telemetry_report(name: str, **manifest_extra) -> Optional[Dict[str, str]]:
     return paths
 
 
-def run_trials(fn: Callable[..., Any], trials: Sequence[Dict]) -> List[Any]:
-    """Run ``fn(**trial)`` for each trial dict, serially, in order.
-    The serial twin of :func:`run_trials_parallel` — benches use one or
-    the other behind a flag, and tests assert the results match."""
-    return [fn(**trial) for trial in trials]
+def run_trials(
+    fn: Callable[..., Any],
+    trials: Sequence[Dict],
+    parallel: Optional[int] = None,
+    shards: Optional[int] = None,
+    telemetry_name: Optional[str] = None,
+) -> List[Any]:
+    """Run ``fn(**trial)`` for each trial dict, in trial order.
+
+    The one trial-running entry point (it replaced the former
+    ``run_trials``/``run_trials_parallel`` pair):
+
+    * ``parallel=None`` runs serially, in order, in this process;
+    * ``parallel=k`` fans the trials out over ``k`` worker processes
+      (``k <= 1`` or a single trial falls back to serial).  Results
+      come back in trial order, so a parallel run is row-for-row
+      identical to a serial one as long as ``fn`` is deterministic in
+      its arguments (every bench trial seeds its own RNGs, so this
+      holds by construction).  ``fn`` must be picklable (module-level).
+    * ``shards=k`` is merged into every trial dict as ``shards=k`` —
+      the trial function forwards it to :func:`repro.net.shard.run`,
+      so one flag switches a whole bench between the single-process
+      and the sharded engine.
+
+    A trial that raises in a worker surfaces as :class:`TrialError` in
+    the parent, carrying the failing trial's index, params (seed
+    included), the shard id when the failure came out of a sharded
+    engine worker, and the worker's traceback.  When telemetry is on
+    and ``telemetry_name`` is given, each pool worker writes its own
+    trace/metrics/manifest artifacts next to the results JSON at exit.
+    """
+    if shards is not None:
+        trials = [dict(t, shards=shards) for t in trials]
+    if parallel is None or parallel <= 1 or len(trials) <= 1:
+        return [fn(**trial) for trial in trials]
+    ctx = multiprocessing.get_context()
+    pool = ctx.Pool(
+        parallel, initializer=_worker_init, initargs=(telemetry_name,)
+    )
+    try:
+        outcomes = pool.map(_run_trial, [(fn, dict(t)) for t in trials])
+    finally:
+        # close + join (not terminate) so worker atexit hooks run and
+        # per-worker telemetry artifacts actually land on disk.
+        pool.close()
+        pool.join()
+    results = []
+    for index, (trial, outcome) in enumerate(zip(trials, outcomes)):
+        if outcome[0] == "err":
+            raise TrialError(index, trial, outcome[1], shard=outcome[2])
+        results.append(outcome[1])
+    return results
 
 
 def _dump_worker_telemetry(telemetry_name: str, pid: int) -> None:
@@ -127,20 +175,34 @@ class TrialError(RuntimeError):
 
     Raised in the *parent* process with everything needed to reproduce
     the failure serially: the trial's position, its full parameter dict
-    (including the seed, when the trial has one) and the worker's
+    (including the seed, when the trial has one), the shard id when the
+    failure came out of a sharded engine worker, and the worker's
     formatted traceback — instead of the bare, context-free pool
     traceback ``multiprocessing`` would otherwise surface.
     """
 
-    def __init__(self, index: int, params: Dict, worker_traceback: str):
+    def __init__(
+        self,
+        index: int,
+        params: Dict,
+        worker_traceback: str,
+        shard: Optional[int] = None,
+    ):
         self.index = index
         self.params = dict(params)
         self.worker_traceback = worker_traceback
+        self.shard = shard
         seed = self.params.get("seed")
         seed_note = f" (seed={seed!r})" if seed is not None else ""
+        shard_note = f" (in shard worker {shard})" if shard is not None else ""
+        rerun = (
+            "re-run serially with shards=None and params"
+            if shard is not None
+            else "re-run serially with params"
+        )
         super().__init__(
-            f"parallel trial {index}{seed_note} failed; "
-            f"re-run serially with params {self.params!r}\n"
+            f"parallel trial {index}{seed_note} failed{shard_note}; "
+            f"{rerun} {self.params!r}\n"
             f"--- worker traceback ---\n{worker_traceback.rstrip()}"
         )
 
@@ -148,13 +210,14 @@ class TrialError(RuntimeError):
 def _run_trial(payload) -> Any:
     """Pool worker body: never lets an exception cross the pickle
     boundary raw — outcomes come back as ('ok', result) or
-    ('err', traceback_text) so the parent can attach the failing
-    trial's params."""
+    ('err', traceback_text, shard_id_or_None) so the parent can attach
+    the failing trial's params (and, for sharded-engine failures, the
+    shard that blew up)."""
     fn, kwargs = payload
     try:
         return ("ok", fn(**kwargs))
-    except Exception:
-        return ("err", traceback.format_exc())
+    except Exception as exc:
+        return ("err", traceback.format_exc(), getattr(exc, "shard", None))
 
 
 def run_trials_parallel(
@@ -163,45 +226,21 @@ def run_trials_parallel(
     processes: Optional[int] = None,
     telemetry_name: Optional[str] = None,
 ) -> List[Any]:
-    """Run ``fn(**trial)`` for each trial dict across worker processes.
+    """Deprecated alias for ``run_trials(..., parallel=...)``.
 
-    Results come back in trial order, so a parallel run is
-    row-for-row identical to :func:`run_trials` as long as ``fn`` is
-    deterministic in its arguments (every bench trial seeds its own
-    RNGs, so this holds by construction — asserted by
-    ``bench_e7_robustness``'s serial-vs-parallel test).
-
-    ``fn`` must be picklable (a module-level function).  A trial that
-    raises in a worker surfaces as :class:`TrialError` in the parent,
-    carrying the failing trial's index, params (seed included) and the
-    worker's traceback.  When telemetry is on and ``telemetry_name``
-    is given, each worker writes its own trace/metrics/manifest
-    artifacts next to the results JSON at exit; the parent's artifacts
-    (if any) are written by the usual :func:`telemetry_report` path.
-    One trial, one process, or ``processes=1`` falls back to the
-    serial runner.
-    """
+    The serial/parallel split collapsed into one entry point; this thin
+    wrapper keeps old call sites running through one release."""
+    warnings.warn(
+        "run_trials_parallel is deprecated; call "
+        "run_trials(fn, trials, parallel=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if processes is None:
         processes = min(len(trials), os.cpu_count() or 1)
-    if processes <= 1 or len(trials) <= 1:
-        return run_trials(fn, trials)
-    ctx = multiprocessing.get_context()
-    pool = ctx.Pool(
-        processes, initializer=_worker_init, initargs=(telemetry_name,)
+    return run_trials(
+        fn, trials, parallel=processes, telemetry_name=telemetry_name
     )
-    try:
-        outcomes = pool.map(_run_trial, [(fn, dict(t)) for t in trials])
-    finally:
-        # close + join (not terminate) so worker atexit hooks run and
-        # per-worker telemetry artifacts actually land on disk.
-        pool.close()
-        pool.join()
-    results = []
-    for index, (trial, outcome) in enumerate(zip(trials, outcomes)):
-        if outcome[0] == "err":
-            raise TrialError(index, trial, outcome[1])
-        results.append(outcome[1])
-    return results
 
 
 def run_join_workload(

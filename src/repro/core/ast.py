@@ -38,6 +38,12 @@ class Atom:
     def __setattr__(self, name, value):
         raise AttributeError("Atom is immutable")
 
+    def __reduce__(self):
+        # The immutability guard also blocks pickle's slot restore;
+        # rebuild through the constructor (AST fragments may ride
+        # messages across shard-worker process boundaries).
+        return (Atom, (self.predicate, self.args))
+
     @property
     def arity(self) -> int:
         return len(self.args)
@@ -97,6 +103,9 @@ class RelLiteral(Literal):
     def __setattr__(self, name, value):
         raise AttributeError("RelLiteral is immutable")
 
+    def __reduce__(self):
+        return (RelLiteral, (self.atom, self.negated))
+
     @property
     def predicate(self) -> str:
         return self.atom.predicate
@@ -140,6 +149,9 @@ class BuiltinLiteral(Literal):
 
     def __setattr__(self, name, value):
         raise AttributeError("BuiltinLiteral is immutable")
+
+    def __reduce__(self):
+        return (BuiltinLiteral, (self.name, self.args, self.negated))
 
     @property
     def is_comparison(self) -> bool:
@@ -192,6 +204,9 @@ class AggregateSpec:
     def __setattr__(self, name, value):
         raise AttributeError("AggregateSpec is immutable")
 
+    def __reduce__(self):
+        return (AggregateSpec, (self.position, self.function, self.var))
+
     def __eq__(self, other) -> bool:
         return (
             isinstance(other, AggregateSpec)
@@ -231,6 +246,9 @@ class Rule:
 
     def __setattr__(self, name, value):
         raise AttributeError("Rule is immutable")
+
+    def __reduce__(self):
+        return (Rule, (self.head, self.body, self.aggregates, self.rule_id))
 
     def with_id(self, rule_id: int) -> "Rule":
         return Rule(self.head, self.body, self.aggregates, rule_id)

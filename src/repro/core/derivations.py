@@ -66,6 +66,12 @@ class Derivation:
     def __setattr__(self, name, value):
         raise AttributeError("Derivation is immutable")
 
+    def __reduce__(self):
+        # The guard also blocks pickle's slot restore; rebuild through
+        # the constructor (derivation sets ride result messages across
+        # shard-worker boundaries).
+        return (Derivation, (self.rule_id, self.body_facts))
+
     def uses(self, fact: FactKey) -> bool:
         return fact in self.body_facts
 

@@ -54,6 +54,12 @@ class Constant(Term):
     def __setattr__(self, name, value):  # immutability guard
         raise AttributeError("Constant is immutable")
 
+    def __reduce__(self):
+        # The immutability guard also blocks pickle's slot restore;
+        # rebuild through the constructor instead (terms travel inside
+        # border-crossing records between shard worker processes).
+        return (Constant, (self.value,))
+
     def is_ground(self) -> bool:
         return True
 
@@ -95,6 +101,9 @@ class Variable(Term):
 
     def __setattr__(self, name, value):
         raise AttributeError("Variable is immutable")
+
+    def __reduce__(self):
+        return (Variable, (self.name,))
 
     @classmethod
     def fresh(cls, hint: str = "V") -> "Variable":
@@ -150,6 +159,9 @@ class FunctionTerm(Term):
 
     def __setattr__(self, name, value):
         raise AttributeError("FunctionTerm is immutable")
+
+    def __reduce__(self):
+        return (FunctionTerm, (self.functor, self.args))
 
     @property
     def arity(self) -> int:

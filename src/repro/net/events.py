@@ -6,10 +6,9 @@ Every radio-layer occurrence — physical (``tx``/``rx``/``drop``/
 subscribed observer.  The tracer (:mod:`repro.net.trace`) and the
 telemetry bridge (:func:`repro.obs.instrument.observe_radio_event`)
 are both plain observers; new consumers subscribe with
-:meth:`Radio.subscribe` instead of growing yet another hook.
-
-The legacy ``Radio.listeners`` mechanism (bare 5-tuple callbacks, only
-``tx``/``rx``/``drop``) still works but is deprecated.
+:meth:`Radio.subscribe` instead of growing yet another hook.  (The
+legacy ``Radio.listeners`` 5-tuple shim that predated this protocol
+has been removed — see DESIGN.md, "messaging v2".)
 """
 
 from __future__ import annotations
@@ -18,7 +17,7 @@ from typing import Callable, NamedTuple
 
 from .messages import Message
 
-#: Physical-layer event kinds (also delivered to legacy listeners).
+#: Physical-layer event kinds.
 PHYSICAL_EVENTS = ("tx", "rx", "drop")
 #: Transport/contention event kinds (observer protocol only).
 TRANSPORT_EVENTS = ("collision", "ack", "retry", "dup", "give_up")

@@ -92,7 +92,7 @@ class FaultSchedule:
     :meth:`timeline` yields events sorted by (time, insertion order),
     which is also the order the injector applies them in.  Schedules
     are plain data (picklable), so they thread through
-    ``harness.run_trials_parallel`` worker processes unchanged.
+    ``harness.run_trials(parallel=...)`` worker processes unchanged.
     """
 
     def __init__(self, events: Iterable[FaultEvent] = ()):

@@ -19,6 +19,20 @@ BYTES_PER_SYMBOL = 4
 _msg_counter = itertools.count()
 
 
+def set_msg_id_base(base: int) -> None:
+    """Restart message-id allocation at ``base``.
+
+    Sharded simulation workers carve the id space into disjoint ranges
+    (``shard_id << 40``) so messages created in different worker
+    processes can never collide on the transport dedup key
+    ``(sender, msg_id)``.  Ids only need to be unique, never dense or
+    comparable, so single-process code is unaffected by where the
+    counter starts.
+    """
+    global _msg_counter
+    _msg_counter = itertools.count(base)
+
+
 class Message:
     """Base class for everything the radio carries.
 
@@ -27,8 +41,8 @@ class Message:
     ``payload_symbols`` drives the byte-cost model; ``category`` names
     the phase the message belongs to ("storage", "join", "result",
     "control", ...) for metrics/tracing breakdowns.  Category is a
-    property of the message itself — the legacy ``category=`` keyword
-    on ``Node.send``/``Radio.transmit`` is deprecated.
+    property of the message itself, set at construction (the legacy
+    ``category=`` keyword on the send paths has been removed).
 
     Slotted: large simulations hold hundreds of thousands of live
     message records, so the six hot fields live in ``__slots__``.

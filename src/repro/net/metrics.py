@@ -78,6 +78,26 @@ class MetricsCollector:
     def record_retry_exhausted(self) -> None:
         self.retry_exhausted += 1
 
+    def merge(self, other: "MetricsCollector") -> None:
+        """Fold another collector's counts into this one (sharded runs:
+        tx is recorded in the sender's shard and rx in the receiver's,
+        so per-node maps from different shards are disjoint and a plain
+        sum reassembles the single-process totals)."""
+        for mine, theirs in (
+            (self.tx_count, other.tx_count), (self.rx_count, other.rx_count),
+            (self.tx_bytes, other.tx_bytes), (self.rx_bytes, other.rx_bytes),
+            (self.category_tx, other.category_tx),
+            (self.category_bytes, other.category_bytes),
+            (self.energy, other.energy),
+        ):
+            for key, value in theirs.items():
+                mine[key] += value
+        self.dropped += other.dropped
+        self.acks += other.acks
+        self.retries += other.retries
+        self.dup_suppressed += other.dup_suppressed
+        self.retry_exhausted += other.retry_exhausted
+
     # -- summaries ------------------------------------------------------
 
     @property

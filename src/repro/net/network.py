@@ -13,11 +13,37 @@ from ..core.errors import NetworkError
 from .ght import GeographicHash
 from .metrics import MetricsCollector
 from .node import Node
-from .radio import Radio
-from .routing import Router
+from .radio import KeyedFrameRNG, Radio
+from .routing import GeoRouter, Router
 from .sim import LocalClock, Simulator
 from .topology import GridTopology, RandomGeometricTopology, Topology
 from .transport import TransportConfig
+
+
+class _RemoteStub:
+    """Placeholder for a node owned by another shard worker.
+
+    Sharded networks instantiate :class:`Node` objects only for their
+    own partition; code that merely needs *a deliver callable for the
+    far end of a link* (``Node.send``, ``Node._forward``) gets one of
+    these instead.  The sharded radio recognizes the stub and turns the
+    frame into a border-crossing record before the callable could ever
+    run — actually invoking it is a bug, and says so.
+    """
+
+    __slots__ = ("id",)
+
+    def __init__(self, node_id: int):
+        self.id = node_id
+
+    def deliver(self, message) -> None:
+        raise NetworkError(
+            f"node {self.id} lives in another shard; its deliver stub "
+            "must never run locally (frames to it cross at the border)"
+        )
+
+    def __repr__(self) -> str:
+        return f"_RemoteStub({self.id})"
 
 
 class SensorNetwork:
@@ -48,30 +74,64 @@ class SensorNetwork:
         transport: Optional[TransportConfig] = None,
         ght_replicas: int = 1,
         self_repair: bool = False,
+        routing: str = "bfs",
+        frame_rng: str = "seq",
+        node_subset: Optional[Iterable[int]] = None,
+        radio_cls: type = Radio,
     ):
+        """``routing="geo"`` swaps the per-destination BFS tables for
+        greedy geographic forwarding (O(degree) per hop — the 100k+
+        regime needs it); ``frame_rng="keyed"`` draws frame randomness
+        from per-link streams instead of the sequential simulator RNG
+        (order-independent, hence shard-invariant); ``node_subset``
+        instantiates :class:`Node` objects (and pays their setup) only
+        for the given partition, answering :meth:`node` with remote
+        stubs elsewhere.  All three default to the historical behavior.
+        """
         self.topology = topology
         self.sim = Simulator(seed)
         self.metrics = MetricsCollector()
-        self.radio = Radio(
+        if frame_rng not in ("seq", "keyed"):
+            raise NetworkError(f"unknown frame_rng discipline {frame_rng!r}")
+        self.radio = radio_cls(
             self.sim, self.metrics, delay_base, delay_jitter, loss_rate,
             battery_capacity=battery_capacity, collisions=collisions,
             reliable=reliable, transport=transport,
+            frame_rng=KeyedFrameRNG(seed) if frame_rng == "keyed" else None,
         )
-        self.router = Router(topology)
+        if routing not in ("bfs", "geo"):
+            raise NetworkError(f"unknown routing mode {routing!r}")
+        self.router = (GeoRouter if routing == "geo" else Router)(topology)
         self.ght = GeographicHash(topology, replicas=ght_replicas)
         self.self_repair = self_repair
         self.clock_skew = clock_skew
         self.nodes: Dict[int, Node] = {}
+        self._stubs: Dict[int, _RemoteStub] = {}
+        subset = None if node_subset is None else set(node_subset)
+        #: The node ids this network instance owns (all of them unless
+        #: a shard partition was given).
+        self.local_ids = (
+            set(topology.node_ids) if subset is None else subset
+        )
         for node_id in topology.node_ids:
+            # Skew draws always iterate the full id set in global order
+            # so a partitioned worker assigns every node the same skew
+            # the single-process network would.
             skew = self.sim.rng.uniform(-clock_skew / 2, clock_skew / 2) if clock_skew else 0.0
-            self.nodes[node_id] = Node(node_id, self, LocalClock(self.sim, skew))
+            if subset is None or node_id in subset:
+                self.nodes[node_id] = Node(node_id, self, LocalClock(self.sim, skew))
 
     # -- accessors ----------------------------------------------------------
 
     def node(self, node_id: int) -> Node:
         node = self.nodes.get(node_id)
         if node is None:
-            raise NetworkError(f"unknown node {node_id}")
+            if node_id in self.local_ids or node_id not in self.topology.node_id_set:
+                raise NetworkError(f"unknown node {node_id}")
+            stub = self._stubs.get(node_id)
+            if stub is None:
+                stub = self._stubs[node_id] = _RemoteStub(node_id)
+            return stub  # type: ignore[return-value]
         return node
 
     def __len__(self) -> int:

@@ -23,7 +23,6 @@ from ..core.errors import NetworkError
 from ..obs import instrument as _inst
 from ..obs import state as _obs
 from .messages import Message
-from .radio import _legacy_category
 from .sim import LocalClock
 from .transport import (
     GIVE_UP_DEAD, GIVE_UP_NO_ROUTE, StatusCallback, notify_gave_up,
@@ -41,8 +40,8 @@ ROUTED = "__routed__"
 class RoutedEnvelope(Message):
     """Wraps an inner message for hop-by-hop forwarding to ``dst``.
 
-    The envelope's category is the inner message's; the legacy
-    ``category=`` constructor argument is deprecated.
+    The envelope's category is the inner message's (set it on the
+    inner message at construction).
     """
 
     __slots__ = ("inner", "on_status", "repair_budget")
@@ -51,7 +50,6 @@ class RoutedEnvelope(Message):
         self,
         inner: Message,
         dst: int,
-        category: Optional[str] = None,
         on_status: Optional[StatusCallback] = None,
     ):
         super().__init__(
@@ -60,7 +58,6 @@ class RoutedEnvelope(Message):
             payload_symbols=inner.payload_symbols,
             category=inner.category,
         )
-        _legacy_category("RoutedEnvelope", self, category)
         self.inner = inner
         self.on_status = on_status
         #: Remaining next-hop re-selections the self-repair failure
@@ -141,7 +138,7 @@ class Node:
         """
         network = self.network
         if not network.self_repair:
-            hop = network.router.next_hop(self.id, envelope.dst)
+            hop = network.router.envelope_hop(self.id, envelope)
             network.radio.transmit(
                 self.id, hop, envelope,
                 network.node(hop).deliver,
@@ -186,12 +183,10 @@ class Node:
         self,
         neighbor_id: int,
         message: Message,
-        category: Optional[str] = None,
         reliable: Optional[bool] = None,
         on_status: Optional[StatusCallback] = None,
     ) -> None:
         """Single-hop send to a direct neighbor."""
-        _legacy_category("Node.send", message, category)
         if not self.network.topology.are_neighbors(self.id, neighbor_id):
             raise NetworkError(
                 f"node {self.id} cannot reach non-neighbor {neighbor_id}"
@@ -206,11 +201,9 @@ class Node:
         self,
         dst: int,
         message: Message,
-        category: Optional[str] = None,
         on_status: Optional[StatusCallback] = None,
     ) -> None:
         """Multi-hop send via the routing layer."""
-        _legacy_category("Node.send_routed", message, category)
         if dst == self.id:
             if on_status is not None:
                 on_status("delivered")

@@ -22,19 +22,20 @@ Two delivery modes:
 
 All radio-layer occurrences are published as typed
 :class:`~repro.net.events.RadioEvent`\\ s to subscribed observers (the
-tracer and the telemetry bridge are both observers); the legacy
-``listeners`` 5-tuple hook is deprecated.
+tracer and the telemetry bridge are both observers).  The legacy
+``listeners`` 5-tuple hook and the ``category=`` send keyword were
+removed after their deprecation cycle (see DESIGN.md, "messaging v2").
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import Callable, List, Optional, TYPE_CHECKING
+import random
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..core.errors import NetworkError
 from ..obs import instrument as _inst
 from ..obs import state as _obs
-from .events import PHYSICAL_EVENTS, RadioEvent, RadioObserver
+from .events import RadioEvent, RadioObserver
 from .messages import Message
 from .metrics import MetricsCollector
 from .sim import Simulator
@@ -44,36 +45,57 @@ if TYPE_CHECKING:  # pragma: no cover
     from .network import SensorNetwork
 
 
-def _legacy_category(where: str, message: Message, category: Optional[str]) -> None:
-    """The deprecated ``category=`` send keyword, consolidated: no
-    in-repo caller passes it anymore (every phase message sets its
-    category at construction), so the None fast path is the only one
-    the library itself ever takes.  External callers still get the
-    warn-and-apply compatibility behavior."""
-    if category is None:
-        return
-    warnings.warn(
-        f"the category= keyword of {where} is deprecated; set "
-        f"Message(..., category=...) on the message instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    message.category = category
+class SeqFrameRNG:
+    """Default randomness discipline: every stochastic frame decision
+    (loss, delay jitter, retransmission-timeout jitter) draws from the
+    simulator's single RNG in event order — the seed-era behavior,
+    byte-identical to drawing ``sim.rng`` inline."""
+
+    __slots__ = ("_sim",)
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+
+    def random(self, src: int, dst: int) -> float:
+        return self._sim.rng.random()
+
+    def uniform(self, src: int, dst: int, a: float, b: float) -> float:
+        return self._sim.rng.uniform(a, b)
 
 
-class _LegacyListenerList(list):
-    """The deprecated ``Radio.listeners`` hook: bare callables invoked
-    with ``(event, src, dst, message, category)`` for physical events
-    only.  Appending warns; use :meth:`Radio.subscribe` instead."""
+class KeyedFrameRNG:
+    """Per-directed-link randomness: each link ``(src, dst)`` owns an
+    independent stream seeded by ``f"link:{seed}:{src}:{dst}"``, and a
+    frame's draws come from its link's stream in per-link send order.
 
-    def append(self, listener) -> None:
-        warnings.warn(
-            "Radio.listeners is deprecated; use Radio.subscribe(observer) "
-            "with the typed RadioEvent protocol",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        super().append(listener)
+    This makes every draw independent of the *global* interleaving of
+    events, which is what lets a spatially sharded run (frames on a
+    link are always sent by the shard owning ``src``, in that shard's
+    local event order — the same order as the single-process run)
+    reproduce the single-process simulation exactly.  String seeding is
+    stable across processes and Python versions, unlike ``hash()``.
+    """
+
+    __slots__ = ("seed", "_streams")
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._streams: Dict[Tuple[int, int], random.Random] = {}
+
+    def _stream(self, src: int, dst: int) -> random.Random:
+        key = (src, dst)
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = self._streams[key] = random.Random(
+                f"link:{self.seed}:{src}:{dst}"
+            )
+        return stream
+
+    def random(self, src: int, dst: int) -> float:
+        return self._stream(src, dst).random()
+
+    def uniform(self, src: int, dst: int, a: float, b: float) -> float:
+        return self._stream(src, dst).uniform(a, b)
 
 
 class Radio:
@@ -91,10 +113,17 @@ class Radio:
         bitrate_bps: float = 250_000.0,
         reliable: bool = False,
         transport: Optional[TransportConfig] = None,
+        frame_rng=None,
     ):
         if not 0.0 <= loss_rate < 1.0:
             raise NetworkError(f"loss rate {loss_rate} out of range")
         self.sim = sim
+        #: Where per-frame randomness comes from.  The default draws
+        #: from ``sim.rng`` in event order (byte-identical to the
+        #: historical inline draws); :class:`KeyedFrameRNG` switches to
+        #: order-independent per-link streams (the sharded engine's
+        #: discipline).
+        self.frame_rng = frame_rng if frame_rng is not None else SeqFrameRNG(sim)
         self.metrics = metrics
         self.delay_base = delay_base
         self.delay_jitter = delay_jitter
@@ -120,8 +149,6 @@ class Radio:
         #: RadioEvent observers (the one subscription point for traces,
         #: telemetry, tests, ...).
         self.observers: List[RadioObserver] = []
-        #: Deprecated 5-tuple listeners (physical events only).
-        self.listeners: list = _LegacyListenerList()
         # First-order contention model (TOSSIM-ish CSMA behaviour): a
         # frame whose airtime at the receiver overlaps a frame from a
         # *different* sender is lost (the earlier frame captures the
@@ -164,7 +191,6 @@ class Radio:
         observers = self.observers
         if (
             not _obs.enabled
-            and not self.listeners
             and len(observers) == 1
             and observers[0] is _inst.observe_radio_event
         ):
@@ -182,9 +208,6 @@ class Radio:
         )
         for observer in self.observers:
             observer(ev)
-        if self.listeners and event in PHYSICAL_EVENTS:
-            for listener in self.listeners:
-                listener(event, src, dst, message, message.category)
 
     # -- liveness ---------------------------------------------------------
 
@@ -306,7 +329,6 @@ class Radio:
         dst_id: int,
         message: Message,
         deliver: Callable[[Message], None],
-        category: Optional[str] = None,
         reliable: Optional[bool] = None,
         on_status: Optional[StatusCallback] = None,
     ) -> None:
@@ -315,10 +337,10 @@ class Radio:
 
         ``reliable=None`` uses the radio-wide default; reliable
         transfers retransmit until acked or the retry budget runs out,
-        reporting ``on_status('delivered'|'gave_up')``.  ``category=``
-        is deprecated — set it on the message.
+        reporting ``on_status('delivered'|'gave_up')``.  The message's
+        phase category lives on the message itself
+        (``Message(..., category=...)``).
         """
-        _legacy_category("Radio.transmit", message, category)
         if reliable is None:
             reliable = self.reliable
         if reliable:
@@ -335,9 +357,32 @@ class Radio:
     ) -> None:
         """One physical frame: energy, loss, FIFO, contention.  The
         transport layer sends data frames *and* acks through here, so
-        acks pay energy and are lost/collided like any other frame."""
+        acks pay energy and are lost/collided like any other frame.
+
+        Split into a sender half (:meth:`_frame_departure`, everything
+        up to the arrival time) and a receiver half
+        (:meth:`_frame_arrival`) so the sharded engine can run the two
+        halves in different worker processes; this method is the
+        single-process composition of the two.
+        """
+        arrival = self._frame_departure(src_id, dst_id, message)
+        if arrival is None:
+            return
+        self.sim.schedule_at(
+            arrival,
+            lambda: self._frame_arrival(src_id, dst_id, message, deliver),
+        )
+
+    def _frame_departure(
+        self, src_id: int, dst_id: int, message: Message
+    ) -> Optional[float]:
+        """Sender half of one frame: pay the transmission, apply loss /
+        severed-link / contention fates, fix the arrival time (delay
+        draw plus per-link FIFO ordering).  Returns the arrival time,
+        or ``None`` when the frame dies before reaching the air at the
+        receiver."""
         if not self.is_alive(src_id):
-            return  # dead nodes transmit nothing
+            return None  # dead nodes transmit nothing
         sim = self.sim
         size = message.size_bytes
         self.metrics.record_tx(src_id, size, message.category)
@@ -345,15 +390,20 @@ class Radio:
         self._check_battery(src_id)
         if not self.is_alive(dst_id):
             self._drop(src_id, dst_id, message, reason="dead")
-            return  # nobody listening
+            return None  # nobody listening
         if self._down_links and (src_id, dst_id) in self._down_links:
             self._drop(src_id, dst_id, message, reason="link_down")
-            return  # severed link: nothing crosses the cut
-        lost = bool(self.loss_rate) and sim.rng.random() < self.loss_rate
+            return None  # severed link: nothing crosses the cut
+        lost = (
+            bool(self.loss_rate)
+            and self.frame_rng.random(src_id, dst_id) < self.loss_rate
+        )
         if lost and not self.collisions:
             self._drop(src_id, dst_id, message, reason="loss")
-            return
-        delay = self.delay_base + sim.rng.uniform(0, self.delay_jitter)
+            return None
+        delay = self.delay_base + self.frame_rng.uniform(
+            src_id, dst_id, 0, self.delay_jitter
+        )
         arrival = sim.now + delay
         link = (src_id, dst_id)
         previous = self._last_arrival.get(link)
@@ -368,7 +418,7 @@ class Radio:
                 self.collision_count += 1
                 self._emit("collision", src_id, dst_id, message)
                 self._drop(src_id, dst_id, message, reason="collision")
-                return
+                return None
             # The frame occupies the ether at the receiver whether or
             # not it decodes — a frame fated to be lost is still noise
             # a later frame can collide with (real CSMA doesn't know
@@ -376,18 +426,24 @@ class Radio:
             self._channel[dst_id] = (arrival, src_id)
             if lost:
                 self._drop(src_id, dst_id, message, reason="loss")
-                return
+                return None
+        return arrival
 
-        def arrive() -> None:
-            if not self.is_alive(dst_id):
-                self._drop(src_id, dst_id, message, reason="dead")
-                return  # died while the frame was in the air
-            self.metrics.record_rx(dst_id, size)
-            self._emit("rx", src_id, dst_id, message)
-            self._check_battery(dst_id)
-            deliver(message)
-
-        self.sim.schedule_at(arrival, arrive)
+    def _frame_arrival(
+        self,
+        src_id: int,
+        dst_id: int,
+        message: Message,
+        deliver: Callable[[Message], None],
+    ) -> None:
+        """Receiver half of one frame, run at its arrival time."""
+        if not self.is_alive(dst_id):
+            self._drop(src_id, dst_id, message, reason="dead")
+            return  # died while the frame was in the air
+        self.metrics.record_rx(dst_id, message.size_bytes)
+        self._emit("rx", src_id, dst_id, message)
+        self._check_battery(dst_id)
+        deliver(message)
 
     def _drop(self, src: int, dst: int, message: Message, reason: str = "") -> None:
         """One lost message: metrics, observers, telemetry."""

@@ -21,6 +21,7 @@ path.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Set, Tuple
 
 import networkx as nx
@@ -126,6 +127,14 @@ class Router:
             raise NetworkError(f"no route from {node} to {dst}")
         return hop
 
+    def envelope_hop(self, node: int, envelope) -> int:
+        """Next hop for a routed envelope at ``node`` — the per-message
+        entry point :meth:`Node._forward` uses, so subclasses can keep
+        per-envelope forwarding state (the geographic router's
+        greedy-then-fallback mode).  The base router ignores the
+        envelope beyond its destination."""
+        return self.next_hop(node, envelope.dst)
+
     def hop_distance(self, a: int, b: int) -> int:
         """Shortest-path hop count (0 when a == b)."""
         if a == b:
@@ -145,3 +154,84 @@ class Router:
             node = self.next_hop(node, b)
             out.append(node)
         return out
+
+
+class GeoRouter(Router):
+    """Greedy geographic routing with a BFS-table escape hatch.
+
+    The BFS router computes one full breadth-first tree per routed
+    destination — fine up to ~10k nodes, ruinous at 100k+ where a
+    virtual-grid round touches hundreds of distinct destinations.
+    Geographic forwarding (GPSR's greedy mode) replaces the table with
+    an O(degree) rule: hand the envelope to the neighbor strictly
+    closest (Euclidean) to the destination's position, ties broken by
+    lowest id.  Each greedy hop strictly shrinks the distance to the
+    destination, so greedy forwarding can never loop.
+
+    At a local minimum (no neighbor strictly closer — a routing void)
+    the envelope *permanently* falls back to BFS-table forwarding for
+    its remaining hops.  The permanence matters: a stateless per-hop
+    fallback could bounce between a greedy hop and a table hop forever,
+    while table-only forwarding strictly shrinks the hop count and must
+    terminate.  The fallback is tracked on the envelope (set lazily via
+    its ``__dict__`` escape hatch), so concurrent envelopes don't
+    interfere.  On dense unit-disk deployments voids are rare and the
+    table path is almost never built.
+
+    Deterministic and topology-pure, hence identical across shard
+    workers.  Opt-in (``SensorNetwork(routing="geo")``): the default
+    BFS router stays byte-identical for every existing workload.
+    """
+
+    def __init__(self, topology: Topology):
+        super().__init__(topology)
+        self._positions = {n: topology.position(n) for n in topology.node_ids}
+
+    def greedy_hop(self, node: int, dst: int) -> Optional[int]:
+        """The neighbor strictly closer to ``dst`` than ``node`` is,
+        minimizing (distance, id); None at a local minimum."""
+        px, py = self._positions[dst]
+        nx_, ny = self._positions[node]
+        here = math.hypot(nx_ - px, ny - py)
+        best: Optional[Tuple[float, int]] = None
+        for nbr in self.topology.neighbors(node):
+            qx, qy = self._positions[nbr]
+            d = math.hypot(qx - px, qy - py)
+            if d < here:
+                cand = (d, nbr)
+                if best is None or cand < best:
+                    best = cand
+        return None if best is None else best[1]
+
+    def envelope_hop(self, node: int, envelope) -> int:
+        if node == envelope.dst:
+            raise NetworkError(f"node {node} routing to itself")
+        if getattr(envelope, "geo_fallback", False):
+            return self.next_hop(node, envelope.dst)
+        hop = self.greedy_hop(node, envelope.dst)
+        if hop is None:
+            envelope.geo_fallback = True  # a void: table mode from here on
+            return self.next_hop(node, envelope.dst)
+        return hop
+
+    def _walk(self, a: int, b: int) -> List[int]:
+        """The sequence an envelope from ``a`` to ``b`` follows
+        (greedy until the first void, table afterwards)."""
+        out = [a]
+        node, fallback = a, False
+        while node != b:
+            hop = None if fallback else self.greedy_hop(node, b)
+            if hop is None:
+                fallback = True
+                hop = self.next_hop(node, b)
+            out.append(hop)
+            node = hop
+        return out
+
+    def hop_distance(self, a: int, b: int) -> int:
+        if a == b:
+            return 0
+        return len(self._walk(a, b)) - 1
+
+    def path(self, a: int, b: int) -> List[int]:
+        return self._walk(a, b)

@@ -1,0 +1,868 @@
+"""Sharded simulation engine: spatial partitioning under conservative
+time windows.
+
+One event loop serializes every frame of a simulated network, which
+caps whole-network experiments (E19) around 10k nodes.  This module
+takes the simulator to 100k+ by partitioning the *arena* — not the
+event queue — across worker processes:
+
+* **Spatial partition.**  The shard key is the topology's uniform-grid
+  spatial index: :meth:`GridIndex.cell_items` enumerates occupied
+  cells in deterministic order, and contiguous runs of cells (balanced
+  by node count) form shards.  Cell size is on the order of the radio
+  range, so the overwhelming share of frames stays shard-internal and
+  only border-crossing frames are exchanged.
+
+* **Conservative windows (lookahead = ``delay_base``).**  Workers
+  advance in lockstep epochs.  Each epoch the coordinator computes
+  ``E`` — the minimum over every worker's earliest pending event and
+  every undelivered border record's arrival — and lets all workers run
+  the half-open window ``[now, E + L)`` where ``L`` is the minimum
+  cross-border frame latency (``delay_base``).  Any frame sent inside
+  the window departs at some event time ``s >= E``, so it arrives at
+  ``s + delay >= E + L``: exchanging outboxes at the barrier can never
+  deliver a frame late.  Idle gaps (e.g. the engine's tau_s + tau_c
+  join delays) cost nothing — ``E`` jumps straight to the next event.
+
+* **Border records.**  A frame whose destination lives in another
+  shard runs its *sender half* (:meth:`Radio._frame_departure`: energy,
+  loss, jitter, per-link FIFO) locally and ships
+  ``(mode, arrival, src, dst, message)`` to the owner, which schedules
+  the *receiver half* at the fixed arrival time.  Reliable transfers
+  keep all retry state at the sender: data frames, acks, and
+  retransmissions each cross as independent records, and the receiver
+  side replays the transport's dedup/ack protocol byte-for-byte.
+
+* **Determinism.**  Workers use :class:`~repro.net.radio.KeyedFrameRNG`
+  (per-directed-link streams), so every stochastic frame decision is
+  independent of the global event interleaving.  Given (seed,
+  shard_count) the run is deterministic; given nonzero delay jitter it
+  is *differentially identical* — same result rows, same message /
+  energy / transport counters — to the single-process simulator
+  (``run(spec, shards=None)``), for any shard count.  (With zero
+  jitter, simultaneous frame arrivals are ordered by a global sequence
+  number no partitioned run can reproduce; the identity guarantee
+  therefore assumes ``delay_jitter > 0``, the default.)
+
+Not supported in v1 (rejected with :class:`ShardError`): the collision
+/ contention model, finite batteries, routing self-repair and fault
+injection (all couple shards through global radio state), and custom
+deliver callables aimed at remote nodes.
+"""
+
+from __future__ import annotations
+
+import copy
+import functools
+import multiprocessing
+import pickle
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from .. import obs
+from ..core.errors import NetworkError
+from ..dist.gpa import GPAEngine
+from .messages import set_msg_id_base
+from .metrics import MetricsCollector
+from .network import SensorNetwork, _RemoteStub
+from .radio import Radio
+from .topology import GridTopology, RandomGeometricTopology, Topology
+from .transport import AckMsg, TransportConfig
+
+#: Border-record modes: a fire-and-forget frame, a reliable data frame
+#: (the receiver must ack + dedup), and a link-layer ack riding back.
+DATA = "data"
+REL = "rel"
+ACK = "ack"
+
+#: Callback marker for the engine's delivery tracker — the one status
+#: callback that may ride a routed envelope across a shard border.
+#: Frozen to this string on the wire, rebound to the receiving worker's
+#: engine on arrival.
+TRACK_DELIVERY = "status:gpa-track-delivery"
+
+#: msg-id range carved out per worker process: ids only need global
+#: uniqueness (transport dedup keys on ``(sender, msg_id)``), never
+#: density, so each worker counts from ``shard_id << 40``.
+_MSG_ID_STRIDE = 1 << 40
+
+
+class ShardError(NetworkError):
+    """A sharded run cannot be configured or executed as requested."""
+
+
+class ShardWorkerError(ShardError):
+    """A shard worker failed.
+
+    Carries the shard id and the worker's formatted traceback so the
+    failure can be reproduced deterministically with a single-process
+    rerun of the same spec (``run(spec, shards=None)``).
+    """
+
+    def __init__(self, shard: int, worker_traceback: str):
+        self.shard = shard
+        self.worker_traceback = worker_traceback
+        super().__init__(
+            f"shard worker {shard} failed; re-run the same spec with "
+            f"shards=None to reproduce in one process\n"
+            f"--- worker traceback ---\n{worker_traceback.rstrip()}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The workload spec (the redesigned run API's input)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WorkloadSpec:
+    """A declarative, picklable simulation workload.
+
+    The sharded engine cannot accept an assembled ``SensorNetwork`` —
+    every worker process must build its own partition-local instance —
+    so the run API takes a *description*: topology parameters, the
+    Datalog program, the region strategy, network knobs, and the
+    publish schedule.  ``run(spec, shards=None)`` executes the same
+    spec on the classic single-process simulator, which is what the
+    differential suite compares against.
+
+    ``topology`` is ``{"kind": "grid", "m": ..., "n": ...}`` or
+    ``{"kind": "random", "n": ..., "radius": ..., "side": ...,
+    "seed": ...}``.  ``publishes`` is a list of ``(when, node_id,
+    pred, args)``; ``net`` holds :class:`SensorNetwork` keyword
+    arguments (``transport`` may be a :class:`TransportConfig` kwargs
+    dict).  ``outputs`` names the derived predicates collected into
+    the run report.
+    """
+
+    topology: Dict[str, Any]
+    program: str
+    publishes: List[Tuple[float, int, str, tuple]]
+    outputs: Tuple[str, ...]
+    seed: int = 0
+    strategy: str = "virtual-grid"
+    strategy_kwargs: Dict[str, Any] = field(default_factory=dict)
+    window: float = 1e9
+    scheme: str = "one-pass"
+    routing: str = "bfs"
+    net: Dict[str, Any] = field(default_factory=dict)
+    max_events: int = 10_000_000
+    telemetry_name: Optional[str] = None
+    telemetry_dir: Optional[str] = None
+
+
+def build_topology(spec: WorkloadSpec) -> Topology:
+    """Construct the spec's topology (deterministic in its params)."""
+    params = dict(spec.topology)
+    kind = params.pop("kind", None)
+    if kind == "grid":
+        return GridTopology(params.pop("m"), params.pop("n", None))
+    if kind == "random":
+        return RandomGeometricTopology(**params)
+    raise ShardError(f"unknown topology kind {kind!r}")
+
+
+def _net_kwargs(spec: WorkloadSpec) -> Dict[str, Any]:
+    kwargs = dict(spec.net)
+    transport = kwargs.get("transport")
+    if isinstance(transport, dict):
+        kwargs["transport"] = TransportConfig(**transport)
+    return kwargs
+
+
+_UNSUPPORTED_NET = ("collisions", "battery_capacity", "self_repair")
+
+
+def _validate_sharded(spec: WorkloadSpec, shards: int) -> None:
+    if shards < 1:
+        raise ShardError(f"shard count {shards} must be >= 1")
+    for key in _UNSUPPORTED_NET:
+        if spec.net.get(key):
+            raise ShardError(
+                f"net option {key!r} is not supported by the sharded "
+                "engine (v1): it couples shards through global radio "
+                "state; run with shards=None"
+            )
+    if float(spec.net.get("delay_base", 0.01)) <= 0:
+        raise ShardError(
+            "sharded runs need delay_base > 0: the conservative window "
+            "lookahead is the minimum cross-border frame latency"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Spatial partition
+# ---------------------------------------------------------------------------
+
+
+def partition_topology(
+    topology: Topology, shards: int
+) -> Tuple[Dict[int, int], List[List[int]]]:
+    """Partition node ids into ``shards`` spatially contiguous groups.
+
+    Whole cells of the topology's uniform-grid index are assigned to
+    shards in cell-coordinate order (column-major strips), balanced by
+    cumulative node count.  Deterministic: same topology and shard
+    count, same partition.  Returns ``(assignment, groups)`` where
+    ``assignment[node_id] = shard`` and ``groups[shard]`` lists the
+    shard's node ids.
+    """
+    if shards < 1:
+        raise ShardError(f"shard count {shards} must be >= 1")
+    total = len(topology)
+    assignment: Dict[int, int] = {}
+    groups: List[List[int]] = [[] for _ in range(shards)]
+    seen = 0
+    for _cell, ids in topology.spatial.cell_items():
+        index = min(shards - 1, (seen * shards) // total)
+        for node_id in ids:
+            assignment[node_id] = index
+        groups[index].extend(ids)
+        seen += len(ids)
+    return assignment, groups
+
+
+# ---------------------------------------------------------------------------
+# Callback freeze/thaw (status callbacks crossing the border)
+# ---------------------------------------------------------------------------
+
+
+def _freeze_message(message, known: Dict[Callable, str]):
+    """Prepare a message for the wire: replace a known status callback
+    with its registry marker (on a *copy* — the sender keeps retrying
+    the original, whose local callback must survive).  Unknown
+    callables cannot cross a process boundary and are rejected."""
+    on_status = getattr(message, "on_status", None)
+    if on_status is None or isinstance(on_status, str):
+        return message
+    marker = known.get(on_status)
+    if marker is None:
+        raise ShardError(
+            f"message {message!r} carries a status callback "
+            f"{on_status!r} that cannot cross a shard border; only "
+            "registered callbacks (the engine's delivery tracker) may "
+            "ride border-crossing envelopes"
+        )
+    frozen = copy.copy(message)
+    frozen.on_status = marker
+    return frozen
+
+
+# ---------------------------------------------------------------------------
+# The sharded radio
+# ---------------------------------------------------------------------------
+
+
+class ShardRadio(Radio):
+    """A :class:`Radio` that turns frames to remote nodes into border
+    records instead of scheduling their arrival locally.
+
+    The sender half of every frame (:meth:`Radio._frame_departure`:
+    energy accounting, loss fate, delay draw, per-link FIFO ordering)
+    always runs in the sending shard — so per-link frame order and the
+    keyed RNG stream positions are exactly the single-process ones —
+    and the fixed arrival time ships with the record.  Reliable
+    transfers are intercepted one level up (:meth:`transmit`) only to
+    remember the pending message and callback; the whole send-side
+    retry state machine (:class:`ReliableTransport`) runs unmodified.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: Border records produced since the last window barrier.
+        self.outbox: List[tuple] = []
+        #: (src, dst, msg_id) -> (message, on_status) for in-flight
+        #: reliable transfers whose receiver is remote; consumed when
+        #: the ack record comes back.  (Entries for transfers that give
+        #: up or lose their sender linger until the run ends — bounded
+        #: by the number of failed transfers, and never replayed.)
+        self._rel_ctx: Dict[Tuple[int, int, int], tuple] = {}
+        self._local_ids: Optional[Set[int]] = None
+        self._freeze: Callable = lambda message: message
+
+    def configure_shard(self, local_ids: Set[int], freeze: Callable) -> None:
+        self._local_ids = local_ids
+        self._freeze = freeze
+
+    def _is_remote(self, node_id: int) -> bool:
+        return self._local_ids is not None and node_id not in self._local_ids
+
+    def _require_stub_deliver(self, dst_id: int, deliver: Callable) -> None:
+        owner = getattr(deliver, "__self__", None)
+        if not isinstance(owner, _RemoteStub):
+            raise ShardError(
+                f"custom deliver callable for remote node {dst_id}: only "
+                "Node.deliver destinations can cross a shard border"
+            )
+
+    def transmit(self, src_id, dst_id, message, deliver,
+                 reliable=None, on_status=None) -> None:
+        if reliable is None:
+            reliable = self.reliable
+        if reliable and self._is_remote(dst_id):
+            # Remember the message/callback so the ack record (which
+            # carries neither) can conclude the transfer exactly as
+            # ReliableTransport._on_ack would.
+            self._require_stub_deliver(dst_id, deliver)
+            self._rel_ctx[(src_id, dst_id, message.msg_id)] = (message, on_status)
+            self.transport.send(src_id, dst_id, message, deliver, on_status)
+            return
+        super().transmit(src_id, dst_id, message, deliver,
+                         reliable=reliable, on_status=on_status)
+
+    def _send_frame(self, src_id, dst_id, message, deliver) -> None:
+        if not self._is_remote(dst_id):
+            super()._send_frame(src_id, dst_id, message, deliver)
+            return
+        arrival = self._frame_departure(src_id, dst_id, message)
+        if arrival is None:
+            return  # died on the sender side: nothing crosses
+        if isinstance(message, AckMsg):
+            mode = ACK
+        elif (src_id, dst_id, message.msg_id) in self.transport._pending:
+            mode = REL  # a reliable data frame (first attempt or retry)
+        else:
+            mode = DATA
+            self._require_stub_deliver(dst_id, deliver)
+        self.outbox.append((mode, arrival, src_id, dst_id, self._freeze(message)))
+
+
+# ---------------------------------------------------------------------------
+# One shard worker
+# ---------------------------------------------------------------------------
+
+
+def _build_engine(spec: WorkloadSpec, network: SensorNetwork) -> GPAEngine:
+    return GPAEngine(
+        spec.program, network, strategy=spec.strategy, window=spec.window,
+        scheme=spec.scheme, **dict(spec.strategy_kwargs),
+    ).install()
+
+
+class ShardWorker:
+    """One shard's event loop: a partition-local network + engine, run
+    window by window under the coordinator's conservative bounds."""
+
+    def __init__(self, spec: WorkloadSpec, topology: Topology,
+                 own_ids: Set[int], shard_id: int):
+        self.spec = spec
+        self.shard_id = shard_id
+        self.network = SensorNetwork(
+            topology, seed=spec.seed, routing=spec.routing,
+            frame_rng="keyed", node_subset=own_ids, radio_cls=ShardRadio,
+            **_net_kwargs(spec),
+        )
+        self.radio: ShardRadio = self.network.radio  # type: ignore[assignment]
+        self.engine = _build_engine(spec, self.network)
+        frozen = {self.engine._track_delivery: TRACK_DELIVERY}
+        self._markers = {TRACK_DELIVERY: self.engine._track_delivery}
+        self.radio.configure_shard(
+            self.network.local_ids,
+            functools.partial(_freeze_message, known=frozen),
+        )
+        sim = self.network.sim
+        for when, node_id, pred, args in spec.publishes:
+            if node_id in self.network.local_ids:
+                sim.schedule_at(
+                    when, functools.partial(self.engine.publish, node_id, pred, args)
+                )
+        self._budget = spec.max_events
+        self.windows_run = 0
+        self.border_in = 0
+        self.border_out = 0
+
+    # -- window protocol --------------------------------------------------
+
+    def next_time(self) -> Optional[float]:
+        return self.network.sim.next_time
+
+    def run_window(self, t_end: float, records: Sequence[tuple]):
+        """Inject this window's border records, run events in
+        ``[now, t_end)``, and return ``(next_time, outbox)``."""
+        for record in sorted(records, key=lambda r: (r[1], r[2], r[3])):
+            self._inject(record)
+        self.border_in += len(records)
+        sim = self.network.sim
+        processed = sim.run(until=t_end, max_events=self._budget, inclusive=False)
+        self._budget -= processed
+        nxt = sim.next_time
+        if nxt is not None and nxt < t_end:
+            # Only a max_events stop leaves events below the bound.
+            raise ShardError(
+                f"shard {self.shard_id} exceeded max_events="
+                f"{self.spec.max_events} (runaway simulation?)"
+            )
+        out = self.radio.outbox
+        self.radio.outbox = []
+        self.windows_run += 1
+        self.border_out += len(out)
+        return nxt, out
+
+    def _inject(self, record: tuple) -> None:
+        mode, arrival, src, dst, message = record
+        on_status = getattr(message, "on_status", None)
+        if isinstance(on_status, str):
+            # Rebind the frozen callback marker to this worker's engine.
+            callback = self._markers.get(on_status)
+            if callback is None:
+                raise ShardError(f"unknown status-callback marker {on_status!r}")
+            message.on_status = callback
+        if mode == DATA:
+            deliver = self.network.nodes[dst].deliver
+        elif mode == REL:
+            deliver = functools.partial(self._receive_reliable, src, dst)
+        elif mode == ACK:
+            deliver = functools.partial(self._conclude_ack, src, dst)
+        else:
+            raise ShardError(f"unknown border-record mode {mode!r}")
+        self.network.sim.schedule_at(
+            arrival,
+            functools.partial(self.radio._frame_arrival, src, dst, message, deliver),
+        )
+
+    def _receive_reliable(self, src: int, dst: int, message) -> None:
+        """Receiver half of a border-crossing reliable data frame —
+        the exact dedup/ack/deliver sequence of
+        :meth:`ReliableTransport._on_data`, minus the sender-side
+        closure (which stayed in the sending shard)."""
+        transport = self.radio.transport
+        dedup_key = (src, message.msg_id)
+        seen = transport._seen[dst]
+        fresh = dedup_key not in seen
+        if fresh:
+            seen.add(dedup_key)
+        else:
+            self.radio.metrics.record_dup()
+            self.radio._emit("dup", src, dst, message)
+        ack = AckMsg(src, message.msg_id)
+        # src is remote by construction, so this ack becomes an ACK
+        # border record back to the sending shard (and is subject to
+        # loss/energy/FIFO like any frame, exactly as in one process).
+        self.radio._send_frame(dst, src, ack, _ack_needs_no_deliver)
+        if fresh:
+            self.network.nodes[dst].deliver(message)
+
+    def _conclude_ack(self, ack_src: int, ack_dst: int, ack) -> None:
+        """An ack record arrived back at the original sender's shard —
+        the exact conclusion sequence of
+        :meth:`ReliableTransport._on_ack`."""
+        key = (ack_dst, ack_src, ack.acked_msg_id)
+        transport = self.radio.transport
+        state = transport._pending.get(key)
+        if state is None or state.acked:
+            return  # duplicate ack, or transfer already concluded
+        state.acked = True
+        self.radio.metrics.record_ack()
+        message, on_status = self.radio._rel_ctx.pop(key, (ack, None))
+        self.radio._emit("ack", ack_dst, ack_src, message, attempt=state.attempt)
+        if on_status is not None:
+            on_status("delivered")
+
+    # -- results ----------------------------------------------------------
+
+    def collect(self) -> Dict[str, Any]:
+        sim = self.network.sim
+        return {
+            "shard": self.shard_id,
+            "nodes": len(self.network.nodes),
+            "rows": {pred: self.engine.rows(pred) for pred in self.spec.outputs},
+            "metrics": self.network.metrics,
+            "delivery": self.engine.delivery_report(),
+            "events": sim.events_processed,
+            "queue_hwm": sim.queue_hwm,
+            "windows": self.windows_run,
+            "border_in": self.border_in,
+            "border_out": self.border_out,
+        }
+
+
+def _ack_needs_no_deliver(_message) -> None:  # pragma: no cover
+    raise NetworkError("a border ack's deliver callable must never run")
+
+
+# ---------------------------------------------------------------------------
+# Worker executors (inline for tests, fork processes for scale)
+# ---------------------------------------------------------------------------
+
+
+class _InlineHandle:
+    """In-process worker: same :class:`ShardWorker`, driven directly.
+
+    Every record batch still goes through a pickle round trip — both to
+    exercise the wire format in fast tests and because the shallow
+    frozen copies *rely* on it: the receiver must never share mutable
+    message state (envelope paths, token partial lists) with the
+    sender's retry copies.
+    """
+
+    def __init__(self, spec, topology, own_ids, shard_id):
+        self.shard = shard_id
+        with self._wrap():
+            self.worker = ShardWorker(spec, topology, own_ids, shard_id)
+
+    def _wrap(self):
+        return _WorkerErrors(self.shard)
+
+    def start(self):
+        return self.worker.next_time()
+
+    def post(self, t_end, records):
+        with self._wrap():
+            self._pending = (t_end, pickle.loads(pickle.dumps(records)))
+
+    def wait(self):
+        with self._wrap():
+            t_end, records = self._pending
+            return self.worker.run_window(t_end, records)
+
+    def finish(self):
+        with self._wrap():
+            return self.worker.collect()
+
+    def close(self):
+        pass
+
+
+class _WorkerErrors:
+    """Context manager turning any worker exception into a
+    :class:`ShardWorkerError` tagged with the shard id."""
+
+    def __init__(self, shard: int):
+        self.shard = shard
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc is not None and not isinstance(exc, ShardWorkerError):
+            raise ShardWorkerError(self.shard, traceback.format_exc()) from exc
+        return False
+
+
+def _worker_main(conn, spec, topology, own_ids, shard_id) -> None:
+    """Worker-process body: build the shard, then serve window commands
+    until told to finish.  Runs under fork, so the topology arrives by
+    inheritance (never pickled) and msg-id disjointness is restored by
+    rebasing the inherited counter."""
+    try:
+        set_msg_id_base(shard_id * _MSG_ID_STRIDE)
+        worker = ShardWorker(spec, topology, own_ids, shard_id)
+        conn.send(("ready", worker.next_time()))
+        while True:
+            command = conn.recv()
+            if command[0] == "window":
+                conn.send(("window", worker.run_window(command[1], command[2])))
+            elif command[0] == "finish":
+                result = worker.collect()
+                if spec.telemetry_name and obs.enabled():
+                    result["telemetry"] = obs.write_run_artifacts(
+                        spec.telemetry_dir or ".",
+                        f"{spec.telemetry_name}.shard{shard_id}",
+                        manifest_extra={"shard": shard_id},
+                    )
+                conn.send(("finish", result))
+                return
+            else:  # pragma: no cover
+                raise ShardError(f"unknown worker command {command[0]!r}")
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover
+            pass
+
+
+class _ProcessHandle:
+    """A shard worker in a forked process, spoken to over a pipe."""
+
+    def __init__(self, ctx, spec, topology, own_ids, shard_id):
+        self.shard = shard_id
+        parent, child = ctx.Pipe()
+        self.conn = parent
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(child, spec, topology, own_ids, shard_id),
+            daemon=True,
+        )
+        self.proc.start()
+        child.close()
+
+    def _recv(self, expect: str):
+        try:
+            message = self.conn.recv()
+        except EOFError:
+            raise ShardWorkerError(
+                self.shard, "worker process died without reporting an error"
+            ) from None
+        if message[0] == "error":
+            raise ShardWorkerError(self.shard, message[1])
+        if message[0] != expect:  # pragma: no cover
+            raise ShardWorkerError(
+                self.shard, f"protocol error: expected {expect!r}, got {message[0]!r}"
+            )
+        return message[1]
+
+    def start(self):
+        return self._recv("ready")
+
+    def post(self, t_end, records):
+        self.conn.send(("window", t_end, records))
+
+    def wait(self):
+        return self._recv("window")
+
+    def finish(self):
+        self.conn.send(("finish",))
+        return self._recv("finish")
+
+    def close(self):
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if self.proc.is_alive():
+            self.proc.terminate()
+        self.proc.join(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# The coordinator
+# ---------------------------------------------------------------------------
+
+
+def _coordinate(handles, assignment, lookahead):
+    """The lockstep epoch loop.  Each round: pick the conservative
+    bound ``t_end = E + lookahead``, post every worker its window (and
+    the border records addressed to it), then collect outboxes and
+    route them for the next round.  Terminates when no worker has
+    pending events and no record is in flight."""
+    pending: List[List[tuple]] = [[] for _ in handles]
+    earliest = [handle.start() for handle in handles]
+    windows = 0
+    border = 0
+    while True:
+        horizon = None
+        for value in earliest:
+            if value is not None and (horizon is None or value < horizon):
+                horizon = value
+        for records in pending:
+            for record in records:
+                if horizon is None or record[1] < horizon:
+                    horizon = record[1]
+        if horizon is None:
+            break  # globally quiescent
+        t_end = horizon + lookahead
+        for handle, records in zip(handles, pending):
+            handle.post(t_end, records)
+        pending = [[] for _ in handles]
+        for index, handle in enumerate(handles):
+            nxt, outbox = handle.wait()
+            earliest[index] = nxt
+            border += len(outbox)
+            for record in outbox:
+                pending[assignment[record[3]]].append(record)
+        windows += 1
+    return [handle.finish() for handle in handles], windows, border
+
+
+# ---------------------------------------------------------------------------
+# Run reports
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardRunReport:
+    """Merged result of one run (sharded or single-process).
+
+    ``shards == 0`` marks a single-process run.  ``fingerprint()``
+    returns the event-identity digest the differential suite compares:
+    result rows plus every order-independent counter family.  (The
+    final simulation clock is deliberately excluded — sharded clocks
+    stop at a window boundary, not at the last event.)
+    """
+
+    rows: Dict[str, Set[tuple]]
+    metrics: MetricsCollector
+    delivery: Dict[str, Any]
+    events_processed: int
+    queue_hwm: int
+    shards: int
+    windows: int
+    border_records: int
+    per_shard: List[Dict[str, Any]]
+    manifest: Optional[Dict[str, str]] = None
+
+    def fingerprint(self) -> Dict[str, Any]:
+        m = self.metrics
+        return {
+            "rows": {
+                pred: tuple(sorted(repr(row) for row in rows))
+                for pred, rows in sorted(self.rows.items())
+            },
+            "messages": m.total_messages,
+            "bytes": m.total_bytes,
+            "category_tx": dict(sorted(m.category_tx.items())),
+            # Per-node energy sums are exact (each node lives in one
+            # shard); only the cross-node total is rounded, because
+            # float addition order differs between merge and inline.
+            "energy": round(m.total_energy, 6),
+            "dropped": m.dropped,
+            "acks": m.acks,
+            "retries": m.retries,
+            "dup_suppressed": m.dup_suppressed,
+            "retry_exhausted": m.retry_exhausted,
+            "delivery": {
+                k: v for k, v in sorted(self.delivery.items()) if k != "reason"
+            },
+            "give_up_reasons": dict(sorted(self.delivery.get("reason", {}).items())),
+        }
+
+
+def _merge_results(spec, results, shards, windows, border) -> ShardRunReport:
+    metrics = MetricsCollector()
+    rows: Dict[str, Set[tuple]] = {pred: set() for pred in spec.outputs}
+    delivery: Dict[str, Any] = {"delivered": 0, "gave_up": 0, "reason": {}}
+    events = 0
+    hwm = 0
+    per_shard = []
+    for result in results:
+        metrics.merge(result["metrics"])
+        for pred, shard_rows in result["rows"].items():
+            rows[pred] |= shard_rows
+        for key, value in result["delivery"].items():
+            if key == "reason":
+                for reason, count in value.items():
+                    delivery["reason"][reason] = (
+                        delivery["reason"].get(reason, 0) + count
+                    )
+            else:
+                delivery[key] = delivery.get(key, 0) + value
+        events += result["events"]
+        hwm = max(hwm, result["queue_hwm"])
+        summary = {
+            "shard": result["shard"],
+            "nodes": result["nodes"],
+            "events": result["events"],
+            "border_in": result["border_in"],
+            "border_out": result["border_out"],
+        }
+        if result.get("telemetry"):
+            summary["telemetry"] = result["telemetry"]
+        per_shard.append(summary)
+    return ShardRunReport(
+        rows=rows, metrics=metrics, delivery=delivery,
+        events_processed=events, queue_hwm=hwm, shards=shards,
+        windows=windows, border_records=border, per_shard=per_shard,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The run API
+# ---------------------------------------------------------------------------
+
+
+def run(
+    spec: WorkloadSpec,
+    shards: Optional[int] = None,
+    inline: bool = False,
+    topology: Optional[Topology] = None,
+) -> ShardRunReport:
+    """Execute a workload spec and return its merged run report.
+
+    ``shards=None`` runs the classic single-process simulator (the
+    differential baseline); ``shards=k`` partitions the arena into
+    ``k`` spatial shards under conservative-window synchronization.
+    ``inline=True`` drives the shard workers in-process (records still
+    cross a pickle boundary) — the mode the differential tests use;
+    the default forks one worker process per shard.  ``topology``
+    short-circuits topology construction when the caller already built
+    it (it must match the spec's parameters — benches reuse one
+    topology across the single/sharded comparison)."""
+    if topology is None:
+        topology = build_topology(spec)
+    if shards is None:
+        return _run_single(spec, topology)
+    _validate_sharded(spec, shards)
+    assignment, groups = partition_topology(topology, shards)
+    lookahead = float(spec.net.get("delay_base", 0.01))
+    handles: List[Any] = []
+    try:
+        if inline:
+            handles = [
+                _InlineHandle(spec, topology, set(group), index)
+                for index, group in enumerate(groups)
+            ]
+        else:
+            if "fork" not in multiprocessing.get_all_start_methods():
+                raise ShardError(
+                    "process-mode sharding needs the fork start method; "
+                    "use inline=True on this platform"
+                )
+            ctx = multiprocessing.get_context("fork")
+            handles = [
+                _ProcessHandle(ctx, spec, topology, set(group), index)
+                for index, group in enumerate(groups)
+            ]
+        results, windows, border = _coordinate(handles, assignment, lookahead)
+    finally:
+        for handle in handles:
+            handle.close()
+    report = _merge_results(spec, results, shards, windows, border)
+    _write_merged_manifest(spec, report)
+    return report
+
+
+def _run_single(spec: WorkloadSpec, topology: Topology) -> ShardRunReport:
+    """The spec on the classic single-process simulator, with the same
+    keyed frame-RNG discipline sharded runs use (so the comparison is
+    sharding, not randomness bookkeeping)."""
+    network = SensorNetwork(
+        topology, seed=spec.seed, routing=spec.routing, frame_rng="keyed",
+        **_net_kwargs(spec),
+    )
+    engine = _build_engine(spec, network)
+    for when, node_id, pred, args in spec.publishes:
+        network.sim.schedule_at(
+            when, functools.partial(engine.publish, node_id, pred, args)
+        )
+    network.run_all(spec.max_events)
+    if network.sim.pending:
+        raise ShardError(
+            f"single-process run exceeded max_events={spec.max_events} "
+            "(runaway simulation?)"
+        )
+    result = {
+        "shard": None,
+        "nodes": len(network.nodes),
+        "rows": {pred: engine.rows(pred) for pred in spec.outputs},
+        "metrics": network.metrics,
+        "delivery": engine.delivery_report(),
+        "events": network.sim.events_processed,
+        "queue_hwm": network.sim.queue_hwm,
+        "border_in": 0,
+        "border_out": 0,
+    }
+    report = _merge_results(spec, [result], shards=0, windows=0, border=0)
+    _write_merged_manifest(spec, report)
+    return report
+
+
+def _write_merged_manifest(spec: WorkloadSpec, report: ShardRunReport) -> None:
+    """Merge per-shard telemetry into one run report: the coordinator's
+    manifest carries the shard summaries (and each worker's artifact
+    paths, in process mode) next to the usual reproducibility
+    envelope."""
+    if not (spec.telemetry_name and obs.enabled()):
+        return
+    report.manifest = obs.write_run_artifacts(
+        spec.telemetry_dir or ".",
+        spec.telemetry_name,
+        manifest_extra={
+            "sharded": {
+                "shards": report.shards,
+                "windows": report.windows,
+                "border_records": report.border_records,
+                "per_shard": report.per_shard,
+            }
+        },
+    )

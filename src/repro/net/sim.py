@@ -54,6 +54,7 @@ class Simulator:
         self,
         until: Optional[float] = None,
         max_events: Optional[int] = None,
+        inclusive: bool = True,
     ) -> int:
         """Process events in time order.
 
@@ -61,11 +62,18 @@ class Simulator:
         ``until`` (the clock then advances to ``until``), or after
         ``max_events`` events (runaway guard).  Returns the number of
         events processed in this call.
+
+        ``inclusive=False`` makes ``until`` a strict upper bound: only
+        events with ``when < until`` run, and events at exactly
+        ``until`` stay queued.  Conservative time-window
+        synchronization (the sharded engine's lockstep epochs) needs
+        half-open windows ``[T, T_end)`` so the same event is never
+        processed by two consecutive windows.
         """
         processed = 0
         while self._queue:
             when, _seq, callback = self._queue[0]
-            if until is not None and when > until:
+            if until is not None and (when > until if inclusive else when >= until):
                 break
             if max_events is not None and processed >= max_events:
                 break
@@ -92,6 +100,13 @@ class Simulator:
     @property
     def pending(self) -> int:
         return len(self._queue)
+
+    @property
+    def next_time(self) -> Optional[float]:
+        """Timestamp of the earliest queued event (None when idle) —
+        what a shard reports so the coordinator can pick the next
+        conservative window bound."""
+        return self._queue[0][0] if self._queue else None
 
 
 class LocalClock:

@@ -59,6 +59,13 @@ class GridIndex:
     def cell_of(self, point: Position) -> Tuple[int, int]:
         return (int(point[0] // self.cell), int(point[1] // self.cell))
 
+    def cell_items(self) -> List[Tuple[Tuple[int, int], List[int]]]:
+        """Every occupied cell with its (ascending) node ids, sorted by
+        cell coordinate — the deterministic spatial shard key: the
+        sharded engine groups whole cells into shards, so two nodes in
+        one cell always land in the same worker."""
+        return sorted((c, list(b)) for c, b in self._cells.items())
+
     def _ring(self, cx: int, cy: int, k: int) -> Iterator[List[int]]:
         """Occupied buckets at Chebyshev cell-distance exactly ``k``."""
         cells = self._cells

@@ -43,6 +43,7 @@ class Topology:
         self.positions = dict(positions)
         self._diameter: Optional[int] = None
         self._node_ids: Optional[List[int]] = None
+        self._node_id_set: Optional[frozenset] = None
         self._neighbor_cache: Dict[int, Tuple[int, ...]] = {}
         self._bbox: Optional[Tuple[float, float, float, float]] = None
         self._spatial: Optional[GridIndex] = None
@@ -52,6 +53,15 @@ class Topology:
         if self._node_ids is None:
             self._node_ids = sorted(self.graph.nodes)
         return self._node_ids
+
+    @property
+    def node_id_set(self) -> frozenset:
+        """Node ids as a set (O(1) membership — the sharded network
+        distinguishes "remote node" from "no such node" on every
+        stub lookup)."""
+        if self._node_id_set is None:
+            self._node_id_set = frozenset(self.graph.nodes)
+        return self._node_id_set
 
     def __len__(self) -> int:
         return len(self.graph)

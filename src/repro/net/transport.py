@@ -210,9 +210,13 @@ class ReliableTransport:
         )
         # Exponential backoff with jitter: the timeout for the *next*
         # attempt grows even if this one succeeds (the timer just
-        # no-ops then).
+        # no-ops then).  The jitter draw goes through the radio's frame
+        # RNG so it follows the same randomness discipline as the frame
+        # itself (sequential by default, per-link-keyed when sharding).
         timeout = state.timeout * (
-            1.0 + self.radio.sim.rng.uniform(0, self.config.timeout_jitter)
+            1.0 + self.radio.frame_rng.uniform(
+                src, dst, 0, self.config.timeout_jitter
+            )
         )
         state.timeout *= self.config.backoff
         self.radio.sim.schedule(

@@ -30,6 +30,11 @@ class TupleID:
     def __setattr__(self, name, value):
         raise AttributeError("TupleID is immutable")
 
+    def __reduce__(self):
+        # The guard also blocks pickle's slot restore; rebuild through
+        # the constructor (tuple ids cross shard-worker boundaries).
+        return (TupleID, (self.source, self.timestamp, self.seq))
+
     def __eq__(self, other) -> bool:
         return (
             isinstance(other, TupleID)

@@ -1,14 +1,16 @@
-"""The parallel benchmark trial runner is result-identical to serial.
+"""The unified benchmark trial runner: serial, parallel, sharded.
 
 Every bench trial is a module-level function fully determined by its
 arguments (each seeds its own RNGs), so fanning the grid across worker
 processes must return the exact same list — order, values, Nones and
-all.  This pins the contract ``run_trials_parallel`` documents and the
-benches rely on.
+all.  This pins the contract ``run_trials`` documents and the benches
+rely on, plus the deprecation wrapper kept for the old
+``run_trials_parallel`` entry point.
 """
 
 import os
 import sys
+import warnings
 
 import pytest
 
@@ -28,6 +30,10 @@ def maybe_none(x, offset):
     return None if (x + offset) % 3 == 0 else x + offset
 
 
+def shard_echo(x, shards=None):
+    return (x, shards)
+
+
 TRIALS = [dict(x=x, offset=o) for x in range(6) for o in (0, 1)]
 
 
@@ -38,25 +44,50 @@ def test_serial_runner_order():
 
 
 def test_parallel_matches_serial():
-    assert run_trials_parallel(square_plus, TRIALS, processes=3) == run_trials(
+    assert run_trials(square_plus, TRIALS, parallel=3) == run_trials(
         square_plus, TRIALS
     )
 
 
 def test_parallel_preserves_nones_and_order():
-    assert run_trials_parallel(maybe_none, TRIALS, processes=2) == run_trials(
+    assert run_trials(maybe_none, TRIALS, parallel=2) == run_trials(
         maybe_none, TRIALS
     )
 
 
 def test_single_process_falls_back_to_serial():
-    assert run_trials_parallel(square_plus, TRIALS, processes=1) == run_trials(
+    assert run_trials(square_plus, TRIALS, parallel=1) == run_trials(
         square_plus, TRIALS
     )
 
 
 def test_single_trial_falls_back_to_serial():
-    assert run_trials_parallel(square_plus, TRIALS[:1], processes=4) == [0]
+    assert run_trials(square_plus, TRIALS[:1], parallel=4) == [0]
+
+
+def test_shards_knob_merged_into_trials():
+    trials = [dict(x=x) for x in range(4)]
+    assert run_trials(shard_echo, trials, shards=2) == [
+        (x, 2) for x in range(4)
+    ]
+    # ... serial and parallel alike, and without mutating the caller's
+    # trial dicts.
+    assert run_trials(shard_echo, trials, parallel=2, shards=4) == [
+        (x, 4) for x in range(4)
+    ]
+    assert trials == [dict(x=x) for x in range(4)]
+
+
+def test_legacy_wrapper_warns_and_delegates():
+    with pytest.warns(DeprecationWarning, match="run_trials_parallel"):
+        result = run_trials_parallel(square_plus, TRIALS, processes=2)
+    assert result == run_trials(square_plus, TRIALS)
+
+
+def test_unified_runner_emits_no_deprecation_warnings():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        run_trials(square_plus, TRIALS, parallel=2)
 
 
 def explode_on(x, offset, seed=0):
@@ -65,13 +96,22 @@ def explode_on(x, offset, seed=0):
     return x + offset + seed
 
 
+def shard_explode(x):
+    if x == 3:
+        exc = RuntimeError(f"shard boom at x={x}")
+        exc.shard = 2  # what a ShardWorkerError carries
+        raise exc
+    return x
+
+
 def test_worker_failure_carries_trial_params():
     trials = [dict(x=x, offset=o, seed=x * 10 + o) for x in range(6) for o in (0, 1)]
     with pytest.raises(TrialError) as excinfo:
-        run_trials_parallel(explode_on, trials, processes=3)
+        run_trials(explode_on, trials, parallel=3)
     err = excinfo.value
     assert err.params == dict(x=4, offset=1, seed=41)
     assert err.index == trials.index(dict(x=4, offset=1, seed=41))
+    assert err.shard is None
     # The message names the seed and carries the worker's traceback,
     # not a bare pool traceback.
     assert "seed=41" in str(err)
@@ -82,6 +122,17 @@ def test_worker_failure_carries_trial_params():
 def test_worker_failure_message_without_seed():
     trials = [dict(x=x, offset=1) for x in range(6)]
     with pytest.raises(TrialError) as excinfo:
-        run_trials_parallel(explode_on, trials, processes=2)
+        run_trials(explode_on, trials, parallel=2)
     assert excinfo.value.params == dict(x=4, offset=1)
     assert "seed=" not in str(excinfo.value).split("---")[0]
+
+
+def test_worker_failure_carries_shard_id():
+    trials = [dict(x=x) for x in range(6)]
+    with pytest.raises(TrialError) as excinfo:
+        run_trials(shard_explode, trials, parallel=2)
+    err = excinfo.value
+    assert err.shard == 2
+    assert err.params == dict(x=3)
+    assert "shard worker 2" in str(err)
+    assert "shards=None" in str(err)  # points at the serial repro

@@ -1,15 +1,18 @@
-"""Tests for the redesigned messaging API.
+"""Tests for the finalized (v2) messaging API.
 
-``category`` is a field on :class:`Message`; the old ``category=``
-keyword on the send paths still works but warns.  The typed
-:class:`RadioEvent` observer protocol replaces the legacy
-``Radio.listeners`` 5-tuple hook (which also still works but warns).
+``category`` is a field on :class:`Message`, set at construction; the
+typed :class:`RadioEvent` observer protocol is the one radio hook.
+The deprecated ``category=`` keyword on the send paths and the legacy
+``Radio.listeners`` 5-tuple hook completed their deprecation cycle
+(PR 3 deprecated them) and are now **removed** — these tests pin both
+the removal and the replacement paths.
 """
 
 import warnings
 
 import pytest
 
+from repro.net.events import RadioEvent
 from repro.net.messages import Message
 from repro.net.network import GridNetwork
 from repro.net.node import RoutedEnvelope
@@ -37,41 +40,34 @@ class TestCategoryField:
         assert envelope.category == "storage"
 
 
-class TestDeprecatedCategoryKwarg:
-    def test_radio_transmit_warns_and_applies(self):
+class TestCategoryKwargRemoved:
+    """The ``category=`` keyword is gone, not just deprecated: passing
+    it is a TypeError, and the library emits no DeprecationWarning on
+    any send path (CI runs the suite with ``-W error`` to prove it)."""
+
+    def test_radio_transmit_rejects_kwarg(self):
         net = quiet_net()
-        msg = Message("ping")
-        with pytest.warns(DeprecationWarning, match="Radio.transmit"):
+        with pytest.raises(TypeError):
             net.radio.transmit(
-                0, 1, msg, net.node(1).deliver, category="legacy"
+                0, 1, Message("ping"), net.node(1).deliver, category="legacy"
             )
-        net.run_all()
-        assert msg.category == "legacy"
-        assert net.metrics.category_tx["legacy"] == 1
 
-    def test_node_send_warns_and_applies(self):
+    def test_node_send_rejects_kwarg(self):
         net = quiet_net()
-        with pytest.warns(DeprecationWarning, match="Node.send"):
+        with pytest.raises(TypeError):
             net.node(0).send(1, Message("ping"), category="legacy")
-        net.run_all()
-        assert net.metrics.category_tx["legacy"] == 1
 
-    def test_node_send_routed_warns_and_applies(self):
+    def test_node_send_routed_rejects_kwarg(self):
         net = quiet_net(4)
-        with pytest.warns(DeprecationWarning, match="Node.send_routed"):
+        with pytest.raises(TypeError):
             net.node(0).send_routed(15, Message("ping"), category="legacy")
-        net.run_all()
-        assert net.metrics.category_tx["legacy"] > 0
 
-    def test_routed_envelope_kwarg_warns_and_overrides(self):
-        with pytest.warns(DeprecationWarning, match="RoutedEnvelope"):
-            envelope = RoutedEnvelope(
-                Message("ping", category="storage"), dst=3, category="legacy"
-            )
-        assert envelope.category == "legacy"
+    def test_routed_envelope_rejects_kwarg(self):
+        with pytest.raises(TypeError):
+            RoutedEnvelope(Message("ping"), dst=3, category="legacy")
 
-    def test_new_style_calls_do_not_warn(self):
-        net = quiet_net(4)
+    def test_send_paths_emit_no_deprecation_warnings(self):
+        net = quiet_net(4, reliable=True)
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             net.node(0).send(1, Message("ping", category="clean"))
@@ -79,25 +75,31 @@ class TestDeprecatedCategoryKwarg:
             net.run_all()
 
 
-class TestLegacyListeners:
-    def test_append_warns(self):
+class TestLegacyListenersRemoved:
+    def test_radio_has_no_listeners_attribute(self):
         net = quiet_net()
-        with pytest.warns(DeprecationWarning, match="Radio.listeners"):
-            net.radio.listeners.append(lambda *args: None)
+        assert not hasattr(net.radio, "listeners")
 
-    def test_legacy_listener_still_gets_physical_tuples(self):
+    def test_observer_protocol_is_the_replacement(self):
         net = quiet_net(2, reliable=True)
         seen = []
-        with pytest.warns(DeprecationWarning):
-            net.radio.listeners.append(
-                lambda event, src, dst, msg, category:
-                    seen.append((event, src, dst, category))
-            )
+        net.radio.subscribe(seen.append)
         net.node(0).send(1, Message("ping", category="test"))
         net.run_all()
-        # Data tx/rx plus the ack's tx/rx — all as plain 5-tuples.
-        assert ("tx", 0, 1, "test") in seen
-        assert ("rx", 0, 1, "test") in seen
-        assert ("tx", 1, 0, "ack") in seen
-        # Transport-level events never reach the legacy hook.
-        assert all(event in ("tx", "rx", "drop") for event, *_ in seen)
+        assert all(isinstance(ev, RadioEvent) for ev in seen)
+        kinds = [(ev.event, ev.src, ev.dst, ev.category) for ev in seen]
+        # Data tx/rx, the ack's tx/rx, and the transport-level ack —
+        # one typed stream carries physical and transport events alike.
+        assert ("tx", 0, 1, "test") in kinds
+        assert ("rx", 0, 1, "test") in kinds
+        assert ("tx", 1, 0, "ack") in kinds
+        assert any(ev.event == "ack" for ev in seen)
+
+    def test_unsubscribe(self):
+        net = quiet_net()
+        seen = []
+        observer = net.radio.subscribe(seen.append)
+        net.radio.unsubscribe(observer)
+        net.node(0).send(1, Message("ping"))
+        net.run_all()
+        assert seen == []

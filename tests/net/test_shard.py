@@ -1,0 +1,283 @@
+"""The sharded simulation engine (repro.net.shard).
+
+Two pillars:
+
+* **Differential identity** — a sharded run (any shard count, inline or
+  process workers) must be *event-identical* to the single-process
+  simulator on the same :class:`WorkloadSpec`: same result rows, same
+  message/byte/energy accounting, same transport counters.  Checked via
+  :meth:`ShardRunReport.fingerprint` on E1-style (grid join), E7-style
+  (lossy unreliable) and E18-style (reliable + loss) workloads.
+
+* **Border mechanics** — the spatial partition is deterministic and
+  exhaustive; border-crossing frames preserve per-link FIFO order (a
+  property-based test drives :class:`ShardRadio` directly); worker
+  failures surface as :class:`ShardWorkerError` with the shard id; the
+  v1 restrictions are rejected up front.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.messages import Message
+from repro.net.network import SensorNetwork
+from repro.net.shard import (
+    ShardError,
+    ShardRadio,
+    ShardWorkerError,
+    WorkloadSpec,
+    build_topology,
+    partition_topology,
+    run,
+)
+from repro.net.topology import GridTopology
+
+JOIN_PROGRAM = """
+r(X, T) :- publish_r(X, T).
+s(X, T) :- publish_s(X, T).
+j(X, T1, T2) :- r(X, T1), s(X, T2).
+"""
+
+PUBLISHES = [
+    (0.0, 3, "publish_r", (1, "a")),
+    (0.0, 14, "publish_s", (1, "b")),
+    (0.0, 27, "publish_r", (2, "c")),
+    (0.0, 8, "publish_s", (2, "d")),
+    (0.0, 30, "publish_r", (3, "e")),
+    (0.0, 11, "publish_s", (3, "f")),
+]
+
+
+def grid_spec(**net):
+    return WorkloadSpec(
+        topology={"kind": "grid", "m": 6},
+        program=JOIN_PROGRAM,
+        publishes=PUBLISHES,
+        outputs=("j",),
+        strategy="pa",
+        net=net,
+    )
+
+
+def random_spec(**net):
+    return WorkloadSpec(
+        topology={"kind": "random", "n": 120, "radius": 1.6, "side": 10.0,
+                  "seed": 3},
+        program=JOIN_PROGRAM,
+        publishes=PUBLISHES,
+        outputs=("j",),
+        strategy="virtual-grid",
+        routing="geo",
+        seed=3,
+        net=net,
+    )
+
+
+SPECS = {
+    "e1-grid-join": grid_spec(),
+    "e7-lossy": grid_spec(loss_rate=0.15),
+    "e18-reliable": grid_spec(loss_rate=0.2, reliable=True),
+    "random-geo": random_spec(),
+}
+
+
+class TestDifferentialIdentity:
+    """shards in {1, 2, 4} inline == single-process, per workload."""
+
+    @pytest.mark.parametrize("name", sorted(SPECS))
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_sharded_matches_single_process(self, name, shards):
+        spec = SPECS[name]
+        baseline = run(spec, shards=None)
+        sharded = run(spec, shards=shards, inline=True)
+        assert sharded.fingerprint() == baseline.fingerprint()
+        assert sharded.shards == shards
+
+    def test_baseline_produces_the_join(self):
+        report = run(SPECS["e1-grid-join"], shards=None)
+        assert report.rows["j"] == {
+            (1, "a", "b"), (2, "c", "d"), (3, "e", "f"),
+        }
+
+    def test_sharded_run_is_deterministic(self):
+        spec = SPECS["e18-reliable"]
+        first = run(spec, shards=4, inline=True)
+        second = run(spec, shards=4, inline=True)
+        assert first.fingerprint() == second.fingerprint()
+        assert first.windows == second.windows
+        assert first.border_records == second.border_records
+
+    def test_process_workers_match_single_process(self):
+        """One fork-mode smoke per suite run (spawning real workers)."""
+        spec = SPECS["e18-reliable"]
+        baseline = run(spec, shards=None)
+        sharded = run(spec, shards=2)  # inline=False: real processes
+        assert sharded.fingerprint() == baseline.fingerprint()
+
+    def test_report_merges_shard_accounting(self):
+        report = run(SPECS["e1-grid-join"], shards=4, inline=True)
+        assert len(report.per_shard) == 4
+        assert sum(s["nodes"] for s in report.per_shard) == 36
+        assert sum(s["events"] for s in report.per_shard) == report.events_processed
+        # Every border record leaves one shard and enters another.
+        assert sum(s["border_out"] for s in report.per_shard) == report.border_records
+        assert sum(s["border_in"] for s in report.per_shard) == report.border_records
+        assert report.border_records > 0
+
+
+class TestPartition:
+    def test_partition_is_exhaustive_and_balanced(self):
+        topology = GridTopology(8)
+        assignment, groups = partition_topology(topology, 4)
+        assert sorted(i for g in groups for i in g) == topology.node_ids
+        assert set(assignment) == set(topology.node_ids)
+        for shard, group in enumerate(groups):
+            assert all(assignment[i] == shard for i in group)
+            assert 8 <= len(group) <= 24  # balanced by cell runs
+
+    def test_partition_is_deterministic(self):
+        topology = build_topology(WorkloadSpec(
+            topology={"kind": "random", "n": 200, "radius": 1.5, "side": 10.0,
+                      "seed": 7},
+            program="", publishes=[], outputs=(),
+        ))
+        first = partition_topology(topology, 3)
+        second = partition_topology(topology, 3)
+        assert first == second
+
+    def test_single_shard_owns_everything(self):
+        topology = GridTopology(5)
+        assignment, groups = partition_topology(topology, 1)
+        assert len(groups) == 1
+        assert sorted(groups[0]) == topology.node_ids
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ShardError):
+            partition_topology(GridTopology(3), 0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("option", ["collisions", "battery_capacity",
+                                        "self_repair"])
+    def test_unsupported_net_options_rejected(self, option):
+        value = 5.0 if option == "battery_capacity" else True
+        with pytest.raises(ShardError, match=option):
+            run(grid_spec(**{option: value}), shards=2, inline=True)
+
+    def test_zero_lookahead_rejected(self):
+        with pytest.raises(ShardError, match="delay_base"):
+            run(grid_spec(delay_base=0.0), shards=2, inline=True)
+
+    def test_unknown_topology_kind_rejected(self):
+        spec = WorkloadSpec(topology={"kind": "torus"}, program="",
+                            publishes=[], outputs=())
+        with pytest.raises(ShardError, match="torus"):
+            run(spec, shards=2, inline=True)
+
+    def test_unsupported_options_still_run_single_process(self):
+        report = run(grid_spec(collisions=True), shards=None)
+        assert report.shards == 0
+
+    def test_worker_failure_names_the_shard(self):
+        bad = WorkloadSpec(
+            topology={"kind": "grid", "m": 4},
+            program="j(X) :-",  # parse error inside the worker
+            publishes=[], outputs=("j",),
+        )
+        with pytest.raises(ShardWorkerError) as excinfo:
+            run(bad, shards=2, inline=True)
+        assert excinfo.value.shard == 0
+        assert "shard worker 0" in str(excinfo.value)
+        assert excinfo.value.worker_traceback
+
+
+def _border_radio(seed=0, jitter=0.005, loss=0.0, reliable=False):
+    """A 4x4 grid network owning only the left half, with a ShardRadio
+    that turns right-half frames into border records."""
+    network = SensorNetwork(
+        GridTopology(4), seed=seed, delay_jitter=jitter, loss_rate=loss,
+        reliable=reliable, frame_rng="keyed",
+        node_subset={i for i in range(16) if i % 4 < 2},
+        radio_cls=ShardRadio,
+    )
+    network.radio.configure_shard(network.local_ids, lambda message: message)
+    return network
+
+
+class TestShardRadio:
+    def test_remote_frame_becomes_data_record(self):
+        network = _border_radio()
+        network.node(1).register_handler("ping", lambda n, m: None)
+        network.radio.transmit(1, 2, Message("ping"), network.node(2).deliver)
+        (mode, arrival, src, dst, _message), = network.radio.outbox
+        assert (mode, src, dst) == ("data", 1, 2)
+        assert arrival >= network.radio.delay_base
+
+    def test_local_frame_stays_local(self):
+        network = _border_radio()
+        seen = []
+        network.nodes[5].register_handler("ping", lambda n, m: seen.append(m))
+        network.radio.transmit(1, 5, Message("ping"), network.nodes[5].deliver)
+        network.run_all()
+        assert len(seen) == 1
+        assert network.radio.outbox == []
+
+    def test_reliable_remote_frame_becomes_rel_record(self):
+        network = _border_radio(reliable=True)
+        network.radio.transmit(
+            1, 2, Message("ping"), network.node(2).deliver, reliable=True
+        )
+        (mode, _arrival, src, dst, message), = network.radio.outbox
+        assert (mode, src, dst) == ("rel", 1, 2)
+        assert (1, 2, message.msg_id) in network.radio._rel_ctx
+
+    def test_records_pickle_roundtrip(self):
+        network = _border_radio()
+        network.radio.transmit(1, 2, Message("ping", payload_symbols=3),
+                               network.node(2).deliver)
+        restored = pickle.loads(pickle.dumps(network.radio.outbox))
+        assert restored[0][:4] == network.radio.outbox[0][:4]
+        assert restored[0][4].kind == "ping"
+
+    def test_unregistered_callback_cannot_cross(self):
+        import functools
+
+        from repro.net.shard import _freeze_message
+
+        network = _border_radio()
+        network.radio.configure_shard(
+            network.local_ids,
+            functools.partial(_freeze_message, known={}),
+        )
+        message = Message("ping")
+        message.on_status = lambda status: None  # not in any registry
+        with pytest.raises(ShardError, match="status callback"):
+            network.radio._send_frame(1, 2, message, network.node(2).deliver)
+
+    @given(
+        frames=st.lists(st.sampled_from([(1, 2), (5, 6), (9, 10)]),
+                        min_size=1, max_size=40),
+        jitter=st.floats(0.0, 0.05),
+        loss=st.floats(0.0, 0.5),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_border_records_preserve_per_link_fifo(self, frames, jitter,
+                                                   loss, seed):
+        """Frames crossing the border keep per-link FIFO order: for any
+        interleaving of sends over several links, any jitter and any
+        loss rate, each directed link's surviving records carry strictly
+        increasing arrival times in send order."""
+        network = _border_radio(seed=seed, jitter=jitter, loss=loss)
+        for src, dst in frames:
+            network.radio.transmit(src, dst, Message("ping"),
+                                   network.node(dst).deliver)
+        per_link = {}
+        for _mode, arrival, src, dst, _message in network.radio.outbox:
+            per_link.setdefault((src, dst), []).append(arrival)
+        for link, arrivals in per_link.items():
+            assert arrivals == sorted(arrivals), link
+            assert len(set(arrivals)) == len(arrivals), link
