@@ -254,12 +254,14 @@ def run_join_workload(
     loss_rate: float = 0.0,
     window: float = 1e9,
     reliable: bool = False,
+    mode: str = "barrier",
     **net_kwargs,
 ):
     """Run a uniform multi-stream join on an m x m grid; returns
     (engine, network, expected_rows).  ``reliable=True`` turns on the
-    per-hop ack/retransmit transport (E18); extra keyword arguments go
-    to the network constructor."""
+    per-hop ack/retransmit transport (E18); ``mode="pipelined"`` asks
+    the engine for barrier-free streaming (E24); extra keyword
+    arguments go to the network constructor."""
     if program is None:
         head_vars = ", ".join(f"V{i}" for i in range(len(streams)))
         body = ", ".join(f"{s}(K, V{i})" for i, s in enumerate(streams))
@@ -268,7 +270,8 @@ def run_join_workload(
         m, seed=seed, loss_rate=loss_rate, reliable=reliable, **net_kwargs
     )
     engine = GPAEngine(
-        parse_program(program), net, strategy=strategy, window=window
+        parse_program(program), net, strategy=strategy, window=window,
+        mode=mode,
     ).install()
     rng = random.Random(seed + 1)
     facts = []

@@ -27,7 +27,7 @@ from .core.builtins import BuiltinRegistry, DEFAULT_REGISTRY
 from .core.errors import ReproError
 from .core.eval import Database, evaluate
 from .core.parser import Parser, parse_atom, parse_program
-from .core.stratify import classify
+from .core.stratify import classify, classify_coordination
 from .core.topdown import TopDownEvaluator
 
 HELP = """\
@@ -35,7 +35,7 @@ Enter rules/facts ending with '.', queries as '?- goal.', or commands:
   :rules            list the current program
   :facts PRED       list stored facts for PRED
   :eval             bottom-up evaluate the whole program
-  :classify         show the program's recursion/negation class
+  :classify         show the evaluation class + coordination verdict
   :explain          show the evaluation plan (safety, strata, join order)
   :load FILE        load rules from a file
   :metrics [on|off|reset]  telemetry snapshot / toggle / zero counters
@@ -94,7 +94,15 @@ class Shell:
             counts = ", ".join(f"{p}: {self.db.count(p)}" for p in idb)
             return f"evaluated. {counts}" if idb else "evaluated."
         if cmd == ":classify":
-            return classify(self.program).program_class.value
+            analysis = classify(self.program).program_class.value
+            verdict = classify_coordination(self.program)
+            if verdict.coordination_free:
+                coord = f"coordination-free ({verdict.kind})"
+            else:
+                coord = (
+                    f"needs barriers ({verdict.reason}): {verdict.detail}"
+                )
+            return f"{analysis}\ncoordination: {coord}"
         if cmd == ":explain":
             from .core.explain import explain
 

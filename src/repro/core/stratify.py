@@ -356,3 +356,130 @@ def classify(program: Program) -> Analysis:
         if xy is not None:
             return Analysis(ProgramClass.XY_STRATIFIED, None, xy)
         return Analysis(ProgramClass.LOCALLY_NONRECURSIVE_REQUIRED, None, None)
+
+
+# ---------------------------------------------------------------------------
+# Coordination-freeness (CALM / win-move analysis)
+# ---------------------------------------------------------------------------
+
+#: Built-ins whose truth can flip when facts disappear (they observe the
+#: *absence* or the *aggregate state* of a relation rather than a single
+#: binding).  The stock registry has none — every comparison and
+#: arithmetic built-in is a pure function of its bound arguments, hence
+#: monotone — but deployments registering e.g. a ``missing/1`` probe add
+#: its name here so :func:`classify_coordination` refuses to stream it.
+NONMONOTONE_BUILTINS: Set[str] = set()
+
+
+class CoordFree:
+    """Verdict: the program needs no coordination — its distributed
+    fixpoint is the same under eager (pipelined) and barriered
+    evaluation.
+
+    ``kind`` is ``'monotone'`` (no negation/aggregation at all: the
+    CALM-theorem case) or ``'win-move'`` (stratified negation whose
+    negated subgoals are guarded by positive ones, the shape Zinn et
+    al. prove coordination-free: monotone rules stream eagerly while
+    the negation rules keep their stratum's delay).
+    """
+
+    __slots__ = ("kind",)
+
+    coordination_free = True
+
+    def __init__(self, kind: str):
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"CoordFree({self.kind})"
+
+
+class NeedsBarriers:
+    """Verdict: the program must keep Theorem 3's phase barriers.
+
+    ``reason`` is a stable machine-readable code (one of
+    :data:`NeedsBarriers.REASONS`); ``detail`` names the blocking rule
+    or literal for humans.
+    """
+
+    __slots__ = ("reason", "detail")
+
+    coordination_free = False
+
+    REASONS = (
+        "aggregation",
+        "negation-through-recursion",
+        "unguarded-negation",
+        "nonmonotone-builtin",
+    )
+
+    def __init__(self, reason: str, detail: str):
+        if reason not in self.REASONS:
+            raise ValueError(f"unknown NeedsBarriers reason {reason!r}")
+        self.reason = reason
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return f"NeedsBarriers({self.reason}: {self.detail})"
+
+
+def _unguarded_negation(rule: Rule) -> Optional[RelLiteral]:
+    """A negated subgoal is *guarded* when every one of its variables is
+    bound by some positive subgoal of the same rule — the win-move shape
+    (``win(X) :- move(X, Y), not win(Y)`` guards ``Y`` via ``move``).
+    An unguarded negated literal ranges over the full (possibly still
+    arriving) extent of its stream, so its truth cannot be decided
+    eagerly.  Returns the first offender, or None."""
+    positive_vars: Set[Variable] = set()
+    for lit in rule.positive_literals():
+        positive_vars.update(lit.variables())
+    for lit in rule.negative_literals():
+        if any(v not in positive_vars for v in lit.variables()):
+            return lit
+    return None
+
+
+def classify_coordination(program: Program):
+    """Decide whether ``program`` can be evaluated without phase
+    barriers.
+
+    Returns :class:`CoordFree` for monotone programs (no negation, no
+    aggregation, no non-monotone built-ins — the CALM-theorem case) and
+    for win-move-shaped programs (stratified negation with every negated
+    subgoal guarded by positive bindings, per "Win-Move is
+    Coordination-Free (Sometimes)").  Everything else gets a
+    :class:`NeedsBarriers` verdict whose ``reason``/``detail`` name the
+    blocking construct.
+    """
+    for rule in program.rules:
+        if rule.has_aggregates:
+            return NeedsBarriers(
+                "aggregation",
+                f"rule for {rule.head.predicate!r} aggregates over its "
+                "derivations; an eager aggregate could be observed "
+                "before its group is complete",
+            )
+        for lit in rule.builtin_literals():
+            if lit.name in NONMONOTONE_BUILTINS:
+                return NeedsBarriers(
+                    "nonmonotone-builtin",
+                    f"rule for {rule.head.predicate!r} calls "
+                    f"non-monotone built-in {lit.name!r}",
+                )
+    try:
+        stratify(program)
+    except StratificationError as exc:
+        return NeedsBarriers("negation-through-recursion", str(exc))
+    has_negation = False
+    for rule in program.rules:
+        offender = _unguarded_negation(rule)
+        if offender is not None:
+            return NeedsBarriers(
+                "unguarded-negation",
+                f"rule for {rule.head.predicate!r}: negated subgoal "
+                f"{offender!r} has variables not bound by any positive "
+                "subgoal",
+            )
+        if rule.negative_literals():
+            has_negation = True
+    return CoordFree("win-move" if has_negation else "monotone")

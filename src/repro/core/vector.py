@@ -65,7 +65,12 @@ VECTOR_STATS = {
     "batch_rows": 0,
     "vectorized_steps": 0,
     "fallback_steps": 0,
+    "emit_dedup_rows": 0,
 }
+
+#: Result batches below this row count skip the id-space head dedup —
+#: np.unique's sort costs more than the saved tuple materializations.
+_EMIT_DEDUP_MIN_ROWS = 16
 
 
 class _Fallback(Exception):
@@ -581,36 +586,78 @@ def _exec_assign(op, state):
     state.cols[op.var] = GLOBAL_INTERNER.intern_numeric(values, is_int, state.n)
 
 
+def _materialize_heads(id_cols, terms, n):
+    """Head tuples for the batch, deduplicated in id space.
+
+    Result batches are frequently dominated by repeated head rows (a
+    join producing the same head binding through many body matches).
+    Since every column is already interned, duplicate rows can be
+    detected on the integer id matrix with one ``np.unique`` — each
+    distinct head is materialized into a tuple exactly once and
+    duplicate rows share that object.  Equal ids mean equal terms, so
+    the emitted values are unchanged; only the allocation count drops.
+    """
+    if not id_cols:
+        return itertools.repeat((), n)
+    arrays = [col for col in id_cols if not isinstance(col, int)]
+    if n >= _EMIT_DEDUP_MIN_ROWS and arrays:
+        matrix = np.column_stack(arrays)
+        uniq, inverse = np.unique(matrix, axis=0, return_inverse=True)
+        if len(uniq) < n:
+            VECTOR_STATS["emit_dedup_rows"] += n - len(uniq)
+            uniq_lists = uniq.T.tolist()
+            u = len(uniq)
+            cols = []
+            vi = 0
+            for col in id_cols:
+                if isinstance(col, int):
+                    cols.append([terms[col]] * u)
+                else:
+                    cols.append([terms[tid] for tid in uniq_lists[vi]])
+                    vi += 1
+            uniq_heads = list(zip(*cols))
+            return [uniq_heads[i] for i in inverse.tolist()]
+    cols = []
+    for col in id_cols:
+        if isinstance(col, int):
+            cols.append([terms[col]] * n)
+        else:
+            cols.append([terms[tid] for tid in col.tolist()])
+    return list(zip(*cols))
+
+
 def _emit(plan, prog, state, registry):
     """Materialize (head tuple, Derivation) pairs from the final batch.
 
     Column-at-a-time: head term columns and per-join body-fact-key
-    columns are built as flat lists, then zipped row-wise at C speed.
-    Body fact keys come from the sources' per-row caches, so duplicate
-    provenance references share one key object instead of allocating
-    (and later re-hashing) a fresh ``(pred, args)`` tuple per firing.
+    columns are built as flat lists, then zipped row-wise at C speed;
+    duplicate head rows are collapsed in id space first (see
+    :func:`_materialize_heads`).  Body fact keys come from the sources'
+    per-row caches, so duplicate provenance references share one key
+    object instead of allocating (and later re-hashing) a fresh
+    ``(pred, args)`` tuple per firing.
     """
     interner = GLOBAL_INTERNER
     n = state.n
     terms = interner.terms
-    term_cols: List[list] = []
+    id_cols: List[object] = []  # per head position: int id or id array
     for spec in prog.head:
         kind = spec[0]
         if kind == "var":
             ids = state.cols[spec[1]]
             if (interner.flags_of(ids) & F_FN).any():
                 ids = interner.normalize_ids(ids, registry)
-            term_cols.append([terms[tid] for tid in ids.tolist()])
+            id_cols.append(ids)
         elif kind == "const":
-            term_cols.append([terms[spec[1]]] * n)
+            id_cols.append(int(spec[1]))
         elif kind == "gconst":
-            tid = interner.intern(value_to_term(eval_term(spec[1], registry)))
-            term_cols.append([terms[tid]] * n)
+            id_cols.append(
+                int(interner.intern(value_to_term(eval_term(spec[1], registry))))
+            )
         else:  # expr
             values, is_int = _eval_expr(spec[1], state)
-            ids = interner.intern_numeric(values, is_int, n)
-            term_cols.append([terms[tid] for tid in ids.tolist()])
-    heads = zip(*term_cols) if term_cols else itertools.repeat((), n)
+            id_cols.append(interner.intern_numeric(values, is_int, n))
+    heads = _materialize_heads(id_cols, terms, n)
     body_cols: List[list] = []
     for pred, src, rows in state.prov:
         keys = src.fact_keys(pred)

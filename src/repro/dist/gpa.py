@@ -17,7 +17,17 @@ The complete Section III/IV machinery:
   set makes it a deletion (Section IV-B);
 * **timestamp discipline** — an update with timestamp tau joins only
   tuples generated in ``(tau - tau_w, tau]`` and not deleted before
-  ``tau`` (Theorem 3), which serializes simultaneous updates.
+  ``tau`` (Theorem 3), which serializes simultaneous updates;
+* **pipelined mode** — when :func:`~repro.core.stratify.classify_coordination`
+  proves the program coordination-free (CALM / win-move analysis),
+  ``mode="pipelined"`` drops Theorem 3's tau_s + tau_c launch delay for
+  the monotone rules: join tokens launch in the same causal chain as the
+  triggering store, incomplete partial results *park* at join-region
+  nodes and are extended by late-arriving replicas (spawning
+  continuation tokens), and deletions launch *retro* tokens that
+  subtract every derivation using the deleted tuple.  The timestamp
+  discipline is data-dependent, not arrival-dependent, so the final
+  rows and derivation sets match barrier mode exactly.
 """
 
 from __future__ import annotations
@@ -36,6 +46,11 @@ from ..core.builtins import (
 from ..core.errors import EvaluationError, NetworkError, PlanError
 from ..core.eval import _freeze_value, ground_head
 from ..core.parser import parse_program
+from ..core.stratify import (
+    NeedsBarriers,
+    classify_coordination,
+    dependency_graph,
+)
 from ..core.terms import Substitution, Term, Variable, term_size, to_term
 from ..core.unify import match_sequences
 from ..net.messages import Message
@@ -48,6 +63,14 @@ from ..streams.tuples import ArgsTuple, StreamTuple, TupleID
 from ..streams.windows import SlidingWindow, WindowParams
 from .plans import DistributedPlan, RulePlan
 from .regions import RegionStrategy, make_strategy
+
+#: A sliding window narrower than this is treated as semantically
+#: finite: when the program re-consumes its own derived streams, the
+#: engine then keeps barrier mode (derived tuples are stamped at first
+#: derivation, which pipelining moves earlier — a finite window could
+#: cut differently across modes).  The default window (1e9) is far
+#: above it, i.e. effectively infinite.
+_PIPELINE_WINDOW_FLOOR = 1e6
 
 # ---------------------------------------------------------------------------
 # Wire structures
@@ -189,10 +212,17 @@ class JoinToken(Message):
         first_pass_nodes: Optional[int] = None,
         pass_indexes: Optional[List[int]] = None,
         region: Optional[List[int]] = None,
+        retro: bool = False,
     ):
         super().__init__("gpa_join", payload_symbols=1, category="join")
         self.rule_id = rule_id
         self.op = op                  # 'ins' | 'del' (the triggering update)
+        # Pipelined deletions: a retro token matches *every* resident
+        # replica (live, deleted, any timestamp) — it subtracts each
+        # derivation using the deleted trigger, all of which are
+        # semantically dead, so over-matching is sound and covers adds
+        # that raced ahead of the deletion mark.
+        self.retro = retro
         self.update_ts = update_ts
         self.trigger = trigger
         self.trigger_negated = trigger_negated
@@ -263,6 +293,7 @@ class MigrateMsg(Message):
         derivations: List["WireDerivation"],
         tuple_id: Optional[TupleID],
         visible: bool,
+        subs: Optional[Set[tuple]] = None,
     ):
         size = (
             1
@@ -277,6 +308,9 @@ class MigrateMsg(Message):
         self.derivations = derivations
         self.tuple_id = tuple_id
         self.visible = visible
+        # Pipelined mode: subtraction tombstones travel with the fact so
+        # an annihilated derivation cannot resurface at the new home.
+        self.subs = subs or set()
 
 
 # ---------------------------------------------------------------------------
@@ -285,14 +319,54 @@ class MigrateMsg(Message):
 
 
 class DerivedFact:
-    """State of one derived fact at its hash node."""
+    """State of one derived fact at its hash node.
 
-    __slots__ = ("derivations", "tuple_id", "visible")
+    ``subs_seen`` (pipelined mode only) makes result accounting
+    commutative for streamed monotone rules: a subtraction arriving
+    before its addition leaves a tombstone that annihilates the add
+    whenever it lands.  A monotone derivation is never legitimately
+    re-added after subtraction, so tombstones are permanent and
+    order-independence is exact.
+    """
+
+    __slots__ = ("derivations", "tuple_id", "visible", "subs_seen")
 
     def __init__(self):
         self.derivations: Dict[tuple, WireDerivation] = {}
         self.tuple_id: Optional[TupleID] = None
         self.visible = False
+        self.subs_seen: Optional[Set[tuple]] = None
+
+
+class ParkedPartial:
+    """Pipelined mode: an incomplete partial result left behind at a
+    join-region node, waiting for replicas that have not arrived yet.
+    A late store extends it and spawns a continuation token."""
+
+    __slots__ = (
+        "rule_id", "op", "update_ts", "trigger", "exclude_id", "retro",
+        "region", "partial",
+    )
+
+    def __init__(
+        self,
+        rule_id: int,
+        op: str,
+        update_ts: float,
+        trigger: FactRef,
+        exclude_id: Optional[TupleID],
+        retro: bool,
+        region: List[int],
+        partial: Partial,
+    ):
+        self.rule_id = rule_id
+        self.op = op
+        self.update_ts = update_ts
+        self.trigger = trigger
+        self.exclude_id = exclude_id
+        self.retro = retro
+        self.region = region
+        self.partial = partial
 
 
 class NodeRuntime:
@@ -304,6 +378,11 @@ class NodeRuntime:
         self.node = node
         self.windows: Dict[str, SlidingWindow] = {}
         self.derived: Dict[Tuple[str, ArgsTuple], DerivedFact] = {}
+        #: Pipelined mode: parked partials keyed by the predicate whose
+        #: arrival could extend them, plus a dedup set so re-traversals
+        #: (continuation tokens) never double-park the same partial.
+        self.parked: Dict[str, List[ParkedPartial]] = {}
+        self.parked_seen: Set[tuple] = set()
 
     def window(self, pred: str) -> SlidingWindow:
         win = self.windows.get(pred)
@@ -346,10 +425,13 @@ class GPAEngine:
         fault_tolerant: bool = False,
         tenant: Optional[str] = None,
         ght=None,
+        mode: str = "barrier",
         **strategy_kwargs,
     ):
         if scheme not in ("one-pass", "multi-pass"):
             raise PlanError(f"unknown join scheme {scheme!r}")
+        if mode not in ("barrier", "pipelined"):
+            raise PlanError(f"unknown evaluation mode {mode!r}")
         self.scheme = scheme
         #: Multi-tenant serving (E21): a tenant id namespaces this
         #: engine's handler kinds (several engines share one network
@@ -397,8 +479,78 @@ class GPAEngine:
         self.window_params = WindowParams(
             window=window, tau_s=tau_s, tau_c=network.tau_c, tau_j=tau_j
         )
+        #: Pipelined mode (CALM / win-move): the requested mode, the
+        #: coordination verdict, why the engine fell back to barriers
+        #: (None when it did not), and which rules stream eagerly.
+        #: ``mode`` holds the *effective* mode; with ``_streamed_rules``
+        #: empty every pipelined code path is dormant, so barrier runs
+        #: are byte-identical to the pre-pipelining engine.
+        self.requested_mode = mode
+        self.coordination = None
+        self.pipeline_fallback: Optional[str] = None
+        self.streamed_derivations = 0
+        self._streamed_rules: Set[int] = set()
+        if mode == "pipelined":
+            self.coordination = classify_coordination(self.plan.program)
+            fallback: Optional[str] = None
+            if isinstance(self.coordination, NeedsBarriers):
+                fallback = self.coordination.reason
+            elif self.scheme == "multi-pass":
+                # The multiple-pass scheme joins one stream per
+                # traversal in a fixed order; parking/continuations
+                # assume the one-pass any-order join.
+                fallback = "multi-pass-scheme"
+            elif window < _PIPELINE_WINDOW_FLOOR and any(
+                self.plan.consumed(p) for p in self.plan.idb
+            ):
+                # A finite window measures membership against the
+                # update's timestamp; derived tuples are stamped at
+                # first derivation, which pipelining moves earlier, so
+                # window edges could cut differently across modes when
+                # derived streams are re-consumed.
+                fallback = "finite-window"
+            if fallback is not None:
+                mode = "barrier"
+                self.pipeline_fallback = fallback
+            else:
+                self._streamed_rules = self._streamable_rules()
+            if _obs.enabled:
+                verdict = fallback or self.coordination.kind
+                _inst.coordfree_programs.labels(verdict=verdict).inc()
+        self.mode = mode
         self.runtimes: Dict[int, NodeRuntime] = {}
         self._installed = False
+
+    def _streamable_rules(self) -> Set[int]:
+        """Which rules may evaluate eagerly under a CoordFree verdict.
+
+        All monotone rules stream in a fully monotone program.  Under a
+        win-move verdict the negation rules keep Theorem 3's schedule —
+        their anti-join correctness argument bounds when a blocker's
+        replicas are placed relative to its *generation* time, and that
+        bound assumes the generation itself happened on the delayed
+        schedule.  So any rule whose head (transitively) feeds a
+        negation rule's body must not stream either: streaming it would
+        move downstream generation timestamps earlier and reorder the
+        negation rule's add/sub arrivals.  The monotone fragment outside
+        that cone streams.
+        """
+        import networkx as nx
+
+        graph = dependency_graph(self.plan.program)
+        neg_inputs: Set[str] = set()
+        for rp in self.plan.rule_plans:
+            if rp.has_negation:
+                neg_inputs.update(lit.predicate for lit in rp.positive)
+                neg_inputs.update(lit.predicate for lit in rp.negative)
+        blocked: Set[str] = set(neg_inputs)
+        for pred in neg_inputs:
+            if pred in graph:
+                blocked.update(nx.ancestors(graph, pred))
+        return {
+            rp.rule_id for rp in self.plan.rule_plans
+            if not rp.has_negation and rp.head.predicate not in blocked
+        }
 
     # -- installation -----------------------------------------------------
 
@@ -509,7 +661,7 @@ class GPAEngine:
         born = getattr(msg, "_obs_born", None)
         if born is not None:
             _inst.phase_latency.labels(
-                phase=phase, strategy=self.strategy_name
+                phase=phase, strategy=self.strategy_name, mode=self.mode
             ).observe(max(0.0, self.network.sim.now - born))
 
     # -- publishing base facts ---------------------------------------------
@@ -648,14 +800,19 @@ class GPAEngine:
     ) -> None:
         runtime = self.runtimes[node_id]
         window = runtime.window(tup.predicate)
+        node = self.network.node(node_id)
         if op == "ins":
-            window.store(tup)
+            fresh = window.store(tup)
+            if fresh and self._streamed_rules:
+                # Pipelined: the origin is a join-region member too —
+                # a token parked here earlier may be waiting for this
+                # very tuple.
+                self._pipeline_catchup(node, runtime, tup)
         else:
             window.mark_deleted(tup.tuple_id, del_ts)
-        window.expire(self.network.node(node_id).clock.now())
+        window.expire(node.clock.now())
 
         # Storage phase: replicate / deletion-mark along the region.
-        node = self.network.node(node_id)
         for path in self.strategy.storage_paths(node_id):
             path = list(path)
             first = self._pop_storage_hop(path)
@@ -666,17 +823,46 @@ class GPAEngine:
                 msg._obs_born = self.network.sim.now
             self._send_store(node, msg, first)
 
-        # Join phase: after tau_s + tau_c (Theorem 3's delay).
+        # Join phase: after tau_s + tau_c (Theorem 3's delay) — except
+        # that in pipelined mode the streamed (monotone) rules launch in
+        # the same causal chain as the store.  Negation rules keep the
+        # delay even under a win-move verdict: their stratum's deletions
+        # and blocker stores must be placed before they anti-join.
         if not self.plan.consumed(tup.predicate):
             return
         delay = self.window_params.join_delay
         update_ts = tup.generation_ts if op == "ins" else del_ts
+        if self._streamed_rules:
+            pos = self.plan.positive_triggers.get(tup.predicate, ())
+            neg = self.plan.negative_triggers.get(tup.predicate, ())
+            if any(rp.rule_id in self._streamed_rules for rp, _ in pos):
+                self.network.sim.schedule(
+                    0.0,
+                    lambda: self._launch_join_phases(
+                        node_id, tup, op, update_ts, subset="streamed"
+                    ),
+                )
+            if neg or any(
+                rp.rule_id not in self._streamed_rules for rp, _ in pos
+            ):
+                self.network.sim.schedule(
+                    delay,
+                    lambda: self._launch_join_phases(
+                        node_id, tup, op, update_ts, subset="barrier"
+                    ),
+                )
+            return
         self.network.sim.schedule(
             delay, lambda: self._launch_join_phases(node_id, tup, op, update_ts)
         )
 
     def _launch_join_phases(
-        self, node_id: int, tup: StreamTuple, op: str, update_ts: float
+        self,
+        node_id: int,
+        tup: StreamTuple,
+        op: str,
+        update_ts: float,
+        subset: Optional[str] = None,
     ) -> None:
         if self.fault_tolerant and not self.network.radio.is_alive(node_id):
             # The origin died while the join delay elapsed — but its
@@ -697,7 +883,14 @@ class GPAEngine:
             node_id = alt
         trigger = FactRef(tup.predicate, tup.args, tup.tuple_id)
         for rp, occ in self.plan.positive_triggers.get(tup.predicate, ()):
+            streamed = rp.rule_id in self._streamed_rules
+            if subset == "streamed" and not streamed:
+                continue
+            if subset == "barrier" and streamed:
+                continue
             self._launch_token(node_id, rp, occ, trigger, False, op, update_ts)
+        if subset == "streamed":
+            return  # negation rules are never streamed
         for rp, occ in self.plan.negative_triggers.get(tup.predicate, ()):
             self._launch_token(node_id, rp, occ, trigger, True, op, update_ts)
 
@@ -764,6 +957,16 @@ class GPAEngine:
             pass_indexes = [
                 i for i in range(rp.n_positive) if i != occurrence
             ]
+        # Pipelined deletions on streamed rules go out as retro tokens:
+        # they subtract every derivation using the deleted trigger
+        # (all semantically dead), including adds that raced ahead of
+        # the deletion mark — parked retro partials keep subtracting as
+        # late partners arrive.
+        retro = (
+            not negated
+            and op == "del"
+            and rp.rule_id in self._streamed_rules
+        )
         token = self._tag(JoinToken(
             rule_id=rp.rule_id,
             op=op,
@@ -777,6 +980,7 @@ class GPAEngine:
             first_pass_nodes=first_pass,
             pass_indexes=pass_indexes,
             region=region,
+            retro=retro,
         ))
         token.refresh_size()
         if _obs.enabled:
@@ -802,7 +1006,8 @@ class GPAEngine:
                 msg.tup.predicate, msg.tup.args, msg.tup.tuple_id,
                 msg.tup.deletion_ts,
             )
-            window.store(replica)
+            if window.store(replica) and self._streamed_rules:
+                self._pipeline_catchup(node, runtime, replica)
         else:
             window.mark_deleted(msg.tup.tuple_id, msg.del_ts)
         window.expire(node.clock.now())
@@ -846,6 +1051,10 @@ class GPAEngine:
                 runtime, rp, token, node,
                 {token.pass_indexes[token.current_pass]},
             )
+        # Pipelined: whatever is still incomplete stays parked here so
+        # replicas that arrive after the token has passed can extend it.
+        if token.rule_id in self._streamed_rules and token.partials:
+            self._park_partials(runtime, rp, token)
         # End of the join region (path exhausted): emit surviving
         # candidates, discard the remaining partial results (Section
         # III-A).  Both that and the forward-to-next-member move live in
@@ -856,10 +1065,115 @@ class GPAEngine:
         win = runtime.windows.get(pred)
         if win is None:
             return []
-        out = win.live_at(token.update_ts)
+        if getattr(token, "retro", False):
+            out = list(win)  # every resident replica, live or deleted
+        else:
+            out = win.live_at(token.update_ts)
         if token.exclude_id is not None and pred == token.trigger.pred:
             out = [t for t in out if t.tuple_id != token.exclude_id]
         return out
+
+    # -- pipelined mode: parked partials and continuations -------------------
+
+    def _park_partials(self, runtime: NodeRuntime, rp: RulePlan, token: JoinToken) -> None:
+        """Leave a streamed token's incomplete partials behind at this
+        join-region node.  A replica arriving later extends them (the
+        storage and join phases of one causal chain may interleave
+        arbitrarily without the barrier delay).  ``parked_seen`` keys on
+        the full token context so continuation re-traversals do not
+        double-park."""
+        retro = getattr(token, "retro", False)
+        trigger = token.trigger
+        tkey = (trigger.pred, trigger.args, repr(trigger.tuple_id))
+        for partial in token.partials:
+            key = (
+                token.rule_id, token.op, token.update_ts, tkey,
+                repr(token.exclude_id), retro, partial.dedup_key(),
+            )
+            if key in runtime.parked_seen:
+                continue
+            runtime.parked_seen.add(key)
+            entry = ParkedPartial(
+                token.rule_id, token.op, token.update_ts, trigger,
+                token.exclude_id, retro, list(token.region), partial,
+            )
+            wanted = {
+                lit.predicate for idx, lit in enumerate(rp.positive)
+                if idx not in partial.covered
+            }
+            for pred in wanted:
+                runtime.parked.setdefault(pred, []).append(entry)
+
+    def _pipeline_catchup(self, node: Node, runtime: NodeRuntime, tup: StreamTuple) -> None:
+        """A replica just landed: extend every parked partial waiting on
+        its predicate.  Extensions re-enter the join machinery as
+        continuation tokens, so completions emit and still-incomplete
+        combinations traverse (and re-park along) the region."""
+        entries = runtime.parked.get(tup.predicate)
+        if not entries:
+            return
+        for entry in list(entries):
+            self._extend_parked(node, runtime, entry, tup)
+
+    def _extend_parked(
+        self, node: Node, runtime: NodeRuntime, entry: ParkedPartial, tup: StreamTuple
+    ) -> None:
+        rp = self.plan.by_id[entry.rule_id]
+        # The late arrival obeys the same Theorem 3 visibility rule a
+        # token visit would have applied — generation and deletion
+        # timestamps are data, not arrival times, so checking them now
+        # gives the same answer the barrier schedule would have.
+        if not entry.retro and not tup.is_live_at(
+            entry.update_ts, self.window_params.window
+        ):
+            return
+        if (
+            entry.exclude_id is not None
+            and tup.predicate == entry.trigger.pred
+            and tup.tuple_id == entry.exclude_id
+        ):
+            return
+        if entry.op == "del" and tup.tuple_id == entry.trigger.tuple_id:
+            return  # a deleted trigger joins only as the trigger
+        extended: List[Partial] = []
+        for idx, lit in enumerate(rp.positive):
+            if idx in entry.partial.covered or lit.predicate != tup.predicate:
+                continue
+            pattern = tuple(
+                normalize_partial(a.substitute(entry.partial.subst), self.registry)
+                for a in lit.atom.args
+            )
+            bindings = match_sequences(pattern, tup.args, Substitution())
+            if bindings is None:
+                continue
+            subst = Substitution(entry.partial.subst)
+            subst.update(bindings)
+            extended.append(Partial(
+                subst,
+                entry.partial.used
+                + (FactRef(tup.predicate, tup.args, tup.tuple_id),),
+                entry.partial.covered | {idx},
+            ))
+        if not extended:
+            return
+        done = all(len(p.covered) == rp.n_positive for p in extended)
+        token = self._tag(JoinToken(
+            rule_id=entry.rule_id,
+            op=entry.op,
+            update_ts=entry.update_ts,
+            trigger=entry.trigger,
+            trigger_negated=False,
+            partials=extended,
+            candidates=[],
+            path=[] if done else [n for n in entry.region if n != node.id],
+            exclude_id=entry.exclude_id,
+            region=list(entry.region),
+            retro=entry.retro,
+        ))
+        token.refresh_size()
+        if _obs.enabled:
+            token._obs_born = self.network.sim.now
+        node.local_deliver(token)
 
     def _extend_partials(
         self,
@@ -983,6 +1297,10 @@ class GPAEngine:
                     continue
                 token.candidates.append(cand)
             else:
+                if token.rule_id in self._streamed_rules:
+                    self.streamed_derivations += 1
+                    if _obs.enabled:
+                        _inst.pipeline_streamed.inc()
                 self._emit(node, rp, head_args, derivation, result_op, token.update_ts)
 
     def _result_op(self, token: JoinToken) -> str:
@@ -1086,7 +1404,18 @@ class GPAEngine:
                     self.network.radio,
                 )
                 publisher = primary == node.id
+        # Streamed (monotone) rules use commutative accounting: without
+        # the barrier delay a subtraction can land before the addition
+        # it cancels, so subs leave permanent tombstones instead of
+        # being dropped when absent.  Monotonicity guarantees a
+        # subtracted derivation is never legitimately re-added, so the
+        # final state is order-independent.  Barrier-mode rules (and the
+        # negation rules of a win-move program) keep the legacy
+        # accounting their delay schedule already serializes.
+        commutative = msg.derivation.rule_id in self._streamed_rules
         if msg.op == "add":
+            if commutative and fact.subs_seen and ident in fact.subs_seen:
+                return  # annihilated by an earlier-arriving subtraction
             if ident in fact.derivations:
                 return  # duplicate result (replication/multi-path): ignored
             fact.derivations[ident] = msg.derivation
@@ -1105,7 +1434,15 @@ class GPAEngine:
                         ).observe(latency)
                 self._publish_derived(node, msg.pred, msg.args, fact, op="ins")
         else:
-            if ident not in fact.derivations:
+            if commutative:
+                if fact.subs_seen is None:
+                    fact.subs_seen = set()
+                if ident in fact.subs_seen:
+                    return  # duplicate subtraction (retro over-coverage)
+                fact.subs_seen.add(ident)
+                if ident not in fact.derivations:
+                    return  # tombstone parked: the add will be annihilated
+            elif ident not in fact.derivations:
                 return  # subtracting an absent derivation: no-op
             del fact.derivations[ident]
             if not fact.derivations and fact.visible:
@@ -1126,6 +1463,12 @@ class GPAEngine:
             runtime.derived[key] = fact
         for derivation in msg.derivations:
             fact.derivations.setdefault(derivation.identity(), derivation)
+        if msg.subs:
+            if fact.subs_seen is None:
+                fact.subs_seen = set()
+            fact.subs_seen.update(msg.subs)
+            for ident in msg.subs:
+                fact.derivations.pop(ident, None)
         if fact.tuple_id is None:
             fact.tuple_id = msg.tuple_id
         fact.visible = fact.visible or msg.visible
@@ -1151,6 +1494,7 @@ class GPAEngine:
             msg = self._tag(MigrateMsg(
                 pred, args, list(fact.derivations.values()),
                 fact.tuple_id, fact.visible,
+                subs=set(fact.subs_seen) if fact.subs_seen else None,
             ))
             if new_home == old_home:
                 node.local_deliver(msg)
@@ -1338,6 +1682,37 @@ class GPAEngine:
 
     def derived_count(self, pred: str) -> int:
         return len(self.rows(pred))
+
+    def derivation_store(self) -> Dict[tuple, tuple]:
+        """The final derivation store in a mode-independent normal form,
+        for differential (barrier vs. pipelined) comparison.
+
+        Every visible derived fact maps to its sorted derivation
+        identities.  References to *base* facts keep their full tuple
+        id; references to *derived* facts are normalized to
+        ``(pred, args)`` — a derived tuple's id is a fresh stamp minted
+        at its first derivation, whose wall-clock necessarily differs
+        between evaluation modes while the logical tuple is the same.
+        """
+        idb = self.plan.idb
+
+        def ref_key(f: FactRef):
+            if f.pred in idb:
+                return (f.pred, repr(f.args), "derived")
+            return (f.pred, repr(f.args), repr(f.tuple_id))
+
+        out: Dict[tuple, Set[tuple]] = {}
+        for runtime in self.runtimes.values():
+            for (pred, args), fact in runtime.derived.items():
+                if not fact.visible or not fact.derivations:
+                    continue
+                idents = out.setdefault((pred, repr(args)), set())
+                for d in fact.derivations.values():
+                    idents.add((
+                        d.rule_id,
+                        tuple(sorted(ref_key(f) for f in d.facts)),
+                    ))
+        return {key: tuple(sorted(vals)) for key, vals in out.items()}
 
     def latency_report(self, pred: Optional[str] = None) -> Dict[str, float]:
         """Mean / max result latency (update timestamp → first

@@ -782,6 +782,18 @@ def run(
         topology = build_topology(spec)
     if shards is None:
         return _run_single(spec, topology)
+    if not inline and "fork" not in multiprocessing.get_all_start_methods():
+        # Caught up front, before any partitioning or worker setup: the
+        # process-mode workers inherit the topology via fork
+        # copy-on-write, so platforms without fork (e.g. Windows,
+        # macOS spawn-only configurations) cannot run them at all.
+        raise ShardError(
+            "fork start method required: process-mode sharding "
+            "replicates the topology to workers via fork copy-on-write "
+            "and this platform offers only "
+            f"{multiprocessing.get_all_start_methods()!r}; "
+            "use inline=True instead"
+        )
     _validate_sharded(spec, shards)
     assignment, groups = partition_topology(topology, shards)
     lookahead = float(spec.net.get("delay_base", 0.01))
@@ -793,11 +805,6 @@ def run(
                 for index, group in enumerate(groups)
             ]
         else:
-            if "fork" not in multiprocessing.get_all_start_methods():
-                raise ShardError(
-                    "process-mode sharding needs the fork start method; "
-                    "use inline=True on this platform"
-                )
             ctx = multiprocessing.get_context("fork")
             handles = [
                 _ProcessHandle(ctx, spec, topology, set(group), index)

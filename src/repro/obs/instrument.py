@@ -233,9 +233,21 @@ gpa_messages = REGISTRY.counter(
 )
 phase_latency = REGISTRY.histogram(
     "repro_phase_latency_seconds",
-    "Simulated time from a phase's launch to its completion, by phase "
-    "and join strategy",
-    labelnames=("phase", "strategy"),
+    "Simulated time from a phase's launch to its completion, by phase, "
+    "join strategy, and evaluation mode ('barrier' | 'pipelined')",
+    labelnames=("phase", "strategy", "mode"),
+)
+coordfree_programs = REGISTRY.counter(
+    "repro_coordfree_programs_total",
+    "Coordination-freeness verdicts handed out when pipelined "
+    "evaluation is requested, by verdict ('monotone' | 'win-move' | a "
+    "NeedsBarriers reason code | an engine fallback code)",
+    labelnames=("verdict",),
+)
+pipeline_streamed = REGISTRY.counter(
+    "repro_pipeline_streamed_derivations_total",
+    "Derivations emitted by eagerly streamed (barrier-free) join "
+    "tokens in pipelined mode",
 )
 result_latency = REGISTRY.histogram(
     "repro_result_latency_seconds",

@@ -84,12 +84,21 @@ class QueryServer:
         plan_cache: Optional[PlanCache] = None,
         strategy: str = "pa",
         placer_kwargs: Optional[dict] = None,
+        mode: str = "barrier",
     ):
         self.network = network
         self.max_tenants = max_tenants
         self.coarse_regions = coarse_regions
         self.sink = sink
         self.strategy = strategy
+        #: Default evaluation mode for admitted tenants.  With
+        #: ``mode="pipelined"`` every tenant's program goes through the
+        #: coordination-freeness classifier at admission; qualifying
+        #: tenants stream derivations without phase barriers, the rest
+        #: fall back to barrier mode per their verdict (visible in
+        #: :meth:`report`).  A per-tenant ``mode=`` in ``admit(...)``
+        #: overrides the server default.
+        self.mode = mode
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.scheduler = EpochScheduler(epoch=epoch, batch=batch)
         self.placer = (
@@ -137,6 +146,7 @@ class QueryServer:
                 self._reject(tenant, "duplicate")
             if len(self.sessions) >= self.max_tenants:
                 self._reject(tenant, "capacity")
+            engine_kwargs.setdefault("mode", self.mode)
             engine = GPAEngine(
                 program,
                 self.network,
@@ -233,12 +243,18 @@ class QueryServer:
         placement activity."""
         tenants = {}
         for session in self.sessions.values():
+            engine = session.engine
             tenants[session.tenant] = {
                 "state": session.state,
                 "published": session.published,
                 "dropped": session.dropped,
                 "messages": self.meter.tx.get(session.tenant, 0),
                 "results": sum(len(r) for r in session.results.values()),
+                "mode": engine.mode,
+                "coordination": (
+                    None if engine.coordination is None
+                    else engine.pipeline_fallback or engine.coordination.kind
+                ),
             }
         out: Dict[str, object] = {
             "epochs": self.epochs_run,

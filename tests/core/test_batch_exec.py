@@ -173,6 +173,18 @@ class TestVectorStats:
         assert VECTOR_STATS["batch_calls"] == before["batch_calls"]
         assert VECTOR_STATS["fallback_steps"] == before["fallback_steps"]
 
+    def test_emit_dedups_duplicate_head_rows_in_id_space(self):
+        # A dense random graph derives the same tc(X, Z) head through
+        # many intermediate Y bindings; those duplicate rows must be
+        # collapsed before tuple materialization without changing the
+        # derived rows or their provenance.
+        facts = random_graph(10, 60, seed=7)
+        before = VECTOR_STATS["emit_dedup_rows"]
+        expected = fixpoint(TC, facts, "seed")
+        got = fixpoint(TC, facts, "columnar")
+        assert got == expected
+        assert VECTOR_STATS["emit_dedup_rows"] > before
+
 
 class TestCachedFactKey:
     def test_plain_tuple_interop(self):

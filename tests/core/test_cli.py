@@ -64,7 +64,19 @@ class TestCommands:
 
     def test_classify(self, shell):
         feed(shell, "p(X) :- q(X).")
-        assert shell.handle(":classify") == "nonrecursive"
+        out = shell.handle(":classify")
+        assert out.startswith("nonrecursive")
+        assert "coordination: coordination-free (monotone)" in out
+
+    def test_classify_reports_barrier_verdict(self, shell):
+        feed(shell, "total(count(_)) :- obs(X).")
+        out = shell.handle(":classify")
+        assert "needs barriers (aggregation)" in out
+
+    def test_classify_reports_win_move(self, shell):
+        feed(shell, "reach(Y) :- move(X, Y).",
+             "lose(X) :- move(X, Y), not reach(X).")
+        assert "coordination-free (win-move)" in shell.handle(":classify")
 
     def test_reset(self, shell):
         feed(shell, "q(1).", "p(X) :- q(X).")

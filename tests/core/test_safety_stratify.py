@@ -6,8 +6,12 @@ from repro.core.errors import SafetyError, StratificationError
 from repro.core.parser import parse_program, parse_rule
 from repro.core.safety import check_program_safety, check_rule_safety, safe_variables
 from repro.core.stratify import (
+    NONMONOTONE_BUILTINS,
+    CoordFree,
+    NeedsBarriers,
     ProgramClass,
     classify,
+    classify_coordination,
     dependency_graph,
     find_xy_stratification,
     is_recursive,
@@ -187,3 +191,80 @@ class TestXYDetection:
         xy = find_xy_stratification(program)
         assert xy is not None
         assert xy.stage_position == {"j": 1, "jp": 1}
+
+
+class TestClassifyCoordination:
+    """The coordination-freeness classifier behind pipelined mode."""
+
+    def test_monotone_program_is_coordination_free(self):
+        verdict = classify_coordination(parse_program(
+            "tc(X, Y) :- e(X, Y). tc(X, Z) :- e(X, Y), tc(Y, Z)."
+        ))
+        assert isinstance(verdict, CoordFree)
+        assert verdict.coordination_free is True
+        assert verdict.kind == "monotone"
+
+    def test_guarded_negation_is_win_move(self):
+        verdict = classify_coordination(parse_program(
+            """
+            reach(Y) :- move(X, Y).
+            lose(X) :- move(X, Y), not reach(X).
+            """
+        ))
+        assert isinstance(verdict, CoordFree)
+        assert verdict.kind == "win-move"
+
+    def test_aggregation_reason(self):
+        verdict = classify_coordination(parse_program(
+            "shortest(Y, min(D)) :- path(Y, D)."
+        ))
+        assert isinstance(verdict, NeedsBarriers)
+        assert verdict.coordination_free is False
+        assert verdict.reason == "aggregation"
+        assert "'shortest'" in verdict.detail
+
+    def test_negation_through_recursion_reason(self):
+        verdict = classify_coordination(parse_program(
+            "p(X) :- q(X), not p(X)."
+        ))
+        assert isinstance(verdict, NeedsBarriers)
+        assert verdict.reason == "negation-through-recursion"
+
+    def test_unguarded_negation_reason(self):
+        # Y appears only under the negation: its extent cannot be
+        # decided eagerly.  (The safety checker rejects this shape at
+        # plan time; the classifier must still name it for callers that
+        # classify before planning.)
+        verdict = classify_coordination(parse_program(
+            "lonely(X) :- node(X), not linked(X, Y)."
+        ))
+        assert isinstance(verdict, NeedsBarriers)
+        assert verdict.reason == "unguarded-negation"
+        assert "'lonely'" in verdict.detail
+        assert "not bound" in verdict.detail
+
+    def test_nonmonotone_builtin_reason(self, monkeypatch):
+        # The hook set ships empty; registering a built-in as
+        # non-monotone must flip the verdict for programs calling it.
+        program = parse_program("p(X) :- q(X), X > 3.")
+        assert isinstance(classify_coordination(program), CoordFree)
+        import sys
+        stratify_mod = sys.modules["repro.core.stratify"]
+        monkeypatch.setattr(stratify_mod, "NONMONOTONE_BUILTINS", {">"})
+        verdict = classify_coordination(program)
+        assert isinstance(verdict, NeedsBarriers)
+        assert verdict.reason == "nonmonotone-builtin"
+        assert "'>'" in verdict.detail
+
+    def test_every_reason_code_is_reachable_and_valid(self):
+        assert set(NeedsBarriers.REASONS) == {
+            "aggregation", "negation-through-recursion",
+            "unguarded-negation", "nonmonotone-builtin",
+        }
+
+    def test_unknown_reason_rejected(self):
+        with pytest.raises(ValueError, match="unknown NeedsBarriers"):
+            NeedsBarriers("network-down", "nope")
+
+    def test_nonmonotone_builtins_hook_default_empty(self):
+        assert NONMONOTONE_BUILTINS == set()

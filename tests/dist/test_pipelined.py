@@ -1,0 +1,349 @@
+"""Pipelined (barrier-free) GPA evaluation — the E24 exactness contract.
+
+The one property everything here leans on: for programs the
+coordination-freeness classifier clears, ``mode="pipelined"`` must be
+*oracle-exact* — same final rows AND same derivation store as barrier
+mode on the same workload, because Theorem 3's timestamp discipline is
+data-dependent, not arrival-time-dependent.  The differential battery
+covers the E1 (grid join), E7/E18 (loss + reliable transport), E15
+(latency) and E20 (fault injector) workload families, deletions
+included, plus a Hypothesis sweep over random programs asserting
+classifier *soundness*: every CoordFree verdict really does yield
+identical fixpoints across modes.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core.errors import PlanError
+from repro.core.parser import parse_program
+from repro.core.stratify import CoordFree, NeedsBarriers, classify_coordination
+from repro.dist.gpa import GPAEngine
+from repro.net.faults import FaultInjector, FaultSchedule
+from repro.net.network import GridNetwork
+
+JOIN2 = "j(K, A, B) :- r(K, A), s(K, B)."
+JOIN3 = "j(K, A, B, C) :- r(K, A), s(K, B), t(K, C)."
+TC = "tc(X, Y) :- e(X, Y). tc(X, Z) :- e(X, Y), tc(Y, Z)."
+SELFJOIN = "tri(X, Z) :- e(X, Y), e(Y, Z)."
+BUILTIN = "big(K, A, B) :- r(K, A), s(K, B), K > 0."
+#: Guarded (win-move-shaped) negation plus an *independent* monotone
+#: rule: `pair` may stream eagerly, while `reach`/`lose` sit inside the
+#: negation cone and must keep their stratum's delay.
+WINMOVE_MIXED = """
+    reach(Y) :- move(X, Y).
+    lose(X) :- move(X, Y), not reach(X).
+    pair(A, B) :- p(A, K), q(B, K).
+"""
+
+
+def stream_pubs(rng, preds, count, key_domain=3):
+    return [
+        (pred, (rng.randrange(key_domain), f"{pred}{i}"))
+        for i in range(count) for pred in preds
+    ]
+
+
+def edge_pubs(rng, count, domain=6, pred="e"):
+    return [
+        (pred, (rng.randrange(domain), rng.randrange(domain)))
+        for _ in range(count)
+    ]
+
+
+def winmove_pubs(rng):
+    pubs = edge_pubs(rng, 8, domain=5, pred="move")
+    for i in range(6):
+        pubs.append(("p", (f"p{i}", rng.randrange(3))))
+        pubs.append(("q", (f"q{i}", rng.randrange(3))))
+    return pubs
+
+
+WORKLOADS = {
+    "join2": (JOIN2, ("j",), lambda rng: stream_pubs(rng, ("r", "s"), 10)),
+    "join3": (JOIN3, ("j",), lambda rng: stream_pubs(rng, ("r", "s", "t"), 6)),
+    "tc": (TC, ("tc",), lambda rng: edge_pubs(rng, 14)),
+    "selfjoin": (SELFJOIN, ("tri",), lambda rng: edge_pubs(rng, 12)),
+    "builtin": (BUILTIN, ("big",), lambda rng: stream_pubs(rng, ("r", "s"), 8)),
+    "winmove-mixed": (WINMOVE_MIXED, ("reach", "lose", "pair"), winmove_pubs),
+}
+
+
+def run_mode(program_text, pubs, mode, m=6, strategy="pa", dels=0,
+             engine_kwargs=None, **net_kwargs):
+    """One full workload run: publish everything, drain, optionally
+    retract ``dels`` random published tuples, drain again."""
+    net = GridNetwork(m, seed=3, **net_kwargs)
+    engine = GPAEngine(
+        parse_program(program_text), net, strategy=strategy, mode=mode,
+        **(engine_kwargs or {}),
+    ).install()
+    rng = random.Random(7)
+    nodes = sorted(net.nodes)
+    published = []
+    for pred, args in pubs:
+        nid = rng.choice(nodes)
+        tid = engine.publish(nid, pred, args)
+        published.append((nid, pred, args, tid))
+    net.run_all()
+    if dels:
+        for nid, pred, args, tid in random.Random(8).sample(published, dels):
+            engine.retract(nid, pred, args, tid)
+        net.run_all()
+    return engine
+
+
+def assert_exact(program_text, pubs, heads, expect_streaming=True, **kw):
+    """The differential: barrier and pipelined runs of the same
+    workload agree on every head's rows and on the derivation store."""
+    barrier = run_mode(program_text, pubs, "barrier", **kw)
+    pipelined = run_mode(program_text, pubs, "pipelined", **kw)
+    assert pipelined.mode == "pipelined", (
+        f"unexpected fallback: {pipelined.pipeline_fallback}"
+    )
+    for head in heads:
+        assert pipelined.rows(head) == barrier.rows(head), head
+    assert pipelined.derivation_store() == barrier.derivation_store()
+    if expect_streaming:
+        assert pipelined.streamed_derivations > 0
+        assert barrier.streamed_derivations == 0
+    return barrier, pipelined
+
+
+class TestDifferentialExactness:
+    """E1-family grid joins and recursion, both strategies."""
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    @pytest.mark.parametrize("strategy", ["pa", "centralized"])
+    def test_same_rows_and_store(self, name, strategy):
+        program, heads, gen = WORKLOADS[name]
+        pubs = gen(random.Random(17))
+        assert_exact(program, pubs, heads, strategy=strategy)
+
+    @pytest.mark.parametrize("name", ["join2", "tc", "winmove-mixed"])
+    def test_same_rows_and_store_after_deletions(self, name):
+        program, heads, gen = WORKLOADS[name]
+        pubs = gen(random.Random(17))
+        assert_exact(program, pubs, heads, dels=4)
+
+    def test_winmove_negation_cone_held_back(self):
+        """Under a win-move verdict the monotone rules *outside* the
+        negation cone stream; the rules feeding the negation keep
+        barrier scheduling (streaming them would reorder the negation
+        rule's add/sub arrivals)."""
+        program, heads, gen = WORKLOADS["winmove-mixed"]
+        _, pipelined = assert_exact(program, gen(random.Random(17)), heads)
+        assert pipelined.coordination.kind == "win-move"
+        streamed_heads = {
+            pipelined.plan.by_id[rid].head.predicate
+            for rid in pipelined._streamed_rules
+        }
+        assert streamed_heads == {"pair"}
+
+
+class TestUnderLossAndFaults:
+    """E7/E18-family: lossy links with the reliable transport, and the
+    E20 fault injector.  The retry path changes *when* messages land,
+    never *what* the modes compute — exactness must survive both."""
+
+    def test_lossy_reliable_transport(self):
+        program, heads, gen = WORKLOADS["join2"]
+        pubs = gen(random.Random(17))
+        assert_exact(
+            program, pubs, heads, loss_rate=0.15, reliable=True,
+        )
+
+    def test_lossy_reliable_recursion(self):
+        program, heads, gen = WORKLOADS["tc"]
+        pubs = gen(random.Random(17))
+        assert_exact(
+            program, pubs, heads, loss_rate=0.1, reliable=True,
+        )
+
+    def _run_faulty(self, mode):
+        net = GridNetwork(6, seed=13, ght_replicas=3, reliable=True,
+                          loss_rate=0.1)
+        engine = GPAEngine(
+            parse_program(JOIN2), net, strategy="pa",
+            fault_tolerant=True, mode=mode,
+        ).install()
+        victim = net.grid.node_at(4, 2)
+        schedule = FaultSchedule().crash(0.0, victim).recover(30.0, victim)
+        injector = FaultInjector(net, schedule).arm()
+        engine.attach_faults(injector)
+        engine.publish(net.grid.node_at(1, 2), "r", (1, "a"))
+        engine.publish(net.grid.node_at(4, 5), "s", (1, "b"))
+        engine.publish(net.grid.node_at(0, 0), "r", (2, "c"))
+        engine.publish(net.grid.node_at(5, 5), "s", (2, "d"))
+        net.run_all()
+        return engine
+
+    def test_fault_injector_crash_recover(self):
+        barrier = self._run_faulty("barrier")
+        pipelined = self._run_faulty("pipelined")
+        assert pipelined.mode == "pipelined"
+        assert pipelined.rows("j") == barrier.rows("j")
+        assert pipelined.rows("j") == {(1, "a", "b"), (2, "c", "d")}
+        assert pipelined.derivation_store() == barrier.derivation_store()
+
+
+class TestLatencyWins:
+    """E15-family: the whole point — streaming beats the barrier."""
+
+    def test_pipelined_mean_latency_is_lower(self):
+        program, heads, gen = WORKLOADS["join2"]
+        pubs = gen(random.Random(17))
+        barrier, pipelined = assert_exact(program, pubs, heads, m=8)
+        b = barrier.latency_report("j")
+        p = pipelined.latency_report("j")
+        assert b["count"] == p["count"] > 0
+        assert p["mean"] < b["mean"]
+        assert p["max"] <= b["max"]
+
+
+class TestFallbacks:
+    """Programs (or configurations) the classifier or engine cannot
+    clear run in barrier mode, with the verdict recorded."""
+
+    def test_negation_through_recursion_falls_back(self):
+        net = GridNetwork(4, seed=1)
+        engine = GPAEngine(
+            parse_program("win(X) :- move(X, Y), not win(Y)."), net,
+            mode="pipelined", allow_local_nonrecursive=True,
+        )
+        assert engine.requested_mode == "pipelined"
+        assert engine.mode == "barrier"
+        assert engine.pipeline_fallback == "negation-through-recursion"
+        assert isinstance(engine.coordination, NeedsBarriers)
+
+    def test_multi_pass_scheme_falls_back(self):
+        net = GridNetwork(4, seed=1)
+        engine = GPAEngine(
+            parse_program(JOIN3), net, scheme="multi-pass", mode="pipelined",
+        )
+        assert engine.mode == "barrier"
+        assert engine.pipeline_fallback == "multi-pass-scheme"
+        assert isinstance(engine.coordination, CoordFree)
+
+    def test_finite_window_with_idb_consumption_falls_back(self):
+        net = GridNetwork(4, seed=1)
+        engine = GPAEngine(
+            parse_program(TC), net, window=10.0, mode="pipelined",
+        )
+        assert engine.mode == "barrier"
+        assert engine.pipeline_fallback == "finite-window"
+
+    def test_finite_window_without_idb_consumption_streams(self):
+        net = GridNetwork(4, seed=1)
+        engine = GPAEngine(
+            parse_program(JOIN2), net, window=10.0, mode="pipelined",
+        )
+        assert engine.mode == "pipelined"
+        assert engine.pipeline_fallback is None
+
+    def test_fallback_engine_still_correct(self):
+        pubs = WORKLOADS["join3"][2](random.Random(17))
+        barrier = run_mode(JOIN3, pubs, "barrier",
+                           engine_kwargs={"scheme": "multi-pass"})
+        fallen = run_mode(JOIN3, pubs, "pipelined",
+                          engine_kwargs={"scheme": "multi-pass"})
+        assert fallen.mode == "barrier"
+        assert fallen.rows("j") == barrier.rows("j")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(PlanError, match="unknown evaluation mode"):
+            GPAEngine(parse_program(JOIN2), GridNetwork(3), mode="turbo")
+
+
+class TestObservability:
+    @pytest.fixture
+    def telemetry(self):
+        was = obs.enabled()
+        obs.enable()
+        obs.reset()
+        yield
+        obs.reset()
+        if not was:
+            obs.disable()
+
+    def test_streamed_and_verdict_counters(self, telemetry):
+        program, heads, gen = WORKLOADS["join2"]
+        engine = run_mode(program, gen(random.Random(17)), "pipelined")
+        streamed = obs.REGISTRY.get(
+            "repro_pipeline_streamed_derivations_total"
+        )
+        assert streamed.value == engine.streamed_derivations > 0
+        verdicts = obs.REGISTRY.get("repro_coordfree_programs_total")
+        assert verdicts.labels(verdict="monotone").value == 1
+        lat = obs.REGISTRY.get("repro_phase_latency_seconds")
+        assert lat.labels(
+            phase="join", strategy="pa", mode="pipelined"
+        ).count > 0
+
+    def test_fallback_verdict_counted(self, telemetry):
+        GPAEngine(
+            parse_program(TC), GridNetwork(3), window=10.0, mode="pipelined",
+        )
+        verdicts = obs.REGISTRY.get("repro_coordfree_programs_total")
+        assert verdicts.labels(verdict="finite-window").value == 1
+
+
+# -- classifier soundness: CoordFree => identical fixpoints ------------------
+
+#: Rule pool mixing monotone shapes, guarded negation, aggregation and
+#: negation-through-recursion; random subsets exercise every verdict.
+RULE_POOL = [
+    "a(X, Y) :- e(X, Y).",
+    "a(X, Z) :- e(X, Y), a(Y, Z).",
+    "b(X) :- e(X, Y).",
+    "c(X, Y) :- e(X, Y), f(Y).",
+    "d(X) :- f(X), not b(X).",
+    "g(Y, min(X)) :- e(X, Y).",
+    "h(X) :- f(X), not h(X).",
+]
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    picks=st.lists(
+        st.integers(0, len(RULE_POOL) - 1), min_size=1, max_size=4,
+        unique=True,
+    ),
+    edges=st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)),
+        min_size=2, max_size=6,
+    ),
+    flags=st.lists(st.integers(0, 4), min_size=1, max_size=4),
+)
+def test_classifier_soundness_random_programs(picks, edges, flags):
+    program = parse_program(" ".join(RULE_POOL[i] for i in sorted(picks)))
+    verdict = classify_coordination(program)
+    if isinstance(verdict, NeedsBarriers):
+        # Soundness says nothing here; the verdict just has to be one
+        # of the stable reason codes.
+        assert verdict.reason in NeedsBarriers.REASONS
+        return
+    assert isinstance(verdict, CoordFree)
+    pubs = [("e", edge) for edge in edges] + [("f", (v,)) for v in flags]
+    pubs = [(p, a) for p, a in pubs if p in program.edb_predicates()]
+    engines = {}
+    for mode in ("barrier", "pipelined"):
+        try:
+            engines[mode] = run_mode(
+                " ".join(RULE_POOL[i] for i in sorted(picks)),
+                pubs, mode, m=4,
+            )
+        except PlanError:
+            # Unplannable either way (e.g. no consumed streams);
+            # soundness is about plans that run.
+            return
+    for head in sorted(program.idb_predicates()):
+        assert engines["pipelined"].rows(head) == engines["barrier"].rows(head)
+    assert (
+        engines["pipelined"].derivation_store()
+        == engines["barrier"].derivation_store()
+    )

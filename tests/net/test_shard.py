@@ -181,6 +181,26 @@ class TestValidation:
         report = run(grid_spec(collisions=True), shards=None)
         assert report.shards == 0
 
+    def test_forkless_platform_rejected_up_front(self, monkeypatch):
+        import multiprocessing
+
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods",
+            lambda: ["spawn", "forkserver"],
+        )
+        with pytest.raises(ShardError, match="fork start method required"):
+            run(grid_spec(), shards=2)
+
+    def test_forkless_platform_still_runs_inline(self, monkeypatch):
+        import multiprocessing
+
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"],
+        )
+        baseline = run(grid_spec(), shards=None)
+        sharded = run(grid_spec(), shards=2, inline=True)
+        assert sharded.fingerprint() == baseline.fingerprint()
+
     def test_worker_failure_names_the_shard(self):
         bad = WorkloadSpec(
             topology={"kind": "grid", "m": 4},

@@ -71,8 +71,8 @@ class TestNetAndGpaInstrumentation:
         assert gpa.labels(phase="join", strategy="pa").value > 0
         assert gpa.labels(phase="result", strategy="pa").value > 0
         lat = obs.REGISTRY.get("repro_phase_latency_seconds")
-        assert lat.labels(phase="storage", strategy="pa").count > 0
-        assert lat.labels(phase="join", strategy="pa").count > 0
+        assert lat.labels(phase="storage", strategy="pa", mode="barrier").count > 0
+        assert lat.labels(phase="join", strategy="pa", mode="barrier").count > 0
         res = obs.REGISTRY.get("repro_result_latency_seconds")
         assert res.labels(predicate="j").count == 1
         assert obs.REGISTRY.get("repro_sim_events_total").value > 0

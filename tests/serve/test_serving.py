@@ -258,3 +258,49 @@ class TestReport:
             server.results("a", "j")
         )
         assert "imbalance" in report  # placement on by default
+
+
+class TestPipelinedAdmission:
+    """E24 through the serving layer: the server's default evaluation
+    mode flows into every admitted tenant, per-tenant overrides win,
+    and the report surfaces each tenant's coordination verdict."""
+
+    def test_server_mode_flows_into_tenants(self):
+        rng = random.Random(6)
+        loads = {"a": two_stream_pubs(rng, 4, 25)}
+        _, server = serve_tenants(loads, mode="pipelined")
+        engine = server.session("a").engine
+        assert engine.mode == "pipelined"
+        assert server.results("a", "j") == oracle(loads["a"])
+        report = server.report()
+        assert report["tenants"]["a"]["mode"] == "pipelined"
+        assert report["tenants"]["a"]["coordination"] == "monotone"
+
+    def test_per_tenant_mode_override(self):
+        server = QueryServer(GridNetwork(5), mode="pipelined")
+        server.admit("fast", PROG)
+        server.admit("slow", PROG, mode="barrier")
+        assert server.session("fast").engine.mode == "pipelined"
+        assert server.session("slow").engine.mode == "barrier"
+        report = server.report()
+        assert report["tenants"]["slow"]["mode"] == "barrier"
+        assert report["tenants"]["slow"]["coordination"] is None
+
+    def test_fallback_tenant_reports_its_reason(self):
+        server = QueryServer(GridNetwork(5), mode="pipelined")
+        three_way = "j(K, A, B, C) :- r(K, A), s(K, B), t(K, C)."
+        server.admit("multi", three_way, scheme="multi-pass")
+        engine = server.session("multi").engine
+        assert engine.mode == "barrier"
+        report = server.report()
+        assert report["tenants"]["multi"]["mode"] == "barrier"
+        assert report["tenants"]["multi"]["coordination"] == "multi-pass-scheme"
+
+    def test_pipelined_and_barrier_tenants_agree(self):
+        rng = random.Random(9)
+        pubs = two_stream_pubs(rng, 5, 25)
+        results = {}
+        for mode in ("barrier", "pipelined"):
+            _, server = serve_tenants({"t": list(pubs)}, mode=mode)
+            results[mode] = server.results("t", "j")
+        assert results["pipelined"] == results["barrier"] == oracle(pubs)
