@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""E25 — Fault-tolerant sharded execution: checkpoint overhead and
+recovery cost under injected worker kills.
+
+PR 8's sharded engine died with its first lost worker; the supervision
+layer (``repro.net.shard`` + ``repro.net.checkpoint``) snapshots every
+shard at conservative-window barriers and restarts lost workers from
+their last checkpoint, replaying the missed windows deterministically.
+This bench measures what that costs and pins the two contracts:
+
+* **Fingerprint identity through failure** — a 4-shard run with a
+  worker SIGKILLed mid-window recovers to the *exact* event-identity
+  digest (rows, messages, bytes, energy, transport counters) of the
+  fault-free single-process run.
+* **Bounded recovery** — the replacement worker replays only the
+  windows since the last checkpoint, so recovery wall-time stays under
+  2x one checkpoint interval (the wall-clock time between snapshot
+  rounds of the fault-free supervised run).
+
+``--smoke`` shrinks the arena for CI; ``--check`` additionally gates
+against ``BENCH_e22.json`` and exits non-zero on a fingerprint
+mismatch or a recovery-time regression.
+"""
+
+import json
+import os
+import random
+import sys
+import time
+
+from repro.net.faults import FaultSchedule
+from repro.net.shard import WorkloadSpec, run as shard_run
+
+from harness import report
+
+SHARDS = 4
+CHECKPOINT_EVERY = 4
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_e22.json"
+)
+
+JOIN_PROGRAM = """
+r(X, T) :- publish_r(X, T).
+s(X, T) :- publish_s(X, T).
+j(X, T1, T2) :- r(X, T1), s(X, T2).
+"""
+
+
+def make_spec(m, tuples, seed=11):
+    """A reliable-transport lossy join workload — the configuration
+    with the richest replayable state (retry timers, dedup tables,
+    in-flight reliable transfers riding the checkpoints)."""
+    rng = random.Random(seed)
+    publishes = []
+    for k in range(tuples):
+        publishes.append(
+            (0.0, rng.randrange(m * m), "publish_r", (k % 3, f"a{k}"))
+        )
+        publishes.append(
+            (0.0, rng.randrange(m * m), "publish_s", (k % 3, f"b{k}"))
+        )
+    return WorkloadSpec(
+        topology={"kind": "grid", "m": m},
+        program=JOIN_PROGRAM,
+        publishes=publishes,
+        outputs=("j",),
+        strategy="pa",
+        net={"loss_rate": 0.2, "reliable": True},
+    )
+
+
+def _timed(fn, *args, **kwargs):
+    started = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - started
+
+
+def measure(m, tuples):
+    spec = make_spec(m, tuples)
+
+    base, base_s = _timed(shard_run, spec, shards=None)
+    fault_free, free_s = _timed(
+        shard_run, spec, shards=SHARDS,
+        checkpoint_every=CHECKPOINT_EVERY, max_restarts=2,
+    )
+    kill_at = fault_free.windows // 2
+    chaos, chaos_s = _timed(
+        shard_run, spec, shards=SHARDS,
+        checkpoint_every=CHECKPOINT_EVERY, max_restarts=2,
+        faults=FaultSchedule().worker_kill(shard=1, at_window=kill_at),
+    )
+
+    free_sup = fault_free.supervision
+    chaos_sup = chaos.supervision
+    rounds = max(1, free_sup["checkpoints"] // SHARDS)
+    interval = free_s / rounds  # wall-clock between snapshot rounds
+    (recovery,) = chaos_sup["recoveries"]
+    return {
+        "windows": fault_free.windows,
+        "kill_at": kill_at,
+        "single_s": base_s,
+        "supervised_s": free_s,
+        "chaos_s": chaos_s,
+        "checkpoint_rounds": rounds,
+        "checkpoint_interval_s": interval,
+        "checkpoint_bytes": free_sup["checkpoint_bytes"],
+        "checkpoint_capture_s": free_sup["checkpoint_seconds"],
+        "replayed": recovery["replayed"],
+        "recovery_s": chaos_sup["recovery_seconds"],
+        "recovery_ratio": chaos_sup["recovery_seconds"] / interval,
+        "fingerprint_fault_free": (
+            fault_free.fingerprint() == base.fingerprint()
+        ),
+        "fingerprint_recovered": chaos.fingerprint() == base.fingerprint(),
+    }
+
+
+def run(sizes):
+    results = {}
+    rows = []
+    for m, tuples in sizes:
+        r = measure(m, tuples)
+        results[m] = r
+        rows.append([
+            f"{m}x{m}",
+            r["windows"],
+            f"{r['single_s']:.2f}s",
+            f"{r['supervised_s']:.2f}s",
+            r["checkpoint_rounds"],
+            f"{r['checkpoint_bytes'] / 1024:.0f}KB",
+            f"kill@{r['kill_at']}",
+            r["replayed"],
+            f"{r['recovery_s'] * 1000:.1f}ms",
+            f"{r['recovery_ratio']:.2f}x",
+            "yes" if (r["fingerprint_fault_free"]
+                      and r["fingerprint_recovered"]) else "NO",
+        ])
+    report(
+        "e22_shard_recovery",
+        f"E25: shard recovery, {SHARDS} workers, checkpoint every "
+        f"{CHECKPOINT_EVERY} windows (reliable transport, 20% loss)",
+        ["arena", "windows", "single", "supervised", "ckpt rounds",
+         "ckpt bytes", "fault", "replayed", "recovery", "rec/interval",
+         "fingerprint"],
+        rows,
+    )
+    return results
+
+
+def check_baseline(results):
+    """Exit non-zero on a fingerprint mismatch, unbounded replay, or a
+    recovery slower than the committed multiple of one checkpoint
+    interval."""
+    with open(BASELINE_PATH) as f:
+        baseline = json.load(f)
+    gates = baseline["gates"]
+    failed = False
+    for m, r in results.items():
+        identical = r["fingerprint_fault_free"] and r["fingerprint_recovered"]
+        bounded = r["replayed"] <= CHECKPOINT_EVERY
+        ratio_ok = r["recovery_ratio"] <= gates["recovery_interval_ratio_max"]
+        wall_ok = r["recovery_s"] <= gates["recovery_max_s"]
+        ok = identical and bounded and ratio_ok and wall_ok
+        status = "ok" if ok else "REGRESSED"
+        print(
+            f"[baseline] {m}x{m}: fingerprint={identical} "
+            f"replayed={r['replayed']} (max {CHECKPOINT_EVERY}) "
+            f"recovery={r['recovery_s']:.3f}s "
+            f"(ceiling {gates['recovery_max_s']}s, "
+            f"{r['recovery_ratio']:.2f}x interval, "
+            f"max {gates['recovery_interval_ratio_max']}x) {status}"
+        )
+        if not ok:
+            failed = True
+    if failed:
+        sys.exit(1)
+
+
+def test_e22_recovery_is_bounded_and_identical(benchmark):
+    results = benchmark.pedantic(
+        run, args=([(6, 8)],), rounds=1, iterations=1
+    )
+    r = results[6]
+    assert r["fingerprint_fault_free"]
+    assert r["fingerprint_recovered"]
+    assert r["replayed"] <= CHECKPOINT_EVERY
+    assert r["recovery_ratio"] <= 2.0
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    sizes = [(6, 8)] if smoke else [(6, 8), (8, 12), (10, 16)]
+    results = run(sizes)
+    if "--check" in sys.argv:
+        check_baseline(results)

@@ -8,6 +8,7 @@ timed smoke-scale run plus shape assertions.
 
 from __future__ import annotations
 
+import copy
 import json
 import multiprocessing
 import multiprocessing.util
@@ -101,6 +102,10 @@ def run_trials(
     parallel: Optional[int] = None,
     shards: Optional[int] = None,
     telemetry_name: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    heartbeat_timeout: Optional[float] = None,
+    max_restarts: Optional[int] = None,
+    checkpoint: Optional[str] = None,
 ) -> List[Any]:
     """Run ``fn(**trial)`` for each trial dict, in trial order.
 
@@ -118,6 +123,12 @@ def run_trials(
       the trial function forwards it to :func:`repro.net.shard.run`,
       so one flag switches a whole bench between the single-process
       and the sharded engine.
+    * ``checkpoint_every=`` / ``heartbeat_timeout=`` / ``max_restarts=``
+      / ``checkpoint=`` are merged into the trial dicts the same way —
+      the supervision knobs of :func:`repro.net.shard.run`, so a bench
+      can run its whole trial matrix under worker supervision with one
+      flag each.  Left at ``None``, nothing is merged and the trial
+      function's own defaults apply.
 
     A trial that raises in a worker surfaces as :class:`TrialError` in
     the parent, carrying the failing trial's index, params (seed
@@ -126,12 +137,19 @@ def run_trials(
     and ``telemetry_name`` is given, each pool worker writes its own
     trace/metrics/manifest artifacts next to the results JSON at exit.
     """
-    if shards is not None:
-        trials = [dict(t, shards=shards) for t in trials]
+    merged = {
+        "shards": shards,
+        "checkpoint_every": checkpoint_every,
+        "heartbeat_timeout": heartbeat_timeout,
+        "max_restarts": max_restarts,
+        "checkpoint": checkpoint,
+    }
+    merged = {k: v for k, v in merged.items() if v is not None}
+    if merged:
+        trials = [dict(t, **merged) for t in trials]
     if parallel is None or parallel <= 1 or len(trials) <= 1:
         return [fn(**trial) for trial in trials]
-    ctx = multiprocessing.get_context()
-    pool = ctx.Pool(
+    pool = _nestable_context().Pool(
         parallel, initializer=_worker_init, initargs=(telemetry_name,)
     )
     try:
@@ -147,6 +165,30 @@ def run_trials(
             raise TrialError(index, trial, outcome[1], shard=outcome[2])
         results.append(outcome[1])
     return results
+
+
+def _nestable_context():
+    """The platform's default multiprocessing context, with pool
+    workers made non-daemonic: a sharded trial
+    (``run_trials(parallel=..., shards=...)``) forks shard worker
+    processes of its own, and daemonic processes may not have
+    children.  ``Pool`` force-sets ``daemon = True`` on every worker
+    before starting it, so the override must live in the Process
+    class, not at the call site."""
+    ctx = multiprocessing.get_context()
+
+    class _PoolWorker(ctx.Process):
+        @property
+        def daemon(self):
+            return False
+
+        @daemon.setter
+        def daemon(self, value):
+            pass
+
+    nestable = copy.copy(ctx)
+    nestable.Process = _PoolWorker
+    return nestable
 
 
 def _dump_worker_telemetry(telemetry_name: str, pid: int) -> None:

@@ -40,6 +40,9 @@ Enter rules/facts ending with '.', queries as '?- goal.', or commands:
   :load FILE        load rules from a file
   :metrics [on|off|reset]  telemetry snapshot / toggle / zero counters
   :serve [N] [M]    run a multi-tenant serving demo (N tenants, MxM grid)
+  :faults churn NODES RATE HORIZON [SEED] [SLOTS]
+                    summarize a generated fault schedule (kind counts,
+                    first/last timestamps)
   :reset            drop program and facts
   :help             this text
   :quit             leave the shell"""
@@ -121,6 +124,8 @@ class Shell:
             return self._metrics(arg.strip())
         if cmd == ":serve":
             return self._serve(arg.strip())
+        if cmd == ":faults":
+            return self._faults(arg.strip())
         if cmd == ":reset":
             self.program = Program()
             self.db = Database(self.registry)
@@ -146,6 +151,44 @@ class Shell:
             return "telemetry is off (:metrics on, or set REPRO_TELEMETRY=1)"
         snapshot = obs.prometheus_snapshot().rstrip()
         return snapshot if snapshot else "(no metrics recorded yet)"
+
+    def _faults(self, arg: str) -> str:
+        from .net.faults import FaultSchedule
+
+        usage = ":faults churn NODES RATE HORIZON [SEED] [SLOTS]"
+        parts = arg.split()
+        if not parts or parts[0] != "churn" or not 4 <= len(parts) <= 6:
+            return f"usage: {usage}"
+        try:
+            nodes = int(parts[1])
+            rate = float(parts[2])
+            horizon = float(parts[3])
+            seed = int(parts[4]) if len(parts) > 4 else 0
+            slots = int(parts[5]) if len(parts) > 5 else 4
+        except ValueError:
+            return f"usage: {usage}"
+        if nodes < 1 or horizon <= 0:
+            return f"usage: {usage}  (NODES >= 1, HORIZON > 0)"
+        try:
+            schedule = FaultSchedule.random_churn(
+                range(nodes), rate, horizon, seed, slots=slots
+            )
+        except ReproError as exc:
+            return f"error: {exc}"
+        summary = schedule.describe()
+        if not summary["events"]:
+            return "(empty schedule: rate rounds to zero victims)"
+        lines = [
+            f"{summary['events']} events over "
+            f"[{summary['first']:.2f}, {summary['last']:.2f}]",
+            f"{'kind':<12} {'count':>5} {'first':>8} {'last':>8}",
+        ]
+        for kind, entry in summary["kinds"].items():
+            lines.append(
+                f"{kind:<12} {entry['count']:>5} "
+                f"{entry['first']:>8.2f} {entry['last']:>8.2f}"
+            )
+        return "\n".join(lines)
 
     def _serve(self, arg: str) -> str:
         import random

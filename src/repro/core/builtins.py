@@ -73,14 +73,16 @@ class BuiltinRegistry:
 
 
 def register_standard_library(registry: BuiltinRegistry) -> None:
-    """Install the standard geometry/utility built-ins."""
+    """Install the standard geometry/utility built-ins.  (All named
+    module-level functions, never lambdas, so a registry riding inside
+    a shard checkpoint pickles.)"""
     registry.register_function("dist", _dist)
     registry.register_function("manhattan", _manhattan)
     registry.register_function("len", _length)
-    registry.register_function("first", lambda xs: xs[0])
-    registry.register_function("last", lambda xs: xs[-1])
-    registry.register_predicate("true", lambda: True)
-    registry.register_predicate("false", lambda: False)
+    registry.register_function("first", _first)
+    registry.register_function("last", _last)
+    registry.register_predicate("true", _true)
+    registry.register_predicate("false", _false)
 
 
 def _coords(value: Any) -> tuple:
@@ -104,6 +106,22 @@ def _length(value: Any) -> int:
         return len(value)
     except TypeError as exc:
         raise BuiltinError(f"len() of non-sequence {value!r}") from exc
+
+
+def _first(xs: Any) -> Any:
+    return xs[0]
+
+
+def _last(xs: Any) -> Any:
+    return xs[-1]
+
+
+def _true() -> bool:
+    return True
+
+
+def _false() -> bool:
+    return False
 
 
 #: Shared default registry used when none is supplied.

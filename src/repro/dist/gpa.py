@@ -32,6 +32,7 @@ The complete Section III/IV machinery:
 
 from __future__ import annotations
 
+import functools
 import itertools
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -395,6 +396,28 @@ class NodeRuntime:
         return sum(w.memory_tuples() for w in self.windows.values()) + len(self.derived)
 
 
+class _TelemetryDispatch:
+    """A phase handler wrapped with a span + message counter (see
+    :meth:`GPAEngine._with_telemetry`)."""
+
+    __slots__ = ("engine", "phase", "handler")
+
+    def __init__(self, engine: "GPAEngine", phase: str, handler):
+        self.engine = engine
+        self.phase = phase
+        self.handler = handler
+
+    def __call__(self, node: Node, msg: Message) -> None:
+        if not _obs.enabled:
+            self.handler(node, msg)
+            return
+        _inst.gpa_messages.labels(
+            phase=self.phase, strategy=self.engine.strategy_name
+        ).inc()
+        with _span(f"gpa.{self.phase}", sim=self.engine.network.sim, node=node.id):
+            self.handler(node, msg)
+
+
 # ---------------------------------------------------------------------------
 # The engine
 # ---------------------------------------------------------------------------
@@ -633,17 +656,10 @@ class GPAEngine:
 
     def _with_telemetry(self, phase: str, handler):
         """Wrap a phase handler with a span + message counter; the
-        disabled path is a single flag check per message."""
-        def dispatch(node: Node, msg: Message) -> None:
-            if not _obs.enabled:
-                handler(node, msg)
-                return
-            _inst.gpa_messages.labels(
-                phase=phase, strategy=self.strategy_name
-            ).inc()
-            with _span(f"gpa.{phase}", sim=self.network.sim, node=node.id):
-                handler(node, msg)
-        return dispatch
+        disabled path is a single flag check per message.  A picklable
+        callable (not a closure) because node handler tables ride
+        inside shard checkpoints."""
+        return _TelemetryDispatch(self, phase, handler)
 
     def _tag(self, msg: Message) -> Message:
         """Namespace a phase message for this engine's tenant: the kind
@@ -838,8 +854,9 @@ class GPAEngine:
             if any(rp.rule_id in self._streamed_rules for rp, _ in pos):
                 self.network.sim.schedule(
                     0.0,
-                    lambda: self._launch_join_phases(
-                        node_id, tup, op, update_ts, subset="streamed"
+                    functools.partial(
+                        self._launch_join_phases, node_id, tup, op, update_ts,
+                        subset="streamed",
                     ),
                 )
             if neg or any(
@@ -847,13 +864,15 @@ class GPAEngine:
             ):
                 self.network.sim.schedule(
                     delay,
-                    lambda: self._launch_join_phases(
-                        node_id, tup, op, update_ts, subset="barrier"
+                    functools.partial(
+                        self._launch_join_phases, node_id, tup, op, update_ts,
+                        subset="barrier",
                     ),
                 )
             return
         self.network.sim.schedule(
-            delay, lambda: self._launch_join_phases(node_id, tup, op, update_ts)
+            delay,
+            functools.partial(self._launch_join_phases, node_id, tup, op, update_ts),
         )
 
     def _launch_join_phases(

@@ -11,6 +11,7 @@ Partial states: count -> n; sum -> s; avg -> (s, n); min/max -> m.
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import networkx as nx
@@ -135,7 +136,7 @@ class TagAggregator:
         # Leaves fire first; each level up fires one slot later.
         my_time = message.epoch_deadline - self.depth[node.id] * slot
         delay = max(0.0, my_time - self.network.now)
-        self.network.sim.schedule(delay, lambda: self._emit(node.id))
+        self.network.sim.schedule(delay, functools.partial(self._emit, node.id))
 
     def _emit(self, node_id: int) -> None:
         state = self._state[node_id]

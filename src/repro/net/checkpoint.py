@@ -1,0 +1,189 @@
+"""Shard checkpoints: snapshot and restore one worker's replayable state.
+
+The supervised sharded engine (:mod:`repro.net.shard`) recovers a
+crashed or hung worker by restoring its last window-boundary snapshot
+and deterministically replaying the border-record windows it missed.
+That protocol only works if a snapshot captures *everything* the
+replay's outcome depends on, and nothing tied to the dead process:
+
+* the partition-local :class:`~repro.net.network.SensorNetwork` —
+  nodes, radio (keyed frame-RNG stream positions, per-link FIFO
+  cursors, transport retry/dedup state, the shard radio's pending
+  reliable-transfer context), router liveness view, metrics;
+* the GPA engine — relation rows, derivation stores, delivery
+  tracker, in-flight phase state;
+* the event queue — pending frames, retry timers, scheduled publishes
+  (every scheduled callable in the tree is a bound method or a
+  ``functools.partial`` of one, never a closure, precisely so this
+  pickle works: see the partial-not-lambda notes in ``radio.py``,
+  ``transport.py``, ``dist/gpa.py``);
+* the position of the process-global msg-id counter, so messages
+  created during replay reuse the ids the pre-crash execution handed
+  out (remote shards hold acks and dedup entries keyed on them).
+
+What a snapshot deliberately does **not** carry is the topology: it is
+immutable, shared by every worker, and potentially huge (the 100k-node
+E19 arenas).  The pickler writes a persistent-id stub for the topology
+object and its spatial index, and :func:`restore` rebinds the stubs to
+the coordinator's instance — a checkpoint stays a few tens of KB no
+matter the arena size.
+
+Checkpoints are captured at conservative-window barriers only (the
+worker is quiescent between ``run_window`` calls: no partially-applied
+event, no half-sent frame), which is what makes restore + replay
+*exactly* equal to having never crashed — pinned by the differential
+fingerprint tests in ``tests/net/test_shard_recovery.py``.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import tempfile
+import time
+from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
+
+from ..core.errors import NetworkError
+from . import messages
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .shard import ShardWorker
+    from .topology import Topology
+
+#: Persistent-id stubs for the shared, immutable objects a snapshot
+#: must reference but never serialize.
+_TOPOLOGY = "shard-checkpoint:topology"
+_SPATIAL = "shard-checkpoint:spatial"
+
+
+class CheckpointError(NetworkError):
+    """A shard snapshot could not be captured or restored."""
+
+
+class _Pickler(pickle.Pickler):
+    """Pickler that writes stubs for the topology and its spatial
+    index instead of serializing them."""
+
+    def __init__(self, file, topology: "Topology"):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._topology = topology
+
+    def persistent_id(self, obj):
+        if obj is self._topology:
+            return _TOPOLOGY
+        if obj is self._topology.spatial:
+            return _SPATIAL
+        return None
+
+
+class _Unpickler(pickle.Unpickler):
+    """Unpickler that rebinds the stubs to the coordinator's topology."""
+
+    def __init__(self, file, topology: "Topology"):
+        super().__init__(file)
+        self._topology = topology
+
+    def persistent_load(self, pid):
+        if pid == _TOPOLOGY:
+            return self._topology
+        if pid == _SPATIAL:
+            return self._topology.spatial
+        raise CheckpointError(f"unknown persistent id {pid!r} in checkpoint")
+
+
+def msg_id_cursor() -> int:
+    """The current position of the process-global msg-id counter,
+    read without disturbing the id sequence: peek one id off the
+    counter, then rebase the counter so the very same id is issued
+    again by the next message."""
+    position = next(messages._msg_counter)
+    messages.set_msg_id_base(position)
+    return position
+
+
+def capture(worker: "ShardWorker") -> Tuple[bytes, float]:
+    """Snapshot ``worker`` at a window barrier.
+
+    Returns ``(blob, seconds)`` — the serialized state and the
+    wall-clock capture duration (the coordinator feeds both into the
+    telemetry counters and the E25 bench's overhead table).
+    """
+    started = time.perf_counter()
+    buffer = io.BytesIO()
+    state = {
+        "worker": worker,
+        "msg_id": msg_id_cursor(),
+        "window": worker.windows_run,
+    }
+    try:
+        _Pickler(buffer, worker.network.topology).dump(state)
+    except Exception as exc:
+        raise CheckpointError(
+            f"shard {worker.shard_id} state is not snapshot-serializable: "
+            f"{exc}"
+        ) from exc
+    return buffer.getvalue(), time.perf_counter() - started
+
+
+def restore(blob: bytes, topology: "Topology") -> "ShardWorker":
+    """Rebuild a worker from a snapshot, rebinding the topology stubs
+    to ``topology`` and rewinding the process-global msg-id counter to
+    the snapshot's cursor (so replayed sends reuse their original
+    ids)."""
+    state: Dict[str, Any] = _Unpickler(io.BytesIO(blob), topology).load()
+    messages.set_msg_id_base(state["msg_id"])
+    return state["worker"]
+
+
+class CheckpointStore:
+    """Coordinator-side storage for the latest snapshot of each shard.
+
+    ``mode="memory"`` (default) keeps blobs in the coordinator's heap;
+    ``mode="disk"`` spills them to one file per shard (overwritten in
+    place each cadence) under ``directory`` — or a self-cleaning
+    temporary directory when none is given — so long runs with large
+    per-shard state don't hold every snapshot resident.
+    """
+
+    MODES = ("memory", "disk")
+
+    def __init__(self, mode: str = "memory", directory: Optional[str] = None):
+        if mode not in self.MODES:
+            raise CheckpointError(
+                f"unknown checkpoint mode {mode!r} (have {self.MODES})"
+            )
+        self.mode = mode
+        self._blobs: Dict[int, bytes] = {}
+        self._paths: Dict[int, str] = {}
+        self._directory = directory
+        self._tempdir: Optional[tempfile.TemporaryDirectory] = None
+        if mode == "disk" and directory is None:
+            self._tempdir = tempfile.TemporaryDirectory(prefix="repro-ckpt-")
+            self._directory = self._tempdir.name
+
+    def save(self, shard: int, blob: bytes) -> None:
+        if self.mode == "memory":
+            self._blobs[shard] = blob
+            return
+        path = os.path.join(self._directory, f"checkpoint.shard{shard}.pkl")
+        with open(path, "wb") as f:
+            f.write(blob)
+        self._paths[shard] = path
+
+    def load(self, shard: int) -> Optional[bytes]:
+        """The shard's latest snapshot, or None if none was captured."""
+        if self.mode == "memory":
+            return self._blobs.get(shard)
+        path = self._paths.get(shard)
+        if path is None:
+            return None
+        with open(path, "rb") as f:
+            return f.read()
+
+    def close(self) -> None:
+        self._blobs.clear()
+        self._paths.clear()
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None

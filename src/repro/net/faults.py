@@ -48,7 +48,13 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Event kinds a schedule may contain.
 FAULT_KINDS = (
     "crash", "recover", "deplete", "link_down", "link_up", "partition", "heal",
+    "worker_kill",
 )
+
+#: Kinds applied against the simulated network (everything except
+#: coordinator-level process faults, which the sharded engine's
+#: supervisor consumes before the simulation starts).
+SIMULATED_KINDS = tuple(k for k in FAULT_KINDS if k != "worker_kill")
 
 
 class FaultEvent:
@@ -57,10 +63,14 @@ class FaultEvent:
     ``node`` targets node events (crash/recover/deplete); ``link`` is an
     ``(a, b)`` pair for link events; ``nodes`` is the cut-off node set
     for partitions.  Heal events carry no target — they restore every
-    link the most recent partition severed.
+    link the most recent partition severed.  ``shard``/``window``
+    target ``worker_kill`` events: not a simulated fault at all, but a
+    real process death the sharded engine's supervisor injects into
+    shard ``shard`` during conservative window ``window`` (the event's
+    ``time`` mirrors the window index so timelines stay sortable).
     """
 
-    __slots__ = ("time", "kind", "node", "link", "nodes")
+    __slots__ = ("time", "kind", "node", "link", "nodes", "shard", "window")
 
     def __init__(
         self,
@@ -69,6 +79,8 @@ class FaultEvent:
         node: Optional[int] = None,
         link: Optional[Tuple[int, int]] = None,
         nodes: Optional[Tuple[int, ...]] = None,
+        shard: Optional[int] = None,
+        window: Optional[int] = None,
     ):
         if kind not in FAULT_KINDS:
             raise NetworkError(f"unknown fault kind {kind!r} (have {FAULT_KINDS})")
@@ -79,8 +91,15 @@ class FaultEvent:
         self.node = node
         self.link = link
         self.nodes = nodes
+        self.shard = shard
+        self.window = window
 
     def __repr__(self) -> str:
+        if self.kind == "worker_kill":
+            return (
+                f"FaultEvent(worker_kill, shard={self.shard}, "
+                f"window={self.window})"
+            )
         target = self.node if self.node is not None else (self.link or self.nodes or "")
         return f"FaultEvent({self.time:.3f}, {self.kind}, {target})"
 
@@ -144,6 +163,27 @@ class FaultSchedule:
     def heal(self, time: float) -> "FaultSchedule":
         """Restore every link severed by partitions so far."""
         return self._add(FaultEvent(time, "heal"))
+
+    def worker_kill(self, shard: int, at_window: int) -> "FaultSchedule":
+        """Kill shard worker ``shard`` mid-way through conservative
+        window ``at_window`` of a sharded run — a *process* fault
+        (``SIGKILL`` in process mode, an injected death in inline
+        mode), not a simulated node fault: the nodes the shard hosts
+        lose nothing in the simulated world, and the supervisor must
+        restore them bit-for-bit from the shard's last checkpoint.
+        Consumed by ``repro.net.shard.run(..., faults=...)``; ignored
+        (never applied) by :class:`FaultInjector`."""
+        if shard < 0:
+            raise NetworkError(f"worker_kill shard {shard} must be >= 0")
+        if at_window < 0:
+            raise NetworkError(
+                f"worker_kill window {at_window} must be >= 0"
+            )
+        return self._add(
+            FaultEvent(
+                float(at_window), "worker_kill", shard=shard, window=at_window
+            )
+        )
 
     # -- generators -------------------------------------------------------
 
@@ -218,6 +258,38 @@ class FaultSchedule:
         )
         return [event for _, event in indexed]
 
+    def kill_plan(self) -> dict:
+        """The schedule's worker_kill events as ``{shard: sorted
+        window indices}`` — the form the sharded engine's supervisor
+        consumes."""
+        plan: dict = {}
+        for event in self.events:
+            if event.kind == "worker_kill":
+                plan.setdefault(event.shard, set()).add(event.window)
+        return {shard: sorted(windows) for shard, windows in plan.items()}
+
+    def describe(self) -> dict:
+        """A summary of the schedule for tables and the ``:faults``
+        shell command: total event count, overall first/last
+        timestamps, and per-kind ``{count, first, last}`` (kinds in
+        :data:`FAULT_KINDS` order).  Pure data — computing it never
+        applies anything."""
+        kinds: dict = {}
+        for event in self.timeline():
+            entry = kinds.setdefault(
+                event.kind, {"count": 0, "first": event.time, "last": event.time}
+            )
+            entry["count"] += 1
+            entry["first"] = min(entry["first"], event.time)
+            entry["last"] = max(entry["last"], event.time)
+        times = [event.time for event in self.events]
+        return {
+            "events": len(self.events),
+            "first": min(times) if times else None,
+            "last": max(times) if times else None,
+            "kinds": {k: kinds[k] for k in FAULT_KINDS if k in kinds},
+        }
+
     def __repr__(self) -> str:
         return f"FaultSchedule({len(self.events)} events)"
 
@@ -267,6 +339,12 @@ class FaultInjector:
         if self.repair:
             self.network.self_repair = True
         for event in self.schedule.timeline():
+            if event.kind == "worker_kill":
+                # A coordinator-level process fault, not a simulated
+                # one: the sharded engine's supervisor consumes these
+                # before the run; a single-process injector has no
+                # worker to kill and skips them.
+                continue
             self.network.sim.schedule_at(
                 event.time, lambda ev=event: self._apply(ev)
             )

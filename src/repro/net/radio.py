@@ -29,6 +29,7 @@ removed after their deprecation cycle (see DESIGN.md, "messaging v2").
 
 from __future__ import annotations
 
+import functools
 import random
 from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
@@ -368,9 +369,12 @@ class Radio:
         arrival = self._frame_departure(src_id, dst_id, message)
         if arrival is None:
             return
+        # A partial (not a lambda) so in-flight frames sitting in the
+        # event queue stay picklable — shard checkpoints snapshot the
+        # queue mid-run (see repro.net.checkpoint).
         self.sim.schedule_at(
             arrival,
-            lambda: self._frame_arrival(src_id, dst_id, message, deliver),
+            functools.partial(self._frame_arrival, src_id, dst_id, message, deliver),
         )
 
     def _frame_departure(

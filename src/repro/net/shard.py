@@ -44,18 +44,42 @@ event queue — across worker processes:
   number no partitioned run can reproduce; the identity guarantee
   therefore assumes ``delay_jitter > 0``, the default.)
 
+* **Supervision and recovery.**  The coordinator doubles as a
+  supervisor: with ``checkpoint_every=k`` every worker snapshots its
+  replayable state (:mod:`repro.net.checkpoint`) at every k-th window
+  barrier; with ``max_restarts>0`` the coordinator retains each window
+  it posted since a shard's last checkpoint, detects a worker death
+  (pipe EOF, or — with ``heartbeat_timeout`` — a missed-heartbeat
+  hang, which is SIGKILLed and treated as a death), and restarts the
+  lost shard from its checkpoint, replaying the retained windows
+  deterministically.  Because checkpoints are taken at barriers and
+  replay re-runs the identical keyed-RNG event sequence (reusing even
+  the original msg ids), a recovered run's
+  :meth:`ShardRunReport.fingerprint` equals a fault-free run's.  All
+  supervision knobs default *off*, in which case the coordinator is
+  byte-for-byte the unsupervised lockstep loop.  ``faults=`` accepts a
+  :class:`~repro.net.faults.FaultSchedule` of ``worker_kill`` events —
+  real process deaths injected mid-window for chaos testing (E25).
+
 Not supported in v1 (rejected with :class:`ShardError`): the collision
-/ contention model, finite batteries, routing self-repair and fault
-injection (all couple shards through global radio state), and custom
-deliver callables aimed at remote nodes.
+/ contention model, finite batteries, routing self-repair and
+simulated-fault injection (all couple shards through global radio
+state; ``worker_kill`` process faults are the exception — they live
+above the simulation), and custom deliver callables aimed at remote
+nodes.
 """
 
 from __future__ import annotations
 
+import contextlib
 import copy
 import functools
+import itertools
 import multiprocessing
+import os
 import pickle
+import signal
+import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
@@ -63,6 +87,11 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 from .. import obs
 from ..core.errors import NetworkError
 from ..dist.gpa import GPAEngine
+from ..obs import instrument as _inst
+from ..obs import state as _obs
+from . import checkpoint as _checkpoint
+from . import messages
+from .faults import FaultSchedule
 from .messages import set_msg_id_base
 from .metrics import MetricsCollector
 from .network import SensorNetwork, _RemoteStub
@@ -82,10 +111,21 @@ ACK = "ack"
 #: engine on arrival.
 TRACK_DELIVERY = "status:gpa-track-delivery"
 
-#: msg-id range carved out per worker process: ids only need global
-#: uniqueness (transport dedup keys on ``(sender, msg_id)``), never
-#: density, so each worker counts from ``shard_id << 40``.
+#: msg-id range carved out per worker (process *and* inline: inline
+#: handles scope the process-global counter per shard so restarts can
+#: rewind one shard's ids without touching its peers'): ids only need
+#: global uniqueness (transport dedup keys on ``(sender, msg_id)``),
+#: never density, so each worker counts from ``shard_id << 40``.
 _MSG_ID_STRIDE = 1 << 40
+
+#: Events a heartbeating worker runs between beats.  Small enough that
+#: a live worker beats well inside any sane ``heartbeat_timeout``,
+#: large enough that the per-chunk bookkeeping is invisible.
+_BEAT_CHUNK = 2048
+
+#: Events an injected worker_kill lets its window run before dying, so
+#: the death lands mid-window (state half-advanced, then lost).
+_KILL_SLICE = 32
 
 
 class ShardError(NetworkError):
@@ -107,6 +147,77 @@ class ShardWorkerError(ShardError):
             f"shard worker {shard} failed; re-run the same spec with "
             f"shards=None to reproduce in one process\n"
             f"--- worker traceback ---\n{worker_traceback.rstrip()}"
+        )
+
+
+class _WorkerDeath(Exception):
+    """Internal: a worker process/driver died (crash, injected kill,
+    or heartbeat-timeout hang) without reporting a Python error.
+    Candidate for supervised recovery; converted to
+    :class:`ShardWorkerError` once the restart budget is spent.
+    (Deterministic worker exceptions are *not* deaths — replaying
+    them would just re-raise, so they surface immediately.)"""
+
+    def __init__(self, shard: int, cause: str, detail: str):
+        self.shard = shard
+        self.cause = cause  # "crash" | "hang"
+        self.detail = detail
+        super().__init__(detail)
+
+
+def default_shards(topology: Topology) -> int:
+    """The shard count ``shards="auto"`` resolves to: one worker per
+    available CPU, capped by the node count (an empty worker would
+    just add barrier latency)."""
+    return max(1, min(os.cpu_count() or 1, len(topology)))
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """The coordinator's fault-tolerance knobs (all off by default —
+    the defaults reproduce the unsupervised engine exactly).
+
+    ``checkpoint_every=k`` snapshots every worker at every k-th window
+    barrier (0 disables).  ``heartbeat_timeout`` (process mode only)
+    declares a worker hung when it sends nothing for that many
+    wall-clock seconds mid-window; hung workers are SIGKILLed and
+    treated as crashed.  ``max_restarts`` bounds *per-shard* restarts;
+    0 means any death is fatal (reported with the worker's exit code /
+    signal name).  ``checkpoint`` selects snapshot storage: "memory"
+    keeps blobs in the coordinator's heap, "disk" spills one file per
+    shard (to the spec's telemetry dir, or a temp dir).  With
+    ``max_restarts>0`` but ``checkpoint_every=0`` recovery still
+    works — the replacement replays from window 0 (full re-run).
+    """
+
+    checkpoint_every: int = 0
+    heartbeat_timeout: Optional[float] = None
+    max_restarts: int = 0
+    checkpoint: str = "memory"
+
+    def __post_init__(self):
+        if self.checkpoint_every < 0:
+            raise ShardError(
+                f"checkpoint_every {self.checkpoint_every} must be >= 0"
+            )
+        if self.max_restarts < 0:
+            raise ShardError(f"max_restarts {self.max_restarts} must be >= 0")
+        if self.heartbeat_timeout is not None and self.heartbeat_timeout <= 0:
+            raise ShardError(
+                f"heartbeat_timeout {self.heartbeat_timeout} must be > 0"
+            )
+        if self.checkpoint not in _checkpoint.CheckpointStore.MODES:
+            raise ShardError(
+                f"unknown checkpoint mode {self.checkpoint!r} "
+                f"(have {_checkpoint.CheckpointStore.MODES})"
+            )
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.checkpoint_every > 0
+            or self.max_restarts > 0
+            or self.heartbeat_timeout is not None
         )
 
 
@@ -371,21 +482,59 @@ class ShardWorker:
         self.windows_run = 0
         self.border_in = 0
         self.border_out = 0
+        #: Which spawn of this shard the worker is (0 = original; a
+        #: replacement after the n-th restart carries n).  Replay
+        #: determinism never depends on it — it exists so fault hooks
+        #: (tests, chaos benches) can target only the first life.
+        self.incarnation = 0
+        self._kill_windows: Set[int] = set()
+        self._die: Optional[Callable[[], None]] = None
 
     # -- window protocol --------------------------------------------------
+
+    def arm_kills(self, windows: Set[int], die: Callable[[], None]) -> None:
+        """Arm injected worker_kill faults: when about to run a window
+        whose global index is in ``windows``, run a small slice of it
+        and then call ``die`` (SIGKILL in process mode, a raised
+        death in inline mode)."""
+        self._kill_windows = set(windows)
+        self._die = die
 
     def next_time(self) -> Optional[float]:
         return self.network.sim.next_time
 
-    def run_window(self, t_end: float, records: Sequence[tuple]):
+    def run_window(self, t_end: float, records: Sequence[tuple],
+                   beat: Optional[Callable[[], None]] = None):
         """Inject this window's border records, run events in
-        ``[now, t_end)``, and return ``(next_time, outbox)``."""
+        ``[now, t_end)``, and return ``(next_time, outbox)``.
+
+        ``windows_run`` doubles as the window's *global* index: the
+        original worker runs every window from 0, and a restored
+        worker resumes from its snapshot's count — so kill targeting
+        and replay accounting agree across incarnations.  ``beat``
+        (heartbeating process workers) is called between
+        ``_BEAT_CHUNK``-event slices; when absent the window runs in
+        one ``sim.run`` call, exactly as the unsupervised engine did.
+        """
         for record in sorted(records, key=lambda r: (r[1], r[2], r[3])):
             self._inject(record)
         self.border_in += len(records)
         sim = self.network.sim
-        processed = sim.run(until=t_end, max_events=self._budget, inclusive=False)
-        self._budget -= processed
+        if self._kill_windows and self.windows_run in self._kill_windows:
+            sim.run(until=t_end, max_events=_KILL_SLICE, inclusive=False)
+            self._die()  # never returns control to the window
+        while True:
+            budget = (
+                self._budget if beat is None else min(self._budget, _BEAT_CHUNK)
+            )
+            processed = sim.run(
+                until=t_end, max_events=budget, inclusive=False
+            )
+            self._budget -= processed
+            if beat is not None:
+                beat()
+            if beat is None or processed < budget or self._budget <= 0:
+                break
         nxt = sim.next_time
         if nxt is not None and nxt < t_end:
             # Only a max_events stop leaves events below the bound.
@@ -486,6 +635,23 @@ def _ack_needs_no_deliver(_message) -> None:  # pragma: no cover
 # ---------------------------------------------------------------------------
 
 
+def _inline_die(shard: int) -> None:
+    """Injected worker_kill in inline mode: there is no process to
+    SIGKILL, so the death is a raised :class:`_WorkerDeath` the
+    supervisor treats exactly like a pipe EOF."""
+    raise _WorkerDeath(
+        shard, "crash",
+        "worker killed mid-window by an injected worker_kill fault "
+        "(inline mode: simulated process death)",
+    )
+
+
+def _sigkill_self() -> None:  # pragma: no cover - dies before coverage
+    """Injected worker_kill in process mode: a real, unannounced
+    SIGKILL — the coordinator sees only the closed pipe."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
 class _InlineHandle:
     """In-process worker: same :class:`ShardWorker`, driven directly.
 
@@ -494,15 +660,46 @@ class _InlineHandle:
     frozen copies *rely* on it: the receiver must never share mutable
     message state (envelope paths, token partial lists) with the
     sender's retry copies.
+
+    Inline workers scope the process-global msg-id counter per shard
+    (strided at ``shard_id << 40``, mirroring process mode): every
+    worker operation swaps the shard's own counter in and back out, so
+    restoring one shard's checkpoint can rewind *its* id cursor
+    without colliding with its peers' id streams.
     """
 
-    def __init__(self, spec, topology, own_ids, shard_id):
+    def __init__(self, spec, topology, own_ids, shard_id, restore=None,
+                 incarnation=0, kills=(), heartbeat_timeout=None):
         self.shard = shard_id
-        with self._wrap():
-            self.worker = ShardWorker(spec, topology, own_ids, shard_id)
+        # heartbeat_timeout is meaningless in one process (nothing runs
+        # concurrently to observe a hang); accepted so both handle
+        # kinds share a spawn signature.
+        self._msg_ids = itertools.count(shard_id * _MSG_ID_STRIDE)
+        with self._wrap(), self._ids():
+            if restore is None:
+                self.worker = ShardWorker(spec, topology, own_ids, shard_id)
+            else:
+                self.worker = _checkpoint.restore(restore, topology)
+            self.worker.incarnation = incarnation
+            self.worker.arm_kills(
+                set(kills), functools.partial(_inline_die, shard_id)
+            )
 
     def _wrap(self):
         return _WorkerErrors(self.shard)
+
+    @contextlib.contextmanager
+    def _ids(self):
+        saved = messages._msg_counter
+        messages._msg_counter = self._msg_ids
+        try:
+            yield
+        finally:
+            # A checkpoint capture/restore swaps the module counter for
+            # a rebased one (set_msg_id_base): adopt whatever is
+            # current as this shard's counter.
+            self._msg_ids = messages._msg_counter
+            messages._msg_counter = saved
 
     def start(self):
         return self.worker.next_time()
@@ -512,9 +709,20 @@ class _InlineHandle:
             self._pending = (t_end, pickle.loads(pickle.dumps(records)))
 
     def wait(self):
-        with self._wrap():
+        with self._wrap(), self._ids():
             t_end, records = self._pending
             return self.worker.run_window(t_end, records)
+
+    def replay(self, t_end, records):
+        with self._wrap(), self._ids():
+            nxt, _outbox = self.worker.run_window(
+                t_end, pickle.loads(pickle.dumps(records))
+            )
+            return nxt
+
+    def checkpoint(self):
+        with self._wrap(), self._ids():
+            return _checkpoint.capture(self.worker)
 
     def finish(self):
         with self._wrap():
@@ -526,7 +734,9 @@ class _InlineHandle:
 
 class _WorkerErrors:
     """Context manager turning any worker exception into a
-    :class:`ShardWorkerError` tagged with the shard id."""
+    :class:`ShardWorkerError` tagged with the shard id.  Injected
+    deaths (:class:`_WorkerDeath`) pass through untouched — they are
+    the supervisor's recovery signal, not an error."""
 
     def __init__(self, shard: int):
         self.shard = shard
@@ -535,24 +745,69 @@ class _WorkerErrors:
         return self
 
     def __exit__(self, exc_type, exc, tb):
-        if exc is not None and not isinstance(exc, ShardWorkerError):
+        if exc is not None and not isinstance(
+            exc, (ShardWorkerError, _WorkerDeath)
+        ):
             raise ShardWorkerError(self.shard, traceback.format_exc()) from exc
         return False
 
 
-def _worker_main(conn, spec, topology, own_ids, shard_id) -> None:
-    """Worker-process body: build the shard, then serve window commands
+class _Heartbeat:
+    """Worker-side liveness beat: sends ``("hb",)`` up the pipe at
+    most once per ``interval`` wall-clock seconds.  Called between
+    event slices mid-window, so a worker grinding through a long
+    window still proves it is alive."""
+
+    def __init__(self, conn, interval: float):
+        self.conn = conn
+        self.interval = interval
+        self._last = time.monotonic()
+
+    def __call__(self) -> None:
+        now = time.monotonic()
+        if now - self._last >= self.interval:
+            self._last = now
+            self.conn.send(("hb",))
+
+
+def _worker_main(conn, spec, topology, own_ids, shard_id,
+                 restore=None, incarnation=0, kills=(),
+                 beat_interval=None) -> None:
+    """Worker-process body: build the shard (or restore it from a
+    checkpoint blob), then serve window/replay/checkpoint commands
     until told to finish.  Runs under fork, so the topology arrives by
-    inheritance (never pickled) and msg-id disjointness is restored by
-    rebasing the inherited counter."""
+    inheritance (never pickled).  A fresh build rebases the inherited
+    msg-id counter onto the shard's stride; a restore instead rewinds
+    it to the snapshot's cursor, so replayed sends reuse the exact ids
+    the pre-crash execution handed out (remote shards hold acks and
+    dedup entries keyed on them)."""
     try:
-        set_msg_id_base(shard_id * _MSG_ID_STRIDE)
-        worker = ShardWorker(spec, topology, own_ids, shard_id)
+        if restore is None:
+            set_msg_id_base(shard_id * _MSG_ID_STRIDE)
+            worker = ShardWorker(spec, topology, own_ids, shard_id)
+        else:
+            worker = _checkpoint.restore(restore, topology)
+        worker.incarnation = incarnation
+        worker.arm_kills(set(kills), _sigkill_self)
+        beat = None if beat_interval is None else _Heartbeat(conn, beat_interval)
         conn.send(("ready", worker.next_time()))
         while True:
             command = conn.recv()
             if command[0] == "window":
-                conn.send(("window", worker.run_window(command[1], command[2])))
+                conn.send(
+                    ("window",
+                     worker.run_window(command[1], command[2], beat=beat))
+                )
+            elif command[0] == "replay":
+                # A replayed window: run it identically, discard the
+                # outbox (the coordinator routed those records before
+                # the crash).
+                nxt, _outbox = worker.run_window(
+                    command[1], command[2], beat=beat
+                )
+                conn.send(("replay", nxt))
+            elif command[0] == "checkpoint":
+                conn.send(("checkpoint", _checkpoint.capture(worker)))
             elif command[0] == "finish":
                 result = worker.collect()
                 if spec.telemetry_name and obs.enabled():
@@ -573,27 +828,84 @@ def _worker_main(conn, spec, topology, own_ids, shard_id) -> None:
 
 
 class _ProcessHandle:
-    """A shard worker in a forked process, spoken to over a pipe."""
+    """A shard worker in a forked process, spoken to over a pipe.
 
-    def __init__(self, ctx, spec, topology, own_ids, shard_id):
+    With ``heartbeat_timeout`` set, window-serving receives poll the
+    pipe instead of blocking: a worker that sends nothing — not even a
+    beat — for the timeout is declared hung, SIGKILLed, and surfaced
+    as a :class:`_WorkerDeath`; a closed pipe (the worker died)
+    surfaces one carrying the exit code, including the signal name for
+    unclean deaths."""
+
+    def __init__(self, ctx, spec, topology, own_ids, shard_id,
+                 restore=None, incarnation=0, kills=(),
+                 heartbeat_timeout=None):
         self.shard = shard_id
+        self.timeout = heartbeat_timeout
         parent, child = ctx.Pipe()
         self.conn = parent
+        beat_interval = (
+            None if heartbeat_timeout is None else heartbeat_timeout / 4.0
+        )
         self.proc = ctx.Process(
             target=_worker_main,
-            args=(child, spec, topology, own_ids, shard_id),
+            args=(child, spec, topology, own_ids, shard_id,
+                  restore, incarnation, tuple(kills), beat_interval),
             daemon=True,
         )
         self.proc.start()
         child.close()
 
-    def _recv(self, expect: str):
-        try:
-            message = self.conn.recv()
-        except EOFError:
-            raise ShardWorkerError(
-                self.shard, "worker process died without reporting an error"
-            ) from None
+    # -- death reporting --------------------------------------------------
+
+    def _exit_note(self) -> str:
+        """How the worker process ended, for the death detail: the
+        signal name for unclean deaths (satisfying the supervisor's
+        and harness.TrialError's diagnosability contract), the exit
+        code otherwise."""
+        self.proc.join(timeout=10)
+        code = self.proc.exitcode
+        if code is None:  # pragma: no cover - join timed out
+            return ("worker process died without reporting an error "
+                    "(exit status unknown: process has not joined)")
+        if code < 0:
+            try:
+                name = signal.Signals(-code).name
+            except ValueError:  # pragma: no cover
+                name = f"signal {-code}"
+            return (f"worker process died uncleanly (killed by {name}, "
+                    f"exit code {code})")
+        return (f"worker process died without reporting an error "
+                f"(exit code {code})")
+
+    def _recv(self, expect: str, timed: bool = False):
+        deadline = (
+            None if (self.timeout is None or not timed)
+            else time.monotonic() + self.timeout
+        )
+        while True:
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+                if not self.conn.poll(remaining):
+                    if self.proc.is_alive():
+                        self.proc.kill()  # not listening: SIGKILL it
+                    raise _WorkerDeath(
+                        self.shard, "hang",
+                        f"worker sent no heartbeat for {self.timeout}s "
+                        f"(hung mid-window) and was killed; "
+                        + self._exit_note(),
+                    )
+            try:
+                message = self.conn.recv()
+            except EOFError:
+                raise _WorkerDeath(
+                    self.shard, "crash", self._exit_note()
+                ) from None
+            if message[0] == "hb":
+                if deadline is not None:
+                    deadline = time.monotonic() + self.timeout
+                continue
+            break
         if message[0] == "error":
             raise ShardWorkerError(self.shard, message[1])
         if message[0] != expect:  # pragma: no cover
@@ -602,17 +914,37 @@ class _ProcessHandle:
             )
         return message[1]
 
+    def _send(self, command) -> None:
+        try:
+            self.conn.send(command)
+        except (BrokenPipeError, OSError):
+            raise _WorkerDeath(
+                self.shard, "crash", self._exit_note()
+            ) from None
+
     def start(self):
         return self._recv("ready")
 
     def post(self, t_end, records):
-        self.conn.send(("window", t_end, records))
+        self._send(("window", t_end, records))
 
     def wait(self):
-        return self._recv("window")
+        return self._recv("window", timed=True)
+
+    def replay(self, t_end, records):
+        self._send(("replay", t_end, records))
+        return self._recv("replay", timed=True)
+
+    def checkpoint(self):
+        # Untimed on purpose: capture sends no beats, and a large
+        # shard's snapshot can legitimately take longer than the
+        # heartbeat timeout.  A death during capture still surfaces
+        # as EOF.
+        self._send(("checkpoint",))
+        return self._recv("checkpoint")
 
     def finish(self):
-        self.conn.send(("finish",))
+        self._send(("finish",))
         return self._recv("finish")
 
     def close(self):
@@ -626,43 +958,280 @@ class _ProcessHandle:
 
 
 # ---------------------------------------------------------------------------
-# The coordinator
+# The coordinator (lockstep loop + supervision)
 # ---------------------------------------------------------------------------
 
 
-def _coordinate(handles, assignment, lookahead):
-    """The lockstep epoch loop.  Each round: pick the conservative
-    bound ``t_end = E + lookahead``, post every worker its window (and
-    the border records addressed to it), then collect outboxes and
-    route them for the next round.  Terminates when no worker has
-    pending events and no record is in flight."""
-    pending: List[List[tuple]] = [[] for _ in handles]
-    earliest = [handle.start() for handle in handles]
-    windows = 0
-    border = 0
-    while True:
-        horizon = None
-        for value in earliest:
-            if value is not None and (horizon is None or value < horizon):
-                horizon = value
-        for records in pending:
-            for record in records:
-                if horizon is None or record[1] < horizon:
-                    horizon = record[1]
-        if horizon is None:
-            break  # globally quiescent
-        t_end = horizon + lookahead
-        for handle, records in zip(handles, pending):
-            handle.post(t_end, records)
-        pending = [[] for _ in handles]
-        for index, handle in enumerate(handles):
-            nxt, outbox = handle.wait()
-            earliest[index] = nxt
-            border += len(outbox)
-            for record in outbox:
-                pending[assignment[record[3]]].append(record)
-        windows += 1
-    return [handle.finish() for handle in handles], windows, border
+class _Supervisor:
+    """The lockstep epoch loop, doubling as the worker supervisor.
+
+    Fault-free behavior with supervision off is exactly the classic
+    coordinator: each round, pick the conservative bound ``t_end = E +
+    lookahead``, post every worker its window (and the border records
+    addressed to it), collect outboxes, route them for the next round;
+    terminate when no worker has pending events and no record is in
+    flight.  Supervision adds, per the :class:`SupervisionPolicy`:
+
+    * **window logs** — with ``max_restarts > 0`` every posted window
+      ``(t_end, records)`` is retained per shard since its last
+      checkpoint;
+    * **checkpoint cadence** — every ``checkpoint_every`` completed
+      windows each worker snapshots itself at the barrier
+      (:mod:`repro.net.checkpoint`); the shard's log is then dropped,
+      which is what bounds recovery replay;
+    * **crash/hang detection** — worker deaths surface from the
+      handles as :class:`_WorkerDeath`;
+    * **deterministic restart** — a replacement is spawned from the
+      last checkpoint (or from scratch when none exists), replays the
+      retained windows with outboxes discarded (those records were
+      already routed before the crash), then serves the interrupted
+      window live.  Replay re-runs the identical keyed-RNG event
+      sequence with the original msg ids, so the recovered run's
+      fingerprint equals a fault-free run's.
+    """
+
+    def __init__(self, spec, topology, assignment, groups, lookahead,
+                 policy: SupervisionPolicy, inline: bool,
+                 kill_plan: Dict[int, tuple]):
+        self.spec = spec
+        self.topology = topology
+        self.assignment = assignment
+        self.groups = groups
+        self.lookahead = lookahead
+        self.policy = policy
+        self.inline = inline
+        self.kill_plan = kill_plan
+        self.ctx = None if inline else multiprocessing.get_context("fork")
+        n = len(groups)
+        self.handles: List[Any] = [None] * n
+        self.pending: List[List[tuple]] = [[] for _ in range(n)]
+        self.earliest: List[Optional[float]] = [None] * n
+        #: Log retention is pointless when no restart may consume it.
+        self.retain = policy.max_restarts > 0
+        self.logs: List[List[tuple]] = [[] for _ in range(n)]
+        self.has_checkpoint = [False] * n
+        self.store = _checkpoint.CheckpointStore(
+            policy.checkpoint, directory=spec.telemetry_dir
+        )
+        self.restarts = [0] * n
+        #: Kills at windows <= this floor never re-arm on a
+        #: replacement — they already fired (or their window passed),
+        #: and re-firing during replay would dead-loop the recovery.
+        self.kill_floor = [-1] * n
+        self.windows = 0
+        self.border = 0
+        self.recoveries: List[Dict[str, Any]] = []
+        self.replayed_windows = 0
+        self.checkpoints = 0
+        self.checkpoint_bytes = 0
+        self.checkpoint_seconds = 0.0
+        self.recovery_seconds = 0.0
+
+    # -- spawning ---------------------------------------------------------
+
+    def _spawn(self, shard: int):
+        restore = (
+            self.store.load(shard) if self.has_checkpoint[shard] else None
+        )
+        kills = [
+            w for w in self.kill_plan.get(shard, ())
+            if w > self.kill_floor[shard]
+        ]
+        kwargs = dict(
+            restore=restore, incarnation=self.restarts[shard], kills=kills,
+            heartbeat_timeout=self.policy.heartbeat_timeout,
+        )
+        own = set(self.groups[shard])
+        if self.inline:
+            handle = _InlineHandle(
+                self.spec, self.topology, own, shard, **kwargs
+            )
+        else:
+            handle = _ProcessHandle(
+                self.ctx, self.spec, self.topology, own, shard, **kwargs
+            )
+        self.handles[shard] = handle
+        return handle
+
+    def start(self) -> None:
+        for shard in range(len(self.handles)):
+            while True:
+                try:
+                    self.earliest[shard] = self._spawn(shard).start()
+                    break
+                except _WorkerDeath as death:
+                    self._charge(shard, death)
+                    self.handles[shard].close()
+
+    # -- the epoch loop ---------------------------------------------------
+
+    def run(self) -> List[Dict[str, Any]]:
+        self.start()
+        n = len(self.handles)
+        while True:
+            horizon = None
+            for value in self.earliest:
+                if value is not None and (horizon is None or value < horizon):
+                    horizon = value
+            for records in self.pending:
+                for record in records:
+                    if horizon is None or record[1] < horizon:
+                        horizon = record[1]
+            if horizon is None:
+                break  # globally quiescent
+            t_end = horizon + self.lookahead
+            posted, self.pending = self.pending, [[] for _ in range(n)]
+            dead: Dict[int, _WorkerDeath] = {}
+            for shard in range(n):
+                if self.retain:
+                    self.logs[shard].append((t_end, posted[shard]))
+                try:
+                    self.handles[shard].post(t_end, posted[shard])
+                except _WorkerDeath as death:
+                    dead[shard] = death
+            for shard in range(n):
+                death = dead.pop(shard, None)
+                if death is None:
+                    try:
+                        nxt, outbox = self.handles[shard].wait()
+                    except _WorkerDeath as exc:
+                        death = exc
+                if death is not None:
+                    nxt, outbox = self._recover(shard, death, live=True)
+                self.earliest[shard] = nxt
+                self.border += len(outbox)
+                for record in outbox:
+                    self.pending[self.assignment[record[3]]].append(record)
+            self.windows += 1
+            every = self.policy.checkpoint_every
+            if every and self.windows % every == 0:
+                self._checkpoint_all()
+        return self._finish_all()
+
+    def _checkpoint_all(self) -> None:
+        for shard in range(len(self.handles)):
+            while True:
+                try:
+                    blob, seconds = self.handles[shard].checkpoint()
+                    break
+                except _WorkerDeath as death:
+                    self._recover(shard, death, live=False)
+            self.store.save(shard, blob)
+            self.has_checkpoint[shard] = True
+            self.logs[shard] = []
+            self.checkpoints += 1
+            self.checkpoint_bytes += len(blob)
+            self.checkpoint_seconds += seconds
+            if _obs.enabled:
+                _inst.shard_checkpoints.inc()
+                _inst.shard_checkpoint_bytes.inc(len(blob))
+                _inst.shard_checkpoint_seconds.observe(seconds)
+
+    def _finish_all(self) -> List[Dict[str, Any]]:
+        results = []
+        for shard in range(len(self.handles)):
+            while True:
+                try:
+                    results.append(self.handles[shard].finish())
+                    break
+                except _WorkerDeath as death:
+                    self._recover(shard, death, live=False)
+        return results
+
+    # -- recovery ---------------------------------------------------------
+
+    def _charge(self, shard: int, death: _WorkerDeath) -> Dict[str, Any]:
+        """Book one death against the shard's restart budget — raising
+        a :class:`ShardWorkerError` (with the death's exit-code /
+        signal / hang detail) once it is spent — and record it for the
+        run report and telemetry."""
+        self.restarts[shard] += 1
+        if self.restarts[shard] > self.policy.max_restarts:
+            raise ShardWorkerError(
+                shard,
+                f"{death.detail}\n(restart budget exhausted: "
+                f"{self.restarts[shard] - 1} of max_restarts="
+                f"{self.policy.max_restarts} restarts used)",
+            )
+        record = {
+            "shard": shard,
+            "window": self.windows,
+            "cause": death.cause,
+            "detail": death.detail,
+            "replayed": 0,
+        }
+        self.recoveries.append(record)
+        if _obs.enabled:
+            _inst.shard_recoveries.labels(cause=death.cause).inc()
+        return record
+
+    def _recover(self, shard: int, death: _WorkerDeath, live: bool):
+        """Replace a dead worker.  ``live=True`` means the death
+        interrupted an in-flight window (the last log entry): the
+        replacement replays everything before it, then serves that
+        window live and its ``(next_time, outbox)`` is returned.
+        ``live=False`` (death at a barrier: during a checkpoint or
+        finish) replays the whole log — every logged window's records
+        were already routed."""
+        started = time.perf_counter()
+        while True:
+            record = self._charge(shard, death)
+            self.kill_floor[shard] = max(self.kill_floor[shard], self.windows)
+            try:
+                result = self._rebuild(shard, record, live)
+                break
+            except _WorkerDeath as exc:
+                death = exc
+        elapsed = time.perf_counter() - started
+        record["seconds"] = elapsed
+        self.recovery_seconds += elapsed
+        if _obs.enabled:
+            _inst.shard_recovery_seconds.observe(elapsed)
+        return result
+
+    def _rebuild(self, shard: int, record: Dict[str, Any], live: bool):
+        self.handles[shard].close()
+        handle = self._spawn(shard)
+        nxt = handle.start()
+        entries = self.logs[shard]
+        replay = entries[:-1] if live else entries
+        for bound, records in replay:
+            nxt = handle.replay(bound, records)
+            record["replayed"] += 1
+            self.replayed_windows += 1
+            if _obs.enabled:
+                _inst.shard_replayed_windows.inc()
+        if not live:
+            self.earliest[shard] = nxt
+            return None
+        bound, records = entries[-1]
+        handle.post(bound, records)
+        return handle.wait()
+
+    # -- reporting / teardown ---------------------------------------------
+
+    def report(self) -> Dict[str, Any]:
+        return {
+            "policy": {
+                "checkpoint_every": self.policy.checkpoint_every,
+                "heartbeat_timeout": self.policy.heartbeat_timeout,
+                "max_restarts": self.policy.max_restarts,
+                "checkpoint": self.policy.checkpoint,
+            },
+            "restarts": sum(self.restarts),
+            "recoveries": list(self.recoveries),
+            "replayed_windows": self.replayed_windows,
+            "checkpoints": self.checkpoints,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "checkpoint_seconds": self.checkpoint_seconds,
+            "recovery_seconds": self.recovery_seconds,
+        }
+
+    def close(self) -> None:
+        for handle in self.handles:
+            if handle is not None:
+                handle.close()
+        self.store.close()
 
 
 # ---------------------------------------------------------------------------
@@ -678,7 +1247,14 @@ class ShardRunReport:
     returns the event-identity digest the differential suite compares:
     result rows plus every order-independent counter family.  (The
     final simulation clock is deliberately excluded — sharded clocks
-    stop at a window boundary, not at the last event.)
+    stop at a window boundary, not at the last event.  ``supervision``
+    is excluded too: a recovered run must fingerprint-match a
+    fault-free one, which is the whole point.)
+
+    ``supervision`` is populated only for supervised/chaos runs: the
+    policy, total restarts, per-recovery records (shard, window,
+    cause, windows replayed, wall-clock seconds), checkpoint count /
+    bytes / capture seconds, and total recovery seconds.
     """
 
     rows: Dict[str, Set[tuple]]
@@ -691,6 +1267,7 @@ class ShardRunReport:
     border_records: int
     per_shard: List[Dict[str, Any]]
     manifest: Optional[Dict[str, str]] = None
+    supervision: Optional[Dict[str, Any]] = None
 
     def fingerprint(self) -> Dict[str, Any]:
         m = self.metrics
@@ -718,7 +1295,8 @@ class ShardRunReport:
         }
 
 
-def _merge_results(spec, results, shards, windows, border) -> ShardRunReport:
+def _merge_results(spec, results, shards, windows, border,
+                   supervision=None) -> ShardRunReport:
     metrics = MetricsCollector()
     rows: Dict[str, Set[tuple]] = {pred: set() for pred in spec.outputs}
     delivery: Dict[str, Any] = {"delivered": 0, "gave_up": 0, "reason": {}}
@@ -753,6 +1331,7 @@ def _merge_results(spec, results, shards, windows, border) -> ShardRunReport:
         rows=rows, metrics=metrics, delivery=delivery,
         events_processed=events, queue_hwm=hwm, shards=shards,
         windows=windows, border_records=border, per_shard=per_shard,
+        supervision=supervision,
     )
 
 
@@ -761,26 +1340,80 @@ def _merge_results(spec, results, shards, windows, border) -> ShardRunReport:
 # ---------------------------------------------------------------------------
 
 
+def _resolve_kill_plan(
+    faults: Optional[FaultSchedule], shards: int
+) -> Dict[int, tuple]:
+    """Validate a chaos schedule against the run and reduce it to
+    ``{shard: (kill windows...)}``.  Only worker_kill events are
+    accepted — simulated faults couple shards through global radio
+    state (the v1 restriction) and go through FaultInjector on the
+    single-process engine instead."""
+    if faults is None or not len(faults):
+        return {}
+    for event in faults.events:
+        if event.kind != "worker_kill":
+            raise ShardError(
+                f"sharded runs accept only worker_kill fault events, got "
+                f"{event.kind!r}: simulated faults couple shards through "
+                "global radio state; run them with shards=None and a "
+                "FaultInjector"
+            )
+        if not 0 <= event.shard < shards:
+            raise ShardError(
+                f"worker_kill targets shard {event.shard} but the run "
+                f"has only {shards} shards"
+            )
+    return {s: tuple(ws) for s, ws in faults.kill_plan().items()}
+
+
 def run(
     spec: WorkloadSpec,
-    shards: Optional[int] = None,
+    shards=None,
     inline: bool = False,
     topology: Optional[Topology] = None,
+    *,
+    checkpoint_every: int = 0,
+    heartbeat_timeout: Optional[float] = None,
+    max_restarts: int = 0,
+    checkpoint: str = "memory",
+    faults: Optional[FaultSchedule] = None,
 ) -> ShardRunReport:
     """Execute a workload spec and return its merged run report.
 
     ``shards=None`` runs the classic single-process simulator (the
     differential baseline); ``shards=k`` partitions the arena into
-    ``k`` spatial shards under conservative-window synchronization.
-    ``inline=True`` drives the shard workers in-process (records still
-    cross a pickle boundary) — the mode the differential tests use;
-    the default forks one worker process per shard.  ``topology``
-    short-circuits topology construction when the caller already built
-    it (it must match the spec's parameters — benches reuse one
-    topology across the single/sharded comparison)."""
+    ``k`` spatial shards under conservative-window synchronization;
+    ``shards="auto"`` picks one shard per available CPU (capped by the
+    node count).  ``inline=True`` drives the shard workers in-process
+    (records still cross a pickle boundary) — the mode the
+    differential tests use; the default forks one worker process per
+    shard.  ``topology`` short-circuits topology construction when the
+    caller already built it (it must match the spec's parameters —
+    benches reuse one topology across the single/sharded comparison).
+
+    Supervision knobs (sharded runs; all default off — see
+    :class:`SupervisionPolicy`): ``checkpoint_every=k`` snapshots every
+    worker at every k-th window barrier, to ``checkpoint="memory"`` or
+    ``"disk"``; ``max_restarts=r`` restarts a crashed or hung worker
+    from its last checkpoint up to ``r`` times per shard, replaying
+    the missed windows deterministically (the recovered run's
+    fingerprint equals a fault-free run's); ``heartbeat_timeout=s``
+    (process mode) additionally SIGKILLs and restarts a worker that
+    stops heartbeating for ``s`` wall-clock seconds.  ``faults=``
+    takes a :class:`~repro.net.faults.FaultSchedule` of
+    ``worker_kill`` events to inject real worker deaths mid-window
+    (the E25 chaos harness)."""
     if topology is None:
         topology = build_topology(spec)
+    if shards == "auto":
+        shards = default_shards(topology)
     if shards is None:
+        if faults is not None and len(faults):
+            raise ShardError(
+                "faults= needs a sharded run: worker_kill events target "
+                "shard worker processes (pass shards=k); simulated "
+                "faults go through FaultInjector instead"
+            )
         return _run_single(spec, topology)
     if not inline and "fork" not in multiprocessing.get_all_start_methods():
         # Caught up front, before any partitioning or worker setup: the
@@ -795,26 +1428,30 @@ def run(
             "use inline=True instead"
         )
     _validate_sharded(spec, shards)
+    policy = SupervisionPolicy(
+        checkpoint_every=checkpoint_every,
+        heartbeat_timeout=heartbeat_timeout,
+        max_restarts=max_restarts,
+        checkpoint=checkpoint,
+    )
+    kill_plan = _resolve_kill_plan(faults, shards)
     assignment, groups = partition_topology(topology, shards)
     lookahead = float(spec.net.get("delay_base", 0.01))
-    handles: List[Any] = []
+    supervisor = _Supervisor(
+        spec, topology, assignment, groups, lookahead, policy, inline,
+        kill_plan,
+    )
     try:
-        if inline:
-            handles = [
-                _InlineHandle(spec, topology, set(group), index)
-                for index, group in enumerate(groups)
-            ]
-        else:
-            ctx = multiprocessing.get_context("fork")
-            handles = [
-                _ProcessHandle(ctx, spec, topology, set(group), index)
-                for index, group in enumerate(groups)
-            ]
-        results, windows, border = _coordinate(handles, assignment, lookahead)
+        results = supervisor.run()
     finally:
-        for handle in handles:
-            handle.close()
-    report = _merge_results(spec, results, shards, windows, border)
+        supervisor.close()
+    supervision = (
+        supervisor.report() if (policy.active or kill_plan) else None
+    )
+    report = _merge_results(
+        spec, results, shards, supervisor.windows, supervisor.border,
+        supervision=supervision,
+    )
     _write_merged_manifest(spec, report)
     return report
 

@@ -29,6 +29,7 @@ horizon (all timeouts elapse, the last attempt flies); the radio's
 
 from __future__ import annotations
 
+import functools
 import inspect
 from collections import defaultdict
 from typing import Callable, Dict, Optional, Set, Tuple, TYPE_CHECKING
@@ -204,9 +205,12 @@ class ReliableTransport:
         if attempt > 1:
             self.radio.metrics.record_retry()
             self.radio._emit("retry", src, dst, message, attempt=attempt)
+        # Partials (not lambdas) throughout this state machine: pending
+        # frames and retry timers live in the event queue, which shard
+        # checkpoints pickle mid-run (see repro.net.checkpoint).
         self.radio._send_frame(
             src, dst, message,
-            lambda msg: self._on_data(key, src, dst, msg, deliver, on_status),
+            functools.partial(self._on_data, key, src, dst, deliver, on_status),
         )
         # Exponential backoff with jitter: the timeout for the *next*
         # attempt grows even if this one succeeds (the timer just
@@ -221,7 +225,9 @@ class ReliableTransport:
         state.timeout *= self.config.backoff
         self.radio.sim.schedule(
             timeout,
-            lambda: self._on_timeout(key, src, dst, message, deliver, on_status),
+            functools.partial(
+                self._on_timeout, key, src, dst, message, deliver, on_status
+            ),
         )
 
     def _on_timeout(self, key, src, dst, message, deliver, on_status) -> None:
@@ -254,8 +260,10 @@ class ReliableTransport:
 
     # -- receiver side ---------------------------------------------------
 
-    def _on_data(self, key, src, dst, message, deliver, on_status) -> None:
-        """A reliable frame physically arrived at ``dst``."""
+    def _on_data(self, key, src, dst, deliver, on_status, message) -> None:
+        """A reliable frame physically arrived at ``dst``.  (``message``
+        is last so the send path can bind everything else in a partial
+        and let the radio supply the frame.)"""
         dedup_key = (src, message.msg_id)
         seen = self._seen[dst]
         fresh = dedup_key not in seen
@@ -269,12 +277,12 @@ class ReliableTransport:
         ack = AckMsg(src, message.msg_id)
         self.radio._send_frame(
             dst, src, ack,
-            lambda _ack: self._on_ack(key, src, dst, message, on_status),
+            functools.partial(self._on_ack, key, src, dst, message, on_status),
         )
         if fresh:
             deliver(message)
 
-    def _on_ack(self, key, src, dst, message, on_status) -> None:
+    def _on_ack(self, key, src, dst, message, on_status, _frame=None) -> None:
         """An ack physically arrived back at the original sender."""
         state = self._pending.get(key)
         if state is None or state.acked:

@@ -224,6 +224,36 @@ tree_repairs = REGISTRY.counter(
     labelnames=("kind",),
 )
 
+# -- net.shard supervision (checkpoints + worker recovery, E25) -------------
+
+shard_checkpoints = REGISTRY.counter(
+    "repro_shard_checkpoints_total",
+    "Shard worker snapshots captured at conservative-window barriers",
+)
+shard_checkpoint_bytes = REGISTRY.counter(
+    "repro_shard_checkpoint_bytes_total",
+    "Serialized size of captured shard snapshots",
+)
+shard_checkpoint_seconds = REGISTRY.histogram(
+    "repro_shard_checkpoint_seconds",
+    "Wall-clock time to capture one shard snapshot",
+)
+shard_recoveries = REGISTRY.counter(
+    "repro_shard_recoveries_total",
+    "Shard workers restarted by the supervisor, by cause "
+    "('crash' unclean death, 'hang' heartbeat timeout)",
+    labelnames=("cause",),
+)
+shard_replayed_windows = REGISTRY.counter(
+    "repro_shard_replayed_windows_total",
+    "Conservative windows re-executed during shard recovery",
+)
+shard_recovery_seconds = REGISTRY.histogram(
+    "repro_shard_recovery_seconds",
+    "Wall-clock time to restore a shard worker and replay its missed "
+    "windows",
+)
+
 # -- dist.gpa / dist.localized ---------------------------------------------
 
 gpa_messages = REGISTRY.counter(

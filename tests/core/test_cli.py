@@ -112,6 +112,30 @@ class TestCommands:
         assert "usage: :serve" in shell.handle(":serve many")
         assert "usage: :serve" in shell.handle(":serve 99")
 
+    def test_faults_summary_table(self, shell):
+        out = shell.handle(":faults churn 50 0.2 100 7")
+        assert "80 events over [0.00, 100.00]" in out
+        assert "kind" in out and "count" in out
+        # 4 slots x round(0.2 * 50) victims, one crash + one recover each.
+        assert "crash           40" in out
+        assert "recover         40" in out
+
+    def test_faults_is_deterministic(self, shell):
+        args = ":faults churn 30 0.1 50 3 5"
+        assert shell.handle(args) == Shell().handle(args)
+
+    def test_faults_usage_on_bad_args(self, shell):
+        assert "usage: :faults" in shell.handle(":faults")
+        assert "usage: :faults" in shell.handle(":faults churn")
+        assert "usage: :faults" in shell.handle(":faults churn a b c")
+        assert "usage: :faults" in shell.handle(":faults storm 9 0.1 10")
+
+    def test_faults_empty_schedule(self, shell):
+        assert "empty schedule" in shell.handle(":faults churn 9 0.01 10")
+
+    def test_faults_out_of_range_rate_reports_error(self, shell):
+        assert "error:" in shell.handle(":faults churn 9 1.5 10")
+
 
 class TestQueriesThroughEngines:
     def test_negation_query(self, shell):

@@ -136,3 +136,50 @@ def test_worker_failure_carries_shard_id():
     assert err.params == dict(x=3)
     assert "shard worker 2" in str(err)
     assert "shards=None" in str(err)  # points at the serial repro
+
+
+def supervision_echo(x, shards=None, checkpoint_every=None,
+                     heartbeat_timeout=None, max_restarts=None,
+                     checkpoint=None):
+    return (x, shards, checkpoint_every, heartbeat_timeout, max_restarts,
+            checkpoint)
+
+
+def sharded_chaos_trial(m, kill_window, shards=None, max_restarts=0):
+    """A real sharded run with an injected worker death and no restart
+    budget — the worker's SIGKILL must surface through the pool."""
+    from repro.net.faults import FaultSchedule
+    from repro.net.shard import run
+    from tests.net.test_shard import grid_spec
+
+    spec = grid_spec()
+    faults = FaultSchedule().worker_kill(shard=1, at_window=kill_window)
+    return run(spec, shards=shards, max_restarts=max_restarts,
+               faults=faults).windows
+
+
+def test_supervision_knobs_merged_into_trials():
+    trials = [dict(x=x) for x in range(3)]
+    got = run_trials(supervision_echo, trials, shards=4, checkpoint_every=5,
+                     max_restarts=2, checkpoint="disk")
+    assert got == [(x, 4, 5, None, 2, "disk") for x in range(3)]
+    # Unset knobs are not merged at all: the trial function's own
+    # defaults stay in charge.
+    assert run_trials(supervision_echo, trials) == [
+        (x, None, None, None, None, None) for x in range(3)
+    ]
+    assert trials == [dict(x=x) for x in range(3)]
+
+
+def test_sharded_worker_death_surfaces_signal_in_trial_error():
+    """Satellite pin (E25): an unclean shard-worker death inside a
+    parallel trial reports the killing signal by name, plus the shard,
+    through TrialError."""
+    trials = [dict(m=6, kill_window=3)] * 2
+    with pytest.raises(TrialError) as excinfo:
+        run_trials(sharded_chaos_trial, trials, parallel=2, shards=2)
+    err = excinfo.value
+    assert err.shard == 1
+    assert "SIGKILL" in str(err)
+    assert "exit code -9" in err.worker_traceback
+    assert "restart budget exhausted" in err.worker_traceback

@@ -1,0 +1,144 @@
+"""Shard checkpoints (repro.net.checkpoint): snapshot capture/restore,
+the msg-id cursor peek, topology stub rebinding, and the coordinator's
+checkpoint store (E25's recovery substrate)."""
+
+import os
+
+import pytest
+
+from repro.net import checkpoint, messages
+from repro.net.checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    capture,
+    msg_id_cursor,
+    restore,
+)
+from repro.net.messages import Message
+from repro.net.shard import ShardWorker, build_topology
+from tests.net.test_shard import SPECS
+
+LOOKAHEAD = 0.01  # the specs' default delay_base
+
+
+def _worker(name="e1-grid-join"):
+    """A single-shard worker owning the whole arena (no border traffic,
+    so windows can be driven without a coordinator)."""
+    spec = SPECS[name]
+    topology = build_topology(spec)
+    return ShardWorker(spec, topology, set(topology.node_ids), 0), topology
+
+
+def _drive(worker, windows=None):
+    """Run up to ``windows`` conservative windows (all of them when
+    None); returns the number actually run."""
+    ran = 0
+    nxt = worker.next_time()
+    while nxt is not None and (windows is None or ran < windows):
+        nxt, outbox = worker.run_window(nxt + LOOKAHEAD, [])
+        assert outbox == []  # single shard: nothing crosses a border
+        ran += 1
+    return ran
+
+
+class TestMsgIdCursor:
+    def test_peek_is_side_effect_free(self):
+        first = msg_id_cursor()
+        second = msg_id_cursor()
+        assert first == second
+        # The very same id the peek consumed is issued to the next
+        # message — the cursor read never perturbs the id sequence.
+        assert Message("ping").msg_id == first
+
+    def test_cursor_advances_with_messages(self):
+        before = msg_id_cursor()
+        Message("ping")
+        assert msg_id_cursor() == before + 1
+
+
+class TestCaptureRestore:
+    def test_restore_rebinds_topology_stubs(self):
+        worker, topology = _worker()
+        _drive(worker, windows=3)
+        blob, seconds = capture(worker)
+        restored = restore(blob, topology)
+        assert restored.network.topology is topology
+        assert restored.network.topology.spatial is topology.spatial
+        assert restored.windows_run == worker.windows_run
+        assert seconds >= 0.0
+
+    def test_restored_continuation_matches_original(self):
+        """Capture mid-run, finish the original, then finish the
+        restored copy: both executions must be event-identical."""
+        worker, topology = _worker("e18-reliable")
+        _drive(worker, windows=8)
+        blob, _ = capture(worker)
+
+        _drive(worker)
+        original = worker.collect()
+
+        messages.set_msg_id_base(0)  # scramble; restore must rewind
+        restored = restore(blob, topology)
+        assert restored.windows_run == 8
+        _drive(restored)
+        continued = restored.collect()
+
+        assert continued["rows"] == original["rows"]
+        assert (continued["metrics"].total_messages
+                == original["metrics"].total_messages)
+        assert (continued["metrics"].total_bytes
+                == original["metrics"].total_bytes)
+        assert continued["delivery"] == original["delivery"]
+
+    def test_restore_rewinds_msg_id_cursor(self):
+        worker, topology = _worker()
+        _drive(worker, windows=2)
+        blob, _ = capture(worker)
+        cursor = msg_id_cursor()
+        Message("ping")  # advance the live counter past the snapshot
+        restore(blob, topology)
+        assert msg_id_cursor() == cursor
+
+    def test_unpicklable_state_raises_checkpoint_error(self):
+        worker, _topology = _worker()
+        worker.poison = lambda: None  # closures never pickle
+        with pytest.raises(CheckpointError, match="shard 0"):
+            capture(worker)
+
+    def test_unknown_persistent_id_rejected(self):
+        worker, topology = _worker()
+        blob, _ = capture(worker)
+        # A blob is bound to the checkpoint module's stub vocabulary.
+        bad = blob.replace(b"shard-checkpoint:topology",
+                           b"shard-checkpoint:toxology")
+        with pytest.raises(CheckpointError, match="persistent id"):
+            restore(bad, topology)
+
+
+class TestCheckpointStore:
+    def test_memory_roundtrip(self):
+        store = CheckpointStore("memory")
+        assert store.load(0) is None
+        store.save(0, b"alpha")
+        store.save(0, b"beta")  # latest wins
+        assert store.load(0) == b"beta"
+        store.close()
+
+    def test_disk_roundtrip_in_directory(self, tmp_path):
+        store = CheckpointStore("disk", directory=str(tmp_path))
+        store.save(2, b"payload")
+        assert store.load(2) == b"payload"
+        assert (tmp_path / "checkpoint.shard2.pkl").exists()
+        store.close()
+
+    def test_disk_tempdir_self_cleans(self):
+        store = CheckpointStore("disk")
+        store.save(0, b"x")
+        directory = store._directory
+        assert os.path.isdir(directory)
+        store.close()
+        assert not os.path.exists(directory)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(CheckpointError, match="tape"):
+            CheckpointStore("tape")

@@ -2,6 +2,8 @@
 radio's kill/revive/link-fault primitives (E20's chaos layer)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.errors import NetworkError
 from repro.net.faults import FaultEvent, FaultInjector, FaultSchedule
@@ -238,3 +240,112 @@ class TestKillReviveRadio:
         net.node(0).send(1, Message("ping"))
         net.run_all()
         assert not net.radio.is_alive(0)  # still over capacity: dies again
+
+
+class TestScheduleOrderStability:
+    """The application order (timeline) is a pure function of the
+    events' times plus insertion order — edge cases and a property."""
+
+    def test_duplicate_events_at_same_timestamp_keep_insertion_order(self):
+        s = (
+            FaultSchedule()
+            .crash(1.0, 3)
+            .crash(1.0, 3)  # exact duplicate
+            .recover(1.0, 3)
+            .crash(1.0, 3)
+        )
+        ordered = [(e.kind, e.node) for e in s.timeline()]
+        assert ordered == [
+            ("crash", 3), ("crash", 3), ("recover", 3), ("crash", 3),
+        ]
+
+    def test_heal_before_any_partition_is_a_noop(self):
+        net = GridNetwork(3)
+        injector = FaultInjector(net, FaultSchedule().heal(1.0)).arm()
+        before = {
+            (a, b): net.radio.link_is_up(a, b)
+            for a, b in net.topology.graph.edges
+        }
+        net.run_all()
+        after = {
+            (a, b): net.radio.link_is_up(a, b)
+            for a, b in net.topology.graph.edges
+        }
+        assert after == before
+        assert injector.summary() == {"heal": 1}
+
+    @given(
+        times=st.lists(
+            st.floats(0.0, 100.0, allow_nan=False),
+            min_size=1, max_size=12, unique=True,
+        ),
+        order=st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_builder_order_never_changes_replay(self, times, order):
+        """Chained-builder permutation invariance: as long as the
+        events' *times* are distinct, the order the builder methods
+        were called in never changes the replayed timeline."""
+        calls = [
+            ("crash", t) if i % 3 == 0
+            else ("recover", t) if i % 3 == 1
+            else ("deplete", t)
+            for i, t in enumerate(times)
+        ]
+        shuffled = list(calls)
+        order.shuffle(shuffled)
+
+        def build(sequence):
+            s = FaultSchedule()
+            for kind, t in sequence:
+                getattr(s, kind)(t, node=1)
+            return [(e.time, e.kind, e.node) for e in s.timeline()]
+
+        assert build(calls) == build(shuffled)
+
+
+class TestWorkerKillEvents:
+    def test_builder_validates_targets(self):
+        with pytest.raises(NetworkError, match="shard"):
+            FaultSchedule().worker_kill(shard=-1, at_window=0)
+        with pytest.raises(NetworkError, match="window"):
+            FaultSchedule().worker_kill(shard=0, at_window=-1)
+
+    def test_kill_plan_groups_and_sorts_by_shard(self):
+        s = (
+            FaultSchedule()
+            .worker_kill(shard=2, at_window=9)
+            .worker_kill(shard=0, at_window=4)
+            .worker_kill(shard=2, at_window=3)
+            .worker_kill(shard=2, at_window=3)  # dedup within a shard
+        )
+        assert s.kill_plan() == {0: [4], 2: [3, 9]}
+
+    def test_describe_summarizes_by_kind(self):
+        s = (
+            FaultSchedule()
+            .crash(2.0, 1)
+            .recover(5.0, 1)
+            .worker_kill(shard=1, at_window=3)
+        )
+        summary = s.describe()
+        assert summary["events"] == 3
+        assert summary["first"] == 2.0
+        assert summary["last"] == 5.0
+        assert summary["kinds"]["worker_kill"] == {
+            "count": 1, "first": 3.0, "last": 3.0,
+        }
+        assert list(summary["kinds"]) == ["crash", "recover", "worker_kill"]
+
+    def test_empty_schedule_describe(self):
+        summary = FaultSchedule().describe()
+        assert summary == {"events": 0, "first": None, "last": None,
+                           "kinds": {}}
+
+    def test_injector_never_applies_worker_kill(self):
+        net = GridNetwork(3)
+        schedule = FaultSchedule().worker_kill(shard=0, at_window=1).crash(1.0, 4)
+        injector = FaultInjector(net, schedule).arm()
+        net.run_all()
+        assert injector.summary() == {"crash": 1}
+        assert all(e.kind != "worker_kill" for e in injector.applied)
